@@ -1,0 +1,174 @@
+// Command gftpsim generates a synthetic GridFTP transfer log for one of
+// the paper's four paths and writes it in the Globus usage-log format
+// that gftpanalyze (and every analysis in this repository) consumes.
+//
+// Two modes:
+//
+//   - trace (default): the calibrated workload models, matching the
+//     paper's reported distributions record for record;
+//   - sim: an actual discrete-event campaign over the WAN simulator
+//     (internal/simxfer) — sessions of back-to-back transfers with TCP
+//     ramps, DTN access-link contention, and network sharing.
+//
+// Usage:
+//
+//	gftpsim -path ncar-nics -seed 1 -scale 0.1 -o ncar.log
+//	gftpsim -path slac-bnl | gftpanalyze -g 1m
+//	gftpsim -mode sim -sessions 50 | gftpanalyze -g 1m -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"gftpvc/internal/simclock"
+	"gftpvc/internal/simxfer"
+	"gftpvc/internal/stats"
+	"gftpvc/internal/topo"
+	"gftpvc/internal/usagestats"
+	"gftpvc/internal/workload"
+)
+
+func main() {
+	var (
+		path     = flag.String("path", "ncar-nics", "path: ncar-nics | slac-bnl | nersc-ornl | nersc-anl")
+		seed     = flag.Int64("seed", 42, "generation seed")
+		scale    = flag.Float64("scale", 1.0, "dataset scale in (0,1] (trace mode)")
+		mode     = flag.String("mode", "trace", "trace | sim")
+		sessions = flag.Int("sessions", 30, "session count (sim mode)")
+		dtnGbps  = flag.Float64("dtn", 2.5, "DTN aggregate rate in Gbps (sim mode)")
+		out      = flag.String("o", "-", "output file ('-' for stdout)")
+	)
+	flag.Parse()
+	var records []usagestats.Record
+	var err error
+	switch *mode {
+	case "trace":
+		records, err = generate(*path, *seed, *scale)
+	case "sim":
+		records, err = simulate(*path, *seed, *sessions, *dtnGbps*1e9)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gftpsim: %v\n", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gftpsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := usagestats.WriteLog(w, records); err != nil {
+		fmt.Fprintf(os.Stderr, "gftpsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "gftpsim: wrote %d records for %s\n", len(records), *path)
+}
+
+func generate(path string, seed int64, scale float64) ([]usagestats.Record, error) {
+	switch path {
+	case "ncar-nics":
+		ds, err := workload.NCARNICS(workload.Options{Seed: seed, Scale: scale})
+		if err != nil {
+			return nil, err
+		}
+		return ds.Records, nil
+	case "slac-bnl":
+		ds, err := workload.SLACBNL(workload.Options{Seed: seed, Scale: scale})
+		if err != nil {
+			return nil, err
+		}
+		return ds.Records, nil
+	case "nersc-ornl":
+		return workload.NERSCORNL32G(seed), nil
+	case "nersc-anl":
+		ts, err := workload.NERSCANL(seed)
+		if err != nil {
+			return nil, err
+		}
+		records := make([]usagestats.Record, len(ts))
+		for i, t := range ts {
+			records[i] = t.Record
+		}
+		return records, nil
+	default:
+		return nil, fmt.Errorf("unknown path %q", path)
+	}
+}
+
+// pathRTT maps a path name to its scenario RTT.
+func pathRTT(path string) (float64, error) {
+	switch path {
+	case "ncar-nics":
+		return topo.NCARNICS().RTTSec, nil
+	case "slac-bnl":
+		return topo.SLACBNL().RTTSec, nil
+	case "nersc-ornl":
+		return topo.NERSCORNL().RTTSec, nil
+	case "nersc-anl":
+		return topo.NERSCANL().RTTSec, nil
+	default:
+		return 0, fmt.Errorf("unknown path %q", path)
+	}
+}
+
+// simulate runs a discrete-event campaign: sessions arrive over a day,
+// with log-normal file sizes and mixed stream counts, contending for the
+// DTN access links and the backbone.
+func simulate(path string, seed int64, nSessions int, dtnBps float64) ([]usagestats.Record, error) {
+	if nSessions < 1 {
+		return nil, fmt.Errorf("need at least one session")
+	}
+	rtt, err := pathRTT(path)
+	if err != nil {
+		return nil, err
+	}
+	scenario, err := topo.CustomScenario(path+"-sim", 5, 10e9, dtnBps, rtt)
+	if err != nil {
+		return nil, err
+	}
+	camp, err := simxfer.New(scenario, time.Date(2012, 4, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < nSessions; i++ {
+		nFiles := 1 + rng.Intn(40)
+		sizes := make([]float64, nFiles)
+		for j := range sizes {
+			v, err := stats.TruncatedLogNormal(rng, 200e6, 4, 1e5, 20e9)
+			if err != nil {
+				return nil, err
+			}
+			sizes[j] = v
+		}
+		streams := 1
+		if rng.Float64() < 0.8 {
+			streams = 8
+		}
+		dir := simxfer.SrcToDst
+		if rng.Float64() < 0.4 {
+			dir = simxfer.DstToSrc
+		}
+		if err := camp.Schedule(simxfer.Session{
+			Start:     simclock.Time(rng.Float64() * 86400),
+			FileSizes: sizes,
+			GapSec:    0.5 + rng.Float64()*10,
+			Streams:   streams,
+			Direction: dir,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return camp.Run()
+}

@@ -1,0 +1,48 @@
+// Command oscarsd runs an OSCARS-style reservation service as a real TCP
+// server speaking newline-delimited JSON. It owns a bandwidth ledger over
+// one of the reference path topologies and admits advance reservations
+// with constrained path computation, exactly the scheduler role the
+// paper's IDC plays.
+//
+// Protocol (one JSON object per line; times are seconds on the service's
+// own clock, which starts at 0):
+//
+//	{"op":"reserve","src":"...","dst":"...","rate_bps":1e9,"start":0,"end":600}
+//	  -> {"ok":true,"id":1,"path":["a->b","b->c"],"src":"...","dst":"..."}
+//	{"op":"cancel","id":1}        -> {"ok":true}
+//	{"op":"available","src":"...","dst":"...","rate_bps":1e9,"start":0,"end":600}
+//	  -> {"ok":true,"path":[...]} or {"ok":false,"error":"..."}
+//	{"op":"topology"}             -> {"ok":true,"nodes":[...]}
+//
+// Usage:
+//
+//	oscarsd -addr 127.0.0.1:7654 -scenario nersc-ornl -reservable 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gftpvc/internal/oscarsd"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7654", "listen address")
+		scenario   = flag.String("scenario", "nersc-ornl", "topology: nersc-ornl | nersc-anl | ncar-nics | slac-bnl")
+		reservable = flag.Float64("reservable", 0.8, "fraction of link capacity reservable for circuits")
+	)
+	flag.Parse()
+	srv, err := oscarsd.Start(oscarsd.Config{
+		Addr:               *addr,
+		Scenario:           *scenario,
+		ReservableFraction: *reservable,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oscarsd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("oscarsd: serving %s topology on %s\n", *scenario, srv.Addr())
+	srv.Wait()
+}

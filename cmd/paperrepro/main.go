@@ -1,0 +1,46 @@
+// Command paperrepro regenerates the tables and figures of "On using
+// virtual circuits for GridFTP transfers" (SC 2012) from the simulated
+// substrate, printing measured values next to the paper's reported ones.
+//
+// Usage:
+//
+//	paperrepro -exp all          # every exhibit
+//	paperrepro -exp table4       # one exhibit
+//	paperrepro -list             # list exhibit IDs
+//	paperrepro -exp fig3 -seed 7 # different workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gftpvc/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "exhibit ID (table1..table13, fig1..fig8) or 'all'")
+		seed = flag.Int64("seed", 42, "workload generation seed")
+		list = flag.Bool("list", false, "list exhibit IDs and exit")
+	)
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(strings.TrimSpace(id), *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("================================================================================")
+		fmt.Println(res.Render())
+	}
+}

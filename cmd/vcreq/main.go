@@ -1,0 +1,87 @@
+// Command vcreq is the client for the oscarsd reservation service: it
+// requests, probes, and cancels virtual circuits over the line-JSON
+// protocol, playing the role of the data-transfer application that asks
+// the IDC for a circuit before starting a GridFTP session.
+//
+// Usage:
+//
+//	vcreq -addr 127.0.0.1:7654 -op topology
+//	vcreq -addr 127.0.0.1:7654 -op reserve -src nersc-ornl-dtn-src \
+//	      -dst nersc-ornl-dtn-dst -rate 1e9 -start 60 -end 660
+//	vcreq -addr 127.0.0.1:7654 -op cancel -id 1
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"gftpvc/internal/oscarsd"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7654", "oscarsd address")
+		op    = flag.String("op", "topology", "operation: reserve | modify | cancel | available | topology")
+		src   = flag.String("src", "", "source node")
+		dst   = flag.String("dst", "", "destination node")
+		rate  = flag.Float64("rate", 0, "rate in bits/second")
+		start = flag.Float64("start", 0, "start time (service seconds)")
+		end   = flag.Float64("end", 0, "end time (service seconds)")
+		id    = flag.Int64("id", 0, "circuit id (for cancel)")
+	)
+	flag.Parse()
+	req := oscarsd.Request{
+		Op: *op, Src: *src, Dst: *dst,
+		RateBps: *rate, Start: *start, End: *end, ID: *id,
+	}
+	resp, err := roundTrip(*addr, req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vcreq: %v\n", err)
+		os.Exit(1)
+	}
+	if !resp.OK {
+		fmt.Fprintf(os.Stderr, "vcreq: request failed: %s\n", resp.Error)
+		os.Exit(1)
+	}
+	switch *op {
+	case "reserve":
+		fmt.Printf("circuit %d admitted: %s\n", resp.ID, strings.Join(resp.Path, " "))
+	case "modify":
+		fmt.Printf("circuit %d modified: %s\n", resp.ID, strings.Join(resp.Path, " "))
+	case "available":
+		fmt.Printf("feasible path: %s\n", strings.Join(resp.Path, " "))
+	case "cancel":
+		fmt.Printf("circuit %d cancelled\n", resp.ID)
+	case "topology":
+		fmt.Printf("service clock: %.1fs\nnodes:\n", resp.Now)
+		for _, n := range resp.Nodes {
+			fmt.Println("  " + n)
+		}
+	}
+}
+
+func roundTrip(addr string, req oscarsd.Request) (oscarsd.Response, error) {
+	var resp oscarsd.Response
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return resp, err
+	}
+	defer conn.Close()
+	data, err := json.Marshal(req)
+	if err != nil {
+		return resp, err
+	}
+	if _, err := conn.Write(append(data, '\n')); err != nil {
+		return resp, err
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		return resp, err
+	}
+	return resp, json.Unmarshal(line, &resp)
+}

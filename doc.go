@@ -1,0 +1,16 @@
+// Package gftpvc reproduces "On using virtual circuits for GridFTP
+// transfers" (Liu, Veeraraghavan, et al., SC 2012) as a self-contained,
+// stdlib-only Go system: a GridFTP client/server, a discrete-event WAN
+// simulator with SNMP-style byte counters, an OSCARS-style circuit
+// scheduler, TCP and DTN contention models, calibrated synthetic versions
+// of the paper's four transfer-log datasets, and a harness that
+// regenerates all thirteen tables and eight figures of the evaluation.
+//
+// The repository root holds only documentation and the benchmark suite
+// (one benchmark per paper exhibit plus ablations); the implementation
+// lives under internal/ — see DESIGN.md for the subsystem inventory and
+// EXPERIMENTS.md for paper-vs-measured results. Start with:
+//
+//	go run ./cmd/paperrepro -exp all
+//	go run ./examples/quickstart
+package gftpvc

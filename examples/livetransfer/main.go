@@ -1,0 +1,107 @@
+// Livetransfer: run real GridFTP transfers over loopback TCP — parallel
+// streams, striping, a third-party transfer between two servers, and
+// usage-statistics collection over UDP, the full pipeline that produced
+// the logs the paper analyzes.
+//
+//	go run ./examples/livetransfer
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"gftpvc/internal/gridftp"
+	"gftpvc/internal/usagestats"
+)
+
+func main() {
+	// A central usage-stats collector, like the one Globus runs.
+	collector, err := usagestats.NewCollector("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer collector.Close()
+
+	// Two GridFTP servers: a striped source and a plain destination.
+	srcStore := gridftp.NewMemStore()
+	payload := make([]byte, 48<<20)
+	rand.New(rand.NewSource(7)).Read(payload)
+	if err := srcStore.Put("dataset.bin", payload); err != nil {
+		log.Fatal(err)
+	}
+	src, err := gridftp.Serve(gridftp.Config{
+		Addr: "127.0.0.1:0", Store: srcStore, Stripes: 4,
+		ServerHost: "dtn-src.example.org", UsageAddr: collector.Addr(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := gridftp.Serve(gridftp.Config{
+		Addr: "127.0.0.1:0", Store: gridftp.NewMemStore(),
+		ServerHost: "dtn-dst.example.org", UsageAddr: collector.Addr(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dst.Close()
+
+	// Parallel-stream retrieval (OPTS RETR Parallelism=8).
+	c, err := gridftp.Dial(src.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Login("anonymous", "demo@"); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.SetParallelism(8); err != nil {
+		log.Fatal(err)
+	}
+	data, stats8, err := c.Retr("dataset.bin")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("8-stream RETR: %d bytes in %v (%.0f Mbps)\n",
+		stats8.Bytes, stats8.Duration.Round(time.Millisecond), stats8.ThroughputBps/1e6)
+	if len(data) != len(payload) {
+		log.Fatal("payload corrupted")
+	}
+
+	// Striped retrieval (SPAS; one connection per server stripe).
+	_, statsStriped, err := c.RetrStriped("dataset.bin")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("striped RETR:  %d bytes over %d stripes (%.0f Mbps)\n",
+		statsStriped.Bytes, statsStriped.Stripes, statsStriped.ThroughputBps/1e6)
+
+	// Third-party transfer: src server sends straight to dst server while
+	// this process drives both control channels (how the paper's sessions
+	// moved directory trees between DTNs).
+	cDst, err := gridftp.Dial(dst.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cDst.Close()
+	if err := cDst.Login("anonymous", "demo@"); err != nil {
+		log.Fatal(err)
+	}
+	if err := gridftp.ThirdParty(c, cDst, "dataset.bin", "copy.bin"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("third-party transfer: dataset.bin -> dst:copy.bin done")
+
+	// The usage packets arrive over UDP like Globus' collection channel.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(collector.Records()) < 4 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("\ncollector received %d usage records:\n", len(collector.Records()))
+	for _, r := range collector.Records() {
+		fmt.Printf("  %s %s %8d bytes, %d streams, %d stripes, %.0f Mbps\n",
+			r.ServerHost, r.Type, r.SizeBytes, r.Streams, r.Stripes, r.ThroughputMbps())
+	}
+}

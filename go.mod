@@ -1,0 +1,3 @@
+module gftpvc
+
+go 1.22

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"gftpvc/internal/netsim"
+	"gftpvc/internal/oscars"
+)
+
+// FlowBinder ties network flows to their circuits' lifecycles: a flow
+// whose plan chose DynamicVC starts best-effort, is upgraded to its
+// guaranteed rate the moment the circuit finishes provisioning (after the
+// VC setup delay the paper quantifies), and drops back to best-effort if
+// the circuit is released while the transfer is still running.
+//
+// The binder installs itself as the IDC's OnActive/OnRelease callbacks;
+// an IDC can host one binder.
+type FlowBinder struct {
+	nw *netsim.Network
+
+	mu        sync.Mutex
+	byCircuit map[oscars.CircuitID]*netsim.Flow
+}
+
+// NewFlowBinder creates a binder and hooks it into the IDC.
+func NewFlowBinder(nw *netsim.Network, idc *oscars.IDC) (*FlowBinder, error) {
+	if nw == nil || idc == nil {
+		return nil, errors.New("core: nil network or IDC")
+	}
+	b := &FlowBinder{nw: nw, byCircuit: make(map[oscars.CircuitID]*netsim.Flow)}
+	idc.OnActive = b.onActive
+	idc.OnRelease = b.onRelease
+	return b, nil
+}
+
+// Bind associates a started flow with a plan. IP-routed plans are a
+// no-op; VC plans whose circuit is already Active upgrade immediately.
+func (b *FlowBinder) Bind(plan *Plan, f *netsim.Flow) error {
+	if plan == nil || f == nil {
+		return errors.New("core: nil plan or flow")
+	}
+	if plan.Service != DynamicVC || plan.Circuit == nil {
+		return nil
+	}
+	b.mu.Lock()
+	b.byCircuit[plan.Circuit.ID] = f
+	b.mu.Unlock()
+	if plan.Circuit.State() == oscars.Active {
+		b.onActive(plan.Circuit)
+	}
+	return nil
+}
+
+func (b *FlowBinder) onActive(c *oscars.Circuit) {
+	b.mu.Lock()
+	f := b.byCircuit[c.ID]
+	b.mu.Unlock()
+	if f == nil || f.Done() {
+		return
+	}
+	// The flow may have completed at this exact instant; SetGuarantee
+	// fails harmlessly then.
+	_ = b.nw.SetGuarantee(f, c.Request.RateBps)
+}
+
+func (b *FlowBinder) onRelease(c *oscars.Circuit) {
+	b.mu.Lock()
+	f := b.byCircuit[c.ID]
+	delete(b.byCircuit, c.ID)
+	b.mu.Unlock()
+	if f == nil || f.Done() {
+		return
+	}
+	_ = b.nw.SetGuarantee(f, 0)
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gftpvc/internal/netsim"
+	"gftpvc/internal/oscars"
+	"gftpvc/internal/simclock"
+	"gftpvc/internal/topo"
+)
+
+// buildHybridWorld wires a topology, network, IDC (batched signaling, so
+// setup delay is observable) and binder together.
+func buildHybridWorld(t *testing.T) (*simclock.Engine, *netsim.Network, *HybridEngine, *FlowBinder, topo.Path) {
+	t.Helper()
+	tp := topo.New()
+	for _, id := range []topo.NodeID{"src", "mid", "dst"} {
+		tp.AddNode(id, topo.Host)
+	}
+	tp.AddDuplex("src", "mid", 10e9, 0.01)
+	tp.AddDuplex("mid", "dst", 10e9, 0.01)
+	eng := simclock.New()
+	nw := netsim.New(eng, tp)
+	led, err := oscars.NewLedger(tp, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idc, err := oscars.NewIDC("esnet", eng, led, oscars.BatchedSignaling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewHybridEngine(hybridCfg(), idc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binder, err := NewFlowBinder(nw, idc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := tp.ShortestPath("src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, nw, engine, binder, path
+}
+
+func TestNewFlowBinderValidation(t *testing.T) {
+	if _, err := NewFlowBinder(nil, nil); err == nil {
+		t.Error("nil args should fail")
+	}
+}
+
+func TestBinderUpgradesAfterSetupDelay(t *testing.T) {
+	eng, nw, engine, binder, path := buildHybridWorld(t)
+	// Competing traffic so the best-effort phase is distinguishable.
+	var competitor *netsim.Flow
+	var transfer *netsim.Flow
+	eng.MustAt(5, func() {
+		var err error
+		competitor, err = nw.StartFlow(path, math.Inf(1), netsim.FlowOptions{})
+		if err != nil {
+			t.Error(err)
+		}
+		plan, err := engine.Decide("src", "dst", 400e9, eng.Now())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if plan.Service != DynamicVC {
+			t.Errorf("plan = %+v, want VC", plan)
+			return
+		}
+		transfer, err = nw.StartFlow(path, 400e9, netsim.FlowOptions{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := binder.Bind(plan, transfer); err != nil {
+			t.Error(err)
+		}
+	})
+	// Before the circuit activates (batched signaling: next minute + 2s),
+	// the transfer shares fairly with the competitor.
+	eng.RunUntil(30)
+	if got := transfer.Rate(); math.Abs(got-5e9) > 1e3 {
+		t.Errorf("pre-activation rate = %v, want fair share 5e9", got)
+	}
+	// After activation it holds its 1 Gbps guarantee... which is *less*
+	// than the fair share here, but guaranteed regardless of competitors;
+	// add more competitors to see the floor hold.
+	eng.RunUntil(70)
+	for i := 0; i < 18; i++ {
+		if _, err := nw.StartFlow(path, math.Inf(1), netsim.FlowOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(71)
+	if got := transfer.Rate(); got < 1e9-1e3 {
+		t.Errorf("post-activation rate = %v, want >= 1e9 guarantee", got)
+	}
+	_ = competitor
+}
+
+func TestBinderReleaseDowngrades(t *testing.T) {
+	eng, nw, engine, binder, path := buildHybridWorld(t)
+	var transfer *netsim.Flow
+	var plan *Plan
+	eng.MustAt(5, func() {
+		var err error
+		plan, err = engine.Decide("src", "dst", 400e9, eng.Now())
+		if err != nil || plan.Service != DynamicVC {
+			t.Errorf("plan: %+v err: %v", plan, err)
+			return
+		}
+		transfer, err = nw.StartFlow(path, 1e13, netsim.FlowOptions{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		binder.Bind(plan, transfer)
+	})
+	eng.RunUntil(70)
+	if plan.Circuit.State() != oscars.Active {
+		t.Fatalf("circuit state = %v", plan.Circuit.State())
+	}
+	eng.MustAt(71, func() {
+		if err := engine.idc.Cancel(plan.Circuit); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.RunUntil(72)
+	// Flow still runs, now best-effort (alone: full line rate).
+	if transfer.Done() {
+		t.Fatal("transfer should still be running")
+	}
+	if got := transfer.Rate(); math.Abs(got-10e9) > 1e3 {
+		t.Errorf("post-release rate = %v, want line rate (best effort, alone)", got)
+	}
+}
+
+func TestBinderIgnoresIPPlans(t *testing.T) {
+	_, nw, engine, binder, path := buildHybridWorld(t)
+	plan, err := engine.Decide("src", "dst", 1e6, 0) // tiny: IP-routed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Service != IPRouted {
+		t.Fatalf("plan = %+v", plan)
+	}
+	f, err := nw.StartFlow(path, 1e6, netsim.FlowOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := binder.Bind(plan, f); err != nil {
+		t.Errorf("IP plan bind should be a no-op: %v", err)
+	}
+	if err := binder.Bind(nil, f); err == nil {
+		t.Error("nil plan should fail")
+	}
+	if err := binder.Bind(plan, nil); err == nil {
+		t.Error("nil flow should fail")
+	}
+}

@@ -1,0 +1,23 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"gftpvc/internal/core"
+)
+
+// ExampleFeasibilityConfig_MinSuitableSessionBytes reproduces the paper's
+// back-of-envelope: with 50 ms setup, a factor of 10, and the NCAR-NICS
+// Q3 throughput of 682.2 Mbps, sessions of ~42 MB or larger can use
+// dynamic VCs.
+func ExampleFeasibilityConfig_MinSuitableSessionBytes() {
+	cfg := core.FeasibilityConfig{
+		SetupDelay:             50 * time.Millisecond,
+		OverheadFactor:         10,
+		ReferenceThroughputBps: 682.2e6,
+	}
+	fmt.Printf("minimum suitable session: %.0f MB\n", cfg.MinSuitableSessionBytes()/1e6)
+	// Output:
+	// minimum suitable session: 43 MB
+}

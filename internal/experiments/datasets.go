@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"gftpvc/internal/sessions"
+	"gftpvc/internal/usagestats"
+	"gftpvc/internal/workload"
+)
+
+// Dataset generation at full scale is the dominant cost when regenerating
+// every exhibit (the SLAC–BNL log has 1,021,999 records), so generated
+// datasets and their groupings are memoized per seed.
+
+type datasetKey struct {
+	name string
+	seed int64
+}
+
+var (
+	dsMu    sync.Mutex
+	dsCache = map[datasetKey]*workload.Dataset{}
+)
+
+func cachedDataset(name string, seed int64, gen func() (*workload.Dataset, error)) (*workload.Dataset, error) {
+	key := datasetKey{name, seed}
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if ds, ok := dsCache[key]; ok {
+		return ds, nil
+	}
+	ds, err := gen()
+	if err != nil {
+		return nil, err
+	}
+	dsCache[key] = ds
+	return ds, nil
+}
+
+func ncarDataset(seed int64) (*workload.Dataset, error) {
+	return cachedDataset("ncar", seed, func() (*workload.Dataset, error) {
+		return workload.NCARNICS(workload.Options{Seed: seed})
+	})
+}
+
+func slacDataset(seed int64) (*workload.Dataset, error) {
+	return cachedDataset("slac", seed, func() (*workload.Dataset, error) {
+		return workload.SLACBNL(workload.Options{Seed: seed})
+	})
+}
+
+type groupKey struct {
+	datasetKey
+	g time.Duration
+}
+
+var (
+	grMu    sync.Mutex
+	grCache = map[groupKey][]*sessions.Session{}
+)
+
+func groupedSessions(name string, seed int64, records []usagestats.Record, g time.Duration) ([]*sessions.Session, error) {
+	key := groupKey{datasetKey{name, seed}, g}
+	grMu.Lock()
+	defer grMu.Unlock()
+	if ss, ok := grCache[key]; ok {
+		return ss, nil
+	}
+	ss, err := sessions.Group(records, g)
+	if err != nil {
+		return nil, err
+	}
+	grCache[key] = ss
+	return ss, nil
+}

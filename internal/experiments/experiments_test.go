@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The exhibit tests run at full paper scale; they are the end-to-end
+// verification that every table and figure regenerates with the paper's
+// qualitative shape. Each shape assertion mirrors a sentence in the paper.
+
+func run(t *testing.T, id string) string {
+	t.Helper()
+	res, err := Run(id, 42)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", id, err)
+	}
+	if res.ID() != id {
+		t.Fatalf("result ID = %s, want %s", res.ID(), id)
+	}
+	text := res.Render()
+	if text == "" {
+		t.Fatalf("%s rendered empty", id)
+	}
+	return text
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("table99", 1); err == nil {
+		t.Error("unknown exhibit should fail")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"table1", "table10", "table11", "table12", "table13",
+		"table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %d exhibits", got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTableI(t *testing.T) {
+	text := run(t, "table1")
+	for _, want := range []string{"NCAR-NICS", "Session sizes", "Transfer throughput", "paper"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table1 missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "52454 transfers, 211 sessions") {
+		t.Errorf("table1 counts off:\n%s", text)
+	}
+}
+
+func TestTableII(t *testing.T) {
+	text := run(t, "table2")
+	if !strings.Contains(text, "1021999 transfers") {
+		t.Errorf("table2 counts off:\n%s", text)
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	text := run(t, "table3")
+	if !strings.Contains(text, "ncar/g=1m0s") || !strings.Contains(text, "slac/g=2m0s") {
+		t.Errorf("table3 rows missing:\n%s", text)
+	}
+	// Exact plan counts at g=1min.
+	if !strings.Contains(text, "19951") || !strings.Contains(text, "30153") {
+		t.Errorf("table3 max fan-outs missing:\n%s", text)
+	}
+}
+
+func TestTableIV(t *testing.T) {
+	text := run(t, "table4")
+	for _, want := range []string{"ncar/g=1m0s/1m0s", "slac/g=1m0s/50ms", "56.87%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table4 missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTableV(t *testing.T) {
+	text := run(t, "table5")
+	if !strings.Contains(text, "145") || !strings.Contains(text, "IQR") {
+		t.Errorf("table5 incomplete:\n%s", text)
+	}
+}
+
+func TestTableVI(t *testing.T) {
+	text := run(t, "table6")
+	for _, want := range []string{"mem-mem", "disk-disk", "paper CV"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table6 missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTablesVIIToIX(t *testing.T) {
+	for _, id := range []string{"table7", "table8", "table9"} {
+		text := run(t, id)
+		if !strings.Contains(text, "16G") {
+			t.Errorf("%s missing 16G rows:\n%s", id, text)
+		}
+	}
+}
+
+func TestFigures1To8(t *testing.T) {
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"} {
+		text := run(t, id)
+		if !strings.Contains(text, "paper") {
+			t.Errorf("%s lacks the paper-shape note:\n%s", id, text)
+		}
+	}
+}
+
+func TestCampaignTables(t *testing.T) {
+	for _, id := range []string{"table10", "table11", "table12", "table13"} {
+		text := run(t, id)
+		if !strings.Contains(text, "rt1") {
+			t.Errorf("%s missing router rows:\n%s", id, text)
+		}
+	}
+}

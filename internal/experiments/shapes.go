@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gftpvc/internal/core"
+	"gftpvc/internal/hostmodel"
+	"gftpvc/internal/sessions"
+	"gftpvc/internal/stats"
+	"gftpvc/internal/workload"
+)
+
+// This file exposes the quantitative "shape" of key exhibits as typed
+// data, so the reproduction criteria in EXPERIMENTS.md are asserted by
+// tests rather than eyeballed: who wins, by what factor, where the
+// crossovers fall.
+
+// TableIVCell is one Table IV entry.
+type TableIVCell struct {
+	SessionsPct  float64
+	TransfersPct float64
+}
+
+// TableIVData computes the full Table IV grid keyed by
+// "<dataset>/g=<g>/<setup>".
+func TableIVData(seed int64) (map[string]TableIVCell, error) {
+	out := map[string]TableIVCell{}
+	for _, entry := range []struct {
+		name string
+		ds   func(int64) (*workload.Dataset, error)
+	}{{"ncar", ncarDataset}, {"slac", slacDataset}} {
+		ds, err := entry.ds(seed)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := core.ReferenceThroughputFromRecordsBps(
+			sessions.TransferThroughputsMbps(ds.Records))
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range []time.Duration{0, time.Minute, 2 * time.Minute} {
+			ss, err := groupedSessions(entry.name, seed, ds.Records, g)
+			if err != nil {
+				return nil, err
+			}
+			for _, setup := range []time.Duration{time.Minute, 50 * time.Millisecond} {
+				cfg := core.FeasibilityConfig{
+					SetupDelay: setup, OverheadFactor: 10, ReferenceThroughputBps: ref,
+				}
+				res, err := cfg.Analyze(ss)
+				if err != nil {
+					return nil, err
+				}
+				key := fmt.Sprintf("%s/g=%s/%s", entry.name, g, setup)
+				out[key] = TableIVCell{res.PercentSessions(), res.PercentTransfers()}
+			}
+		}
+	}
+	return out, nil
+}
+
+// StreamShape quantifies Figures 3 and 4.
+type StreamShape struct {
+	// Plateau medians (Mbps) over the upper size range.
+	Plateau1, Plateau8 float64
+	// Knee sizes (bytes) where each group reaches 90% of its plateau.
+	Knee1, Knee8 float64
+	// SmallFileAdvantage is the 8-stream/1-stream median ratio over the
+	// 10–50 MB bins.
+	SmallFileAdvantage float64
+	// DipRatio is the 8-stream median inside 2.2–3.1 GB over outside
+	// (Fig 4; the paper reports ~0.5).
+	DipRatio float64
+}
+
+// StreamShapeData computes the Fig 3/4 shape quantities.
+func StreamShapeData(seed int64) (StreamShape, error) {
+	k1, v1, k8, v8, err := streamGroups(seed)
+	if err != nil {
+		return StreamShape{}, err
+	}
+	bins1, med1, err := medianSeries(k1, v1, 0, 1e9, 1e6)
+	if err != nil {
+		return StreamShape{}, err
+	}
+	_, med8, err := medianSeries(k8, v8, 0, 1e9, 1e6)
+	if err != nil {
+		return StreamShape{}, err
+	}
+	sh := StreamShape{
+		Plateau1: plateauOf(med1, 0.7),
+		Plateau8: plateauOf(med8, 0.7),
+	}
+	sh.Knee1 = kneeOf(bins1, med1, sh.Plateau1, 0.9)
+	sh.Knee8 = kneeOf(bins1, med8, sh.Plateau8, 0.9)
+	var r1, r8 []float64
+	for mb := 10; mb < 50; mb++ {
+		if !math.IsNaN(med1[mb]) && !math.IsNaN(med8[mb]) {
+			r1 = append(r1, med1[mb])
+			r8 = append(r8, med8[mb])
+		}
+	}
+	if len(r1) > 0 {
+		m1, _ := stats.Median(r1)
+		m8, _ := stats.Median(r8)
+		sh.SmallFileAdvantage = m8 / m1
+	}
+	// Fig 4 dip.
+	bins, _, err := medianSeries(k1, v1, 0, 4e9, 100e6)
+	if err != nil {
+		return StreamShape{}, err
+	}
+	_, med8w, err := medianSeries(k8, v8, 0, 4e9, 100e6)
+	if err != nil {
+		return StreamShape{}, err
+	}
+	var in, out []float64
+	for i := range bins {
+		if math.IsNaN(med8w[i]) || bins[i].Lo < 1e9 {
+			continue
+		}
+		if bins[i].Lo >= 2.2e9 && bins[i].Hi <= 3.1e9 {
+			in = append(in, med8w[i])
+		} else {
+			out = append(out, med8w[i])
+		}
+	}
+	mIn, _ := stats.Median(in)
+	mOut, _ := stats.Median(out)
+	if mOut > 0 {
+		sh.DipRatio = mIn / mOut
+	}
+	return sh, nil
+}
+
+// Eq2Shape quantifies Figure 8.
+type Eq2Shape struct {
+	Rho  float64
+	R90  float64
+	Rows int
+}
+
+// Eq2ShapeData computes the Fig 8 correlation.
+func Eq2ShapeData(seed int64) (Eq2Shape, error) {
+	ts, err := workload.NERSCANL(seed)
+	if err != nil {
+		return Eq2Shape{}, err
+	}
+	mm := workload.ANLMemToMem(ts)
+	var actual, pred []float64
+	var r90 float64
+	for _, t := range mm {
+		actual = append(actual, t.Sim.ThroughputBps)
+	}
+	r90, err = stats.Quantile(actual, 0.90)
+	if err != nil {
+		return Eq2Shape{}, err
+	}
+	for _, t := range mm {
+		p, err := hostmodel.PredictThroughput(t.Sim, r90)
+		if err != nil {
+			return Eq2Shape{}, err
+		}
+		pred = append(pred, p)
+	}
+	rho, err := stats.Pearson(pred, actual)
+	if err != nil {
+		return Eq2Shape{}, err
+	}
+	return Eq2Shape{Rho: rho, R90: r90, Rows: len(mm)}, nil
+}
+
+// SNMPShape quantifies Tables XI–XIII across the five routers.
+type SNMPShape struct {
+	// MinAllCorrTotal is the weakest Table XI "All" correlation.
+	MinAllCorrTotal float64
+	// MaxAllCorrOther is the strongest Table XII "All" correlation.
+	MaxAllCorrOther float64
+	// MaxLoadGbps is the highest average link load seen (Table XIII).
+	MaxLoadGbps float64
+}
+
+// SNMPShapeData runs (or reuses) the ORNL campaign and summarizes it.
+func SNMPShapeData(seed int64) (SNMPShape, error) {
+	camp, err := runORNLCampaign(seed)
+	if err != nil {
+		return SNMPShape{}, err
+	}
+	sh := SNMPShape{MinAllCorrTotal: 1}
+	for _, id := range camp.egress {
+		tot, err := camp.counters[id].CorrelateTotal(camp.obs)
+		if err != nil {
+			return SNMPShape{}, err
+		}
+		if tot.All < sh.MinAllCorrTotal {
+			sh.MinAllCorrTotal = tot.All
+		}
+		oth, err := camp.counters[id].CorrelateOther(camp.obs)
+		if err != nil {
+			return SNMPShape{}, err
+		}
+		if math.Abs(oth.All) > sh.MaxAllCorrOther {
+			sh.MaxAllCorrOther = math.Abs(oth.All)
+		}
+		load, err := camp.counters[id].LoadSummary(camp.obs)
+		if err != nil {
+			return SNMPShape{}, err
+		}
+		if load.Max > sh.MaxLoadGbps {
+			sh.MaxLoadGbps = load.Max
+		}
+	}
+	return sh, nil
+}

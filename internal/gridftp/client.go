@@ -1,0 +1,482 @@
+package gridftp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client drives a GridFTP server over a control connection. It supports
+// parallel-stream and striped retrievals and stores, and third-party
+// transfers between two servers.
+//
+// A Client is not safe for concurrent use; GridFTP multiplexes one
+// transfer at a time per control channel.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+
+	parallelism int
+}
+
+// Reply is a control-channel response.
+type Reply struct {
+	Code  int
+	Text  string
+	Lines []string // bodies of multi-line replies
+}
+
+// ProtocolError reports an unexpected control-channel reply.
+type ProtocolError struct {
+	Verb  string
+	Reply Reply
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("gridftp: %s failed: %d %s", e.Verb, e.Reply.Code, e.Reply.Text)
+}
+
+// Dial connects to a server's control channel and consumes the greeting.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), parallelism: 1}
+	if _, err := c.expect("greeting", 220); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close terminates the session with QUIT.
+func (c *Client) Close() error {
+	_, _ = c.cmd("QUIT")
+	return c.conn.Close()
+}
+
+// cmd sends one command and reads its reply.
+func (c *Client) cmd(line string) (Reply, error) {
+	if _, err := fmt.Fprintf(c.conn, "%s\r\n", line); err != nil {
+		return Reply{}, err
+	}
+	return c.readReply()
+}
+
+// readReply parses a single- or multi-line FTP reply.
+func (c *Client) readReply() (Reply, error) {
+	var rep Reply
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return rep, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if len(line) < 4 {
+			return rep, fmt.Errorf("gridftp: malformed reply %q", line)
+		}
+		code, err := strconv.Atoi(line[:3])
+		if err != nil {
+			return rep, fmt.Errorf("gridftp: malformed reply %q", line)
+		}
+		rep.Code = code
+		switch line[3] {
+		case ' ':
+			rep.Text = line[4:]
+			return rep, nil
+		case '-':
+			rep.Lines = append(rep.Lines, line[4:])
+		default:
+			return rep, fmt.Errorf("gridftp: malformed reply %q", line)
+		}
+	}
+}
+
+// expect reads/validates a reply against the wanted code.
+func (c *Client) expect(verb string, want int) (Reply, error) {
+	rep, err := c.readReply()
+	if err != nil {
+		return rep, err
+	}
+	if rep.Code != want {
+		return rep, &ProtocolError{Verb: verb, Reply: rep}
+	}
+	return rep, nil
+}
+
+// do sends a command and requires the given reply code.
+func (c *Client) do(verb, line string, want int) (Reply, error) {
+	rep, err := c.cmd(line)
+	if err != nil {
+		return rep, err
+	}
+	if rep.Code != want {
+		return rep, &ProtocolError{Verb: verb, Reply: rep}
+	}
+	return rep, nil
+}
+
+// Login authenticates and establishes binary MODE E, the GridFTP
+// transfer preconditions.
+func (c *Client) Login(user, pass string) error {
+	if _, err := c.do("USER", "USER "+user, 331); err != nil {
+		return err
+	}
+	if _, err := c.do("PASS", "PASS "+pass, 230); err != nil {
+		return err
+	}
+	if _, err := c.do("TYPE", "TYPE I", 200); err != nil {
+		return err
+	}
+	_, err := c.do("MODE", "MODE E", 200)
+	return err
+}
+
+// SetParallelism sets the number of parallel TCP streams for subsequent
+// transfers (the Globus -p flag; OPTS RETR Parallelism).
+func (c *Client) SetParallelism(n int) error {
+	if n < 1 || n > 64 {
+		return errors.New("gridftp: parallelism must be in [1,64]")
+	}
+	if _, err := c.do("OPTS", fmt.Sprintf("OPTS RETR Parallelism=%d,%d,%d;", n, n, n), 200); err != nil {
+		return err
+	}
+	c.parallelism = n
+	return nil
+}
+
+// SetBuffer sets the server's TCP buffer size hint (SBUF), recorded in
+// usage logs.
+func (c *Client) SetBuffer(bytes int64) error {
+	_, err := c.do("SBUF", "SBUF "+strconv.FormatInt(bytes, 10), 200)
+	return err
+}
+
+// Size returns an object's size.
+func (c *Client) Size(name string) (int64, error) {
+	rep, err := c.do("SIZE", "SIZE "+name, 213)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(strings.TrimSpace(rep.Text), 10, 64)
+}
+
+// Checksum returns the server-side CRC32 of an object (lowercase hex),
+// the GridFTP CKSM integrity hook.
+func (c *Client) Checksum(name string) (string, error) {
+	rep, err := c.do("CKSM", "CKSM CRC32 0 -1 "+name, 213)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(rep.Text), nil
+}
+
+// List returns the names of the server's objects under prefix (NLST).
+func (c *Client) List(prefix string) ([]string, error) {
+	cmd := "NLST"
+	if prefix != "" {
+		cmd += " " + prefix
+	}
+	rep, err := c.do("NLST", cmd, 250)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for i, l := range rep.Lines {
+		if i == 0 { // "listing" header
+			continue
+		}
+		if n := strings.TrimSpace(l); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, nil
+}
+
+// Features returns the server's FEAT list.
+func (c *Client) Features() ([]string, error) {
+	rep, err := c.do("FEAT", "FEAT", 211)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Lines, nil
+}
+
+// passive requests PASV and returns the single data address.
+func (c *Client) passive() (string, error) {
+	rep, err := c.do("PASV", "PASV", 227)
+	if err != nil {
+		return "", err
+	}
+	open := strings.Index(rep.Text, "(")
+	close := strings.LastIndex(rep.Text, ")")
+	if open < 0 || close <= open {
+		return "", fmt.Errorf("gridftp: malformed PASV reply %q", rep.Text)
+	}
+	return parseHostPort(rep.Text[open+1 : close])
+}
+
+// stripedPassive requests SPAS and returns one data address per stripe.
+func (c *Client) stripedPassive() ([]string, error) {
+	rep, err := c.do("SPAS", "SPAS", 229)
+	if err != nil {
+		return nil, err
+	}
+	var addrs []string
+	for _, l := range rep.Lines {
+		l = strings.TrimSpace(l)
+		if !strings.Contains(l, ",") {
+			continue
+		}
+		a, err := parseHostPort(l)
+		if err != nil {
+			return nil, err
+		}
+		addrs = append(addrs, a)
+	}
+	if len(addrs) == 0 {
+		return nil, errors.New("gridftp: SPAS returned no addresses")
+	}
+	return addrs, nil
+}
+
+// TransferStats describes one completed client-side transfer.
+type TransferStats struct {
+	Bytes         int64
+	Duration      time.Duration
+	Streams       int
+	Stripes       int
+	ThroughputBps float64
+}
+
+// Retr fetches an object using the configured parallelism over a single
+// stripe (PASV + n connections to the same listener).
+func (c *Client) Retr(name string) ([]byte, TransferStats, error) {
+	return c.retr(name, false, 0, -1, false)
+}
+
+// RetrStriped fetches an object in striped mode (SPAS; one connection per
+// server stripe).
+func (c *Client) RetrStriped(name string) ([]byte, TransferStats, error) {
+	return c.retr(name, true, 0, -1, false)
+}
+
+// RetrPartial fetches the byte region [offset, offset+length) of an
+// object with GridFTP's ERET extension.
+func (c *Client) RetrPartial(name string, offset, length int64) ([]byte, TransferStats, error) {
+	if offset < 0 || length <= 0 {
+		return nil, TransferStats{}, errors.New("gridftp: invalid partial region")
+	}
+	return c.retr(name, false, offset, length, false)
+}
+
+// RetrFrom resumes a retrieval at offset using REST, the failure-recovery
+// path GridFTP sessions rely on.
+func (c *Client) RetrFrom(name string, offset int64) ([]byte, TransferStats, error) {
+	if offset < 0 {
+		return nil, TransferStats{}, errors.New("gridftp: negative restart offset")
+	}
+	return c.retr(name, false, offset, -1, true)
+}
+
+func (c *Client) retr(name string, striped bool, offset, length int64, restart bool) ([]byte, TransferStats, error) {
+	size, err := c.Size(name)
+	if err != nil {
+		return nil, TransferStats{}, err
+	}
+	if offset > size {
+		return nil, TransferStats{}, errors.New("gridftp: offset beyond object size")
+	}
+	regionLen := size - offset
+	if length >= 0 && length < regionLen {
+		regionLen = length
+	}
+	var addrs []string
+	if striped {
+		addrs, err = c.stripedPassive()
+	} else {
+		var a string
+		a, err = c.passive()
+		if err == nil {
+			for i := 0; i < c.parallelism; i++ {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	if err != nil {
+		return nil, TransferStats{}, err
+	}
+	start := time.Now()
+	switch {
+	case restart:
+		if _, err := c.do("REST", fmt.Sprintf("REST %d", offset), 350); err != nil {
+			return nil, TransferStats{}, err
+		}
+		if _, err := c.do("RETR", "RETR "+name, 150); err != nil {
+			return nil, TransferStats{}, err
+		}
+	case length >= 0:
+		cmd := fmt.Sprintf("ERET P %d %d %s", offset, length, name)
+		if _, err := c.do("ERET", cmd, 150); err != nil {
+			return nil, TransferStats{}, err
+		}
+	default:
+		if _, err := c.do("RETR", "RETR "+name, 150); err != nil {
+			return nil, TransferStats{}, err
+		}
+	}
+	asm, err := NewRegionAssembler(uint64(offset), regionLen)
+	if err != nil {
+		return nil, TransferStats{}, err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(addrs))
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer conn.Close()
+			_, errs[i] = asm.DrainConn(bufio.NewReaderSize(conn, 64<<10))
+		}(i, addr)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			c.readReply() // drain the 226/426
+			return nil, TransferStats{}, e
+		}
+	}
+	if _, err := c.expect("RETR-complete", 226); err != nil {
+		return nil, TransferStats{}, err
+	}
+	if !asm.Complete() {
+		return nil, TransferStats{}, fmt.Errorf("%w: incomplete transfer", ErrDataProtocol)
+	}
+	stats := c.stats(regionLen, start, len(addrs), striped)
+	return asm.Bytes(), stats, nil
+}
+
+// Stor uploads an object using the configured parallelism.
+func (c *Client) Stor(name string, data []byte) (TransferStats, error) {
+	addr, err := c.passive()
+	if err != nil {
+		return TransferStats{}, err
+	}
+	addrs := make([]string, c.parallelism)
+	for i := range addrs {
+		addrs[i] = addr
+	}
+	return c.stor(name, data, addrs, false)
+}
+
+// StorStriped uploads an object in striped mode: one data connection per
+// server stripe (SPAS), blocks interleaved round-robin.
+func (c *Client) StorStriped(name string, data []byte) (TransferStats, error) {
+	addrs, err := c.stripedPassive()
+	if err != nil {
+		return TransferStats{}, err
+	}
+	return c.stor(name, data, addrs, true)
+}
+
+func (c *Client) stor(name string, data []byte, addrs []string, striped bool) (TransferStats, error) {
+	start := time.Now()
+	if _, err := c.do("STOR", "STOR "+name, 150); err != nil {
+		return TransferStats{}, err
+	}
+	n := len(addrs)
+	const blockSize = 256 << 10
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer conn.Close()
+			bw := bufio.NewWriterSize(conn, 64<<10)
+			if err := SendFile(bw, data, blockSize, i*blockSize, n*blockSize); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = bw.Flush()
+		}(i, addr)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			c.readReply()
+			return TransferStats{}, e
+		}
+	}
+	if _, err := c.expect("STOR-complete", 226); err != nil {
+		return TransferStats{}, err
+	}
+	return c.stats(int64(len(data)), start, n, striped), nil
+}
+
+func (c *Client) stats(size int64, start time.Time, conns int, striped bool) TransferStats {
+	d := time.Since(start)
+	st := TransferStats{Bytes: size, Duration: d}
+	if striped {
+		st.Stripes, st.Streams = conns, 1
+	} else {
+		st.Stripes, st.Streams = 1, conns
+	}
+	if d > 0 {
+		st.ThroughputBps = float64(size) * 8 / d.Seconds()
+	}
+	return st
+}
+
+// ThirdParty performs a server-to-server transfer: src RETRs the object
+// straight into dst's data port while this client drives both control
+// channels — GridFTP's third-party transfer, which is how the scripts
+// behind the paper's sessions move directory trees between DTNs.
+func ThirdParty(src, dst *Client, srcName, dstName string) error {
+	// dst opens a passive data port; src connects to it actively.
+	addr, err := dst.passive()
+	if err != nil {
+		return err
+	}
+	tcp, err := net.ResolveTCPAddr("tcp", addr)
+	if err != nil {
+		return err
+	}
+	port := fmt.Sprintf("%d,%d", tcp.Port/256, tcp.Port%256)
+	ip4 := tcp.IP.To4()
+	if ip4 == nil {
+		return errors.New("gridftp: third-party requires IPv4 data address")
+	}
+	hostPort := fmt.Sprintf("%d,%d,%d,%d,%s", ip4[0], ip4[1], ip4[2], ip4[3], port)
+	if _, err := src.do("PORT", "PORT "+hostPort, 200); err != nil {
+		return err
+	}
+	// Start the receiver first, then the sender.
+	if _, err := dst.do("STOR", "STOR "+dstName, 150); err != nil {
+		return err
+	}
+	if _, err := src.do("RETR", "RETR "+srcName, 150); err != nil {
+		return err
+	}
+	if _, err := src.expect("RETR-complete", 226); err != nil {
+		return err
+	}
+	_, err = dst.expect("STOR-complete", 226)
+	return err
+}

@@ -1,0 +1,144 @@
+package gridftp
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DirStore is a Store backed by a directory on disk — the configuration a
+// production GridFTP server runs with. Object names are slash-separated
+// relative paths confined to the root directory.
+type DirStore struct {
+	root string
+}
+
+// NewDirStore opens a directory-backed store rooted at dir, which must
+// exist.
+func NewDirStore(dir string) (*DirStore, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	info, err := os.Stat(abs)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("gridftp: %s is not a directory", dir)
+	}
+	return &DirStore{root: abs}, nil
+}
+
+// Root returns the store's root directory.
+func (d *DirStore) Root() string { return d.root }
+
+// resolve maps an object name to an on-disk path, rejecting escapes from
+// the root (".." traversal, absolute paths).
+func (d *DirStore) resolve(name string) (string, error) {
+	if name == "" {
+		return "", errors.New("gridftp: empty object name")
+	}
+	if strings.Contains(name, "\x00") {
+		return "", errors.New("gridftp: invalid object name")
+	}
+	clean := filepath.Clean("/" + filepath.FromSlash(name)) // anchor, then re-relativize
+	full := filepath.Join(d.root, clean)
+	if full != d.root && !strings.HasPrefix(full, d.root+string(filepath.Separator)) {
+		return "", fmt.Errorf("gridftp: object name %q escapes store root", name)
+	}
+	return full, nil
+}
+
+// Get implements Store.
+func (d *DirStore) Get(name string) ([]byte, error) {
+	full, err := d.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(full)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return data, err
+}
+
+// Put implements Store, creating parent directories as needed.
+func (d *DirStore) Put(name string, data []byte) error {
+	full, err := d.resolve(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return err
+	}
+	// Write-then-rename so concurrent readers never see torn objects.
+	tmp, err := os.CreateTemp(filepath.Dir(full), ".gftp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), full)
+}
+
+// List implements Store: a recursive walk returning slash-separated
+// relative paths under the prefix, sorted. Temporary files from in-flight
+// Puts are skipped.
+func (d *DirStore) List(prefix string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(d.root, func(p string, entry os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if entry.IsDir() {
+			return nil
+		}
+		if strings.HasPrefix(entry.Name(), ".gftp-") {
+			return nil
+		}
+		rel, err := filepath.Rel(d.root, p)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Size implements Store.
+func (d *DirStore) Size(name string) (int64, error) {
+	full, err := d.resolve(name)
+	if err != nil {
+		return 0, err
+	}
+	info, err := os.Stat(full)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if info.IsDir() {
+		return 0, fmt.Errorf("%w: %s is a directory", ErrNotFound, name)
+	}
+	return info.Size(), nil
+}

@@ -1,0 +1,109 @@
+package gridftp
+
+import (
+	"bytes"
+
+	"testing"
+)
+
+// FuzzReadBlock hardens the MODE E frame parser against arbitrary peer
+// bytes: it must never panic or allocate absurdly, and any frame it
+// accepts must re-serialize to bytes it parses identically.
+func FuzzReadBlock(f *testing.F) {
+	seed := func(b Block) {
+		var buf bytes.Buffer
+		WriteBlock(&buf, b)
+		f.Add(buf.Bytes())
+	}
+	seed(Block{Offset: 0, Data: []byte("hello")})
+	seed(Block{Desc: DescEOD})
+	seed(Block{Desc: DescEOF, Offset: 1 << 40})
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0xFF}, 17))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ReadBlock(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(b.Data) > maxBlock {
+			t.Fatalf("accepted oversized block of %d bytes", len(b.Data))
+		}
+		var buf bytes.Buffer
+		if err := WriteBlock(&buf, b); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		again, err := ReadBlock(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Desc != b.Desc || again.Offset != b.Offset || !bytes.Equal(again.Data, b.Data) {
+			t.Fatal("round trip changed frame")
+		}
+	})
+}
+
+// FuzzParseHostPort hardens the FTP h1,h2,h3,h4,p1,p2 parser used by PORT
+// and the PASV reply reader.
+func FuzzParseHostPort(f *testing.F) {
+	f.Add("127,0,0,1,4,210")
+	f.Add("")
+	f.Add("1,2,3")
+	f.Add("256,0,0,1,0,0")
+	f.Add("a,b,c,d,e,f")
+	f.Add("1,2,3,4,5,6,7")
+	f.Add(" 127 , 0 , 0 , 1 , 10 , 20 ")
+	f.Fuzz(func(t *testing.T, s string) {
+		addr, err := parseHostPort(s)
+		if err != nil {
+			return
+		}
+		if addr == "" {
+			t.Fatal("accepted input yielded empty address")
+		}
+	})
+}
+
+// FuzzAssembler hardens the reassembly path against adversarial block
+// sequences.
+func FuzzAssembler(f *testing.F) {
+	f.Add(uint64(0), []byte("abcdef"), uint64(0))
+	f.Add(uint64(100), []byte("x"), uint64(99))
+	f.Add(uint64(1<<40), []byte{}, uint64(0))
+	f.Fuzz(func(t *testing.T, offset uint64, data []byte, base uint64) {
+		size := int64(len(data)) + 64
+		asm, err := NewRegionAssembler(base, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Either the block is placed or rejected; never a panic, and a
+		// placed block must be inside the region.
+		err = asm.Place(Block{Offset: offset, Data: data})
+		if err == nil && len(data) > 0 {
+			if offset < base || offset+uint64(len(data)) > base+uint64(size) {
+				t.Fatal("accepted block outside region")
+			}
+		}
+	})
+}
+
+// FuzzDrainConn exercises the full per-connection read loop on arbitrary
+// streams.
+func FuzzDrainConn(f *testing.F) {
+	var good bytes.Buffer
+	WriteBlock(&good, Block{Offset: 0, Data: []byte("abc")})
+	WriteBlock(&good, Block{Desc: DescEOD})
+	f.Add(good.Bytes())
+	f.Add([]byte("garbage stream"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		asm, err := NewAssembler(1 << 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := asm.DrainConn(bytes.NewReader(data))
+		if err == nil && n < 0 {
+			t.Fatal("negative byte count")
+		}
+		_ = err // io errors expected on truncated input
+	})
+}

@@ -1,0 +1,698 @@
+package gridftp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gftpvc/internal/usagestats"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the control-channel listen address ("127.0.0.1:0" for an
+	// ephemeral port).
+	Addr string
+	// Store is the data backend.
+	Store Store
+	// Stripes is the number of stripe data movers (>=1). SPAS exposes one
+	// data listener per stripe.
+	Stripes int
+	// BlockSize is the MODE E block payload size (default 256 KiB).
+	BlockSize int
+	// ServerHost is the identity recorded in usage logs (defaults to the
+	// listen address).
+	ServerHost string
+	// Auth validates credentials; nil accepts any USER/PASS.
+	Auth func(user, pass string) bool
+	// UsageAddr, when set, is the UDP usage-stats collector to notify at
+	// the end of every transfer, as Globus servers do.
+	UsageAddr string
+	// LogWriter, when set, receives the local transfer log lines.
+	LogWriter io.Writer
+	// AcceptTimeout bounds how long a transfer waits for the client's
+	// data connections (default 10s).
+	AcceptTimeout time.Duration
+}
+
+// Server is a GridFTP server.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	sender *usagestats.Sender
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	logs   []usagestats.Record
+	conns  map[net.Conn]bool
+	closed bool
+}
+
+// Serve starts a server. Callers must Close it.
+func Serve(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("gridftp: nil store")
+	}
+	if cfg.Stripes == 0 {
+		cfg.Stripes = 1
+	}
+	if cfg.Stripes < 1 {
+		return nil, errors.New("gridftp: stripes must be >= 1")
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 256 << 10
+	}
+	if cfg.BlockSize < 1 {
+		return nil, errors.New("gridftp: block size must be positive")
+	}
+	if cfg.AcceptTimeout == 0 {
+		cfg.AcceptTimeout = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ServerHost == "" {
+		cfg.ServerHost = ln.Addr().String()
+	}
+	s := &Server{cfg: cfg, ln: ln, conns: make(map[net.Conn]bool)}
+	if cfg.UsageAddr != "" {
+		snd, err := usagestats.NewSender(cfg.UsageAddr)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.sender = snd
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the control-channel address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Records returns a snapshot of the transfer log.
+func (s *Server) Records() []usagestats.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]usagestats.Record, len(s.logs))
+	copy(out, s.logs)
+	return out
+}
+
+// Close stops the server and waits for in-flight sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	// Unblock sessions parked on control-channel reads.
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	if s.sender != nil {
+		s.sender.Close()
+	}
+	if errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// session is one control-channel connection's state.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+
+	user        string
+	authed      bool
+	binary      bool
+	modeE       bool
+	parallelism int
+	bufferBytes int64
+
+	// passive data listeners, one per stripe.
+	passive []net.Listener
+	// active mode target (PORT), mutually exclusive with passive.
+	activeAddr string
+	// restartOffset is set by REST and consumed by the next RETR.
+	restartOffset int64
+}
+
+func (s *Server) handle(conn net.Conn) {
+	sess := &session{
+		srv:         s,
+		conn:        conn,
+		r:           bufio.NewReader(conn),
+		w:           bufio.NewWriter(conn),
+		parallelism: 1,
+	}
+	defer sess.closePassive()
+	defer conn.Close()
+	sess.reply(220, "gftpvc GridFTP server ready")
+	for {
+		line, err := sess.r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		verb, arg, _ := strings.Cut(line, " ")
+		verb = strings.ToUpper(verb)
+		if quit := sess.dispatch(verb, arg); quit {
+			return
+		}
+	}
+}
+
+func (sess *session) reply(code int, text string) {
+	fmt.Fprintf(sess.w, "%d %s\r\n", code, text)
+	sess.w.Flush()
+}
+
+func (sess *session) replyLines(code int, lines []string, last string) {
+	for _, l := range lines {
+		fmt.Fprintf(sess.w, "%d-%s\r\n", code, l)
+	}
+	fmt.Fprintf(sess.w, "%d %s\r\n", code, last)
+	sess.w.Flush()
+}
+
+// dispatch executes one command; it returns true when the session ends.
+func (sess *session) dispatch(verb, arg string) bool {
+	// Commands allowed before authentication.
+	switch verb {
+	case "USER":
+		sess.user = arg
+		sess.reply(331, "password required")
+		return false
+	case "PASS":
+		if sess.srv.cfg.Auth == nil || sess.srv.cfg.Auth(sess.user, arg) {
+			sess.authed = true
+			sess.reply(230, "user "+sess.user+" logged in")
+		} else {
+			sess.reply(530, "authentication failed")
+		}
+		return false
+	case "QUIT":
+		sess.reply(221, "goodbye")
+		return true
+	case "NOOP":
+		sess.reply(200, "ok")
+		return false
+	case "SYST":
+		sess.reply(215, "UNIX Type: L8")
+		return false
+	case "FEAT":
+		sess.replyLines(211, []string{
+			"Extensions supported:",
+			" PARALLEL", " SPAS", " SBUF", " SIZE", " MODE E", " ERET", " REST", " CKSM",
+		}, "end")
+		return false
+	}
+	if !sess.authed {
+		sess.reply(530, "please login with USER and PASS")
+		return false
+	}
+	switch verb {
+	case "TYPE":
+		if strings.EqualFold(arg, "I") {
+			sess.binary = true
+			sess.reply(200, "type set to I")
+		} else {
+			sess.reply(504, "only TYPE I supported")
+		}
+	case "MODE":
+		switch strings.ToUpper(arg) {
+		case "E":
+			sess.modeE = true
+			sess.reply(200, "mode set to E")
+		case "S":
+			sess.modeE = false
+			sess.reply(200, "mode set to S")
+		default:
+			sess.reply(504, "unknown mode")
+		}
+	case "SBUF":
+		n, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || n < 0 {
+			sess.reply(501, "bad buffer size")
+			break
+		}
+		sess.bufferBytes = n
+		sess.reply(200, "buffer size set")
+	case "OPTS":
+		sess.cmdOpts(arg)
+	case "PASV":
+		sess.cmdPassive(1)
+	case "SPAS":
+		sess.cmdPassive(sess.srv.cfg.Stripes)
+	case "PORT":
+		sess.cmdPort(arg)
+	case "SIZE":
+		n, err := sess.srv.cfg.Store.Size(arg)
+		if err != nil {
+			sess.reply(550, err.Error())
+			break
+		}
+		sess.reply(213, strconv.FormatInt(n, 10))
+	case "CKSM":
+		sess.cmdCksm(arg)
+	case "NLST":
+		names, err := sess.srv.cfg.Store.List(arg)
+		if err != nil {
+			sess.reply(550, err.Error())
+			break
+		}
+		lines := make([]string, 0, len(names)+1)
+		lines = append(lines, "listing")
+		for _, n := range names {
+			lines = append(lines, " "+n)
+		}
+		sess.replyLines(250, lines, fmt.Sprintf("%d objects", len(names)))
+	case "REST":
+		n, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || n < 0 {
+			sess.reply(501, "bad restart offset")
+			break
+		}
+		sess.restartOffset = n
+		sess.reply(350, "restarting at "+arg+"; send RETR")
+	case "RETR":
+		offset := sess.restartOffset
+		sess.restartOffset = 0
+		sess.cmdRetr(arg, offset, -1)
+	case "ERET":
+		sess.cmdEret(arg)
+	case "STOR":
+		sess.cmdStor(arg)
+	default:
+		sess.reply(502, "command not implemented: "+verb)
+	}
+	return false
+}
+
+// cmdOpts handles "OPTS RETR Parallelism=n;" (the Globus client syntax).
+func (sess *session) cmdOpts(arg string) {
+	verb, rest, _ := strings.Cut(arg, " ")
+	if !strings.EqualFold(verb, "RETR") {
+		sess.reply(501, "only OPTS RETR supported")
+		return
+	}
+	for _, opt := range strings.Split(rest, ";") {
+		k, v, ok := strings.Cut(strings.TrimSpace(opt), "=")
+		if !ok || k == "" {
+			continue
+		}
+		if strings.EqualFold(k, "Parallelism") {
+			n, err := strconv.Atoi(strings.Split(v, ",")[0])
+			if err != nil || n < 1 || n > 64 {
+				sess.reply(501, "bad parallelism")
+				return
+			}
+			sess.parallelism = n
+		}
+	}
+	sess.reply(200, "options accepted")
+}
+
+// cmdPassive opens n data listeners and reports their addresses: PASV
+// (n=1) uses the classic 227 host-port encoding; SPAS uses the 229
+// multi-line form with one address per stripe.
+func (sess *session) cmdPassive(n int) {
+	sess.closePassive()
+	sess.activeAddr = ""
+	host := sess.conn.LocalAddr().(*net.TCPAddr).IP
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", net.JoinHostPort(host.String(), "0"))
+		if err != nil {
+			sess.closePassive()
+			sess.reply(425, "cannot open data listener")
+			return
+		}
+		sess.passive = append(sess.passive, ln)
+	}
+	if n == 1 {
+		sess.reply(227, "entering passive mode ("+hostPortString(sess.passive[0].Addr())+")")
+		return
+	}
+	lines := []string{"Entering striped passive mode"}
+	for _, ln := range sess.passive {
+		lines = append(lines, " "+hostPortString(ln.Addr()))
+	}
+	sess.replyLines(229, lines, "end")
+}
+
+// cmdPort records an active-mode target in h1,h2,h3,h4,p1,p2 form; the
+// server will dial it for the next transfer (the third-party-transfer leg).
+func (sess *session) cmdPort(arg string) {
+	addr, err := parseHostPort(arg)
+	if err != nil {
+		sess.reply(501, err.Error())
+		return
+	}
+	sess.closePassive()
+	sess.activeAddr = addr
+	sess.reply(200, "PORT command successful")
+}
+
+// hostPortString renders a TCP address in FTP h1,h2,h3,h4,p1,p2 form.
+func hostPortString(a net.Addr) string {
+	ta := a.(*net.TCPAddr)
+	ip4 := ta.IP.To4()
+	if ip4 == nil {
+		ip4 = net.IPv4(127, 0, 0, 1).To4()
+	}
+	return fmt.Sprintf("%d,%d,%d,%d,%d,%d",
+		ip4[0], ip4[1], ip4[2], ip4[3], ta.Port/256, ta.Port%256)
+}
+
+// parseHostPort parses the FTP h1,h2,h3,h4,p1,p2 form into "ip:port".
+func parseHostPort(s string) (string, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	if len(parts) != 6 {
+		return "", errors.New("bad host-port")
+	}
+	nums := make([]int, 6)
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 || n > 255 {
+			return "", errors.New("bad host-port")
+		}
+		nums[i] = n
+	}
+	ip := fmt.Sprintf("%d.%d.%d.%d", nums[0], nums[1], nums[2], nums[3])
+	return net.JoinHostPort(ip, strconv.Itoa(nums[4]*256+nums[5])), nil
+}
+
+// dataConns establishes the data connections for a transfer: by accepting
+// on the passive listeners (parallelism conns on PASV's single listener,
+// or one per SPAS stripe listener) or by dialing the PORT target.
+func (sess *session) dataConns() ([]net.Conn, error) {
+	if sess.activeAddr != "" {
+		c, err := net.DialTimeout("tcp", sess.activeAddr, sess.srv.cfg.AcceptTimeout)
+		if err != nil {
+			return nil, err
+		}
+		return []net.Conn{c}, nil
+	}
+	if len(sess.passive) == 0 {
+		return nil, errors.New("no PASV/SPAS/PORT before transfer")
+	}
+	var conns []net.Conn
+	fail := func(err error) ([]net.Conn, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, err
+	}
+	if len(sess.passive) == 1 {
+		ln := sess.passive[0].(*net.TCPListener)
+		for i := 0; i < sess.parallelism; i++ {
+			ln.SetDeadline(time.Now().Add(sess.srv.cfg.AcceptTimeout))
+			c, err := ln.Accept()
+			if err != nil {
+				return fail(err)
+			}
+			conns = append(conns, c)
+		}
+		return conns, nil
+	}
+	for _, l := range sess.passive {
+		ln := l.(*net.TCPListener)
+		ln.SetDeadline(time.Now().Add(sess.srv.cfg.AcceptTimeout))
+		c, err := ln.Accept()
+		if err != nil {
+			return fail(err)
+		}
+		conns = append(conns, c)
+	}
+	return conns, nil
+}
+
+func (sess *session) closePassive() {
+	for _, ln := range sess.passive {
+		ln.Close()
+	}
+	sess.passive = nil
+}
+
+// checkTransferPreconditions enforces TYPE I + MODE E before data moves.
+func (sess *session) checkTransferPreconditions() bool {
+	if !sess.binary || !sess.modeE {
+		sess.reply(504, "set TYPE I and MODE E first")
+		return false
+	}
+	return true
+}
+
+// cmdCksm handles the GridFTP checksum command: "CKSM CRC32 <offset>
+// <length> <name>" (length -1 means to EOF), the integrity-verification
+// hook transfer managers call after a third-party transfer.
+func (sess *session) cmdCksm(arg string) {
+	fields := strings.Fields(arg)
+	if len(fields) != 4 || !strings.EqualFold(fields[0], "CRC32") {
+		sess.reply(504, "syntax: CKSM CRC32 <offset> <length> <name>")
+		return
+	}
+	offset, err1 := strconv.ParseInt(fields[1], 10, 64)
+	length, err2 := strconv.ParseInt(fields[2], 10, 64)
+	if err1 != nil || err2 != nil || offset < 0 || length < -1 {
+		sess.reply(501, "bad checksum region")
+		return
+	}
+	data, err := sess.srv.cfg.Store.Get(fields[3])
+	if err != nil {
+		sess.reply(550, err.Error())
+		return
+	}
+	if offset > int64(len(data)) {
+		sess.reply(551, "offset beyond object size")
+		return
+	}
+	end := int64(len(data))
+	if length >= 0 && offset+length < end {
+		end = offset + length
+	}
+	sum := crc32.ChecksumIEEE(data[offset:end])
+	sess.reply(213, fmt.Sprintf("%08x", sum))
+}
+
+// cmdEret handles GridFTP partial retrieval: "ERET P <offset> <length>
+// <name>" streams only the requested byte region, framed with absolute
+// file offsets.
+func (sess *session) cmdEret(arg string) {
+	fields := strings.Fields(arg)
+	if len(fields) != 4 || !strings.EqualFold(fields[0], "P") {
+		sess.reply(501, "syntax: ERET P <offset> <length> <name>")
+		return
+	}
+	offset, err1 := strconv.ParseInt(fields[1], 10, 64)
+	length, err2 := strconv.ParseInt(fields[2], 10, 64)
+	if err1 != nil || err2 != nil || offset < 0 || length <= 0 {
+		sess.reply(501, "bad partial region")
+		return
+	}
+	sess.cmdRetr(fields[3], offset, length)
+}
+
+// cmdRetr streams an object region to the client across the data
+// connections, interleaving MODE E blocks round-robin (stripe i of n
+// sends blocks i, i+n, i+2n, ...). offset > 0 serves a restarted or
+// partial transfer; length < 0 means to the end of the object.
+func (sess *session) cmdRetr(name string, offset, length int64) {
+	if !sess.checkTransferPreconditions() {
+		return
+	}
+	data, err := sess.srv.cfg.Store.Get(name)
+	if err != nil {
+		sess.reply(550, err.Error())
+		return
+	}
+	if offset > int64(len(data)) {
+		sess.reply(551, "offset beyond object size")
+		return
+	}
+	end := int64(len(data))
+	if length >= 0 && offset+length < end {
+		end = offset + length
+	}
+	region := data[offset:end]
+	sess.reply(150, "opening data connection")
+	start := time.Now()
+	conns, err := sess.dataConns()
+	if err != nil {
+		sess.reply(425, "data connection failed: "+err.Error())
+		return
+	}
+	bs := sess.srv.cfg.BlockSize
+	var wg sync.WaitGroup
+	errs := make([]error, len(conns))
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c net.Conn) {
+			defer wg.Done()
+			defer c.Close()
+			bw := bufio.NewWriterSize(c, 64<<10)
+			if err := SendFileAt(bw, region, uint64(offset), bs, i*bs, len(conns)*bs); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = bw.Flush()
+		}(i, c)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			sess.reply(426, "transfer aborted: "+e.Error())
+			return
+		}
+	}
+	sess.logTransfer(usagestats.Retrieve, int64(len(region)), start, len(conns))
+	sess.reply(226, "transfer complete")
+}
+
+// cmdStor receives an object from the client over the data connections.
+func (sess *session) cmdStor(name string) {
+	if !sess.checkTransferPreconditions() {
+		return
+	}
+	sess.reply(150, "opening data connection")
+	start := time.Now()
+	conns, err := sess.dataConns()
+	if err != nil {
+		sess.reply(425, "data connection failed: "+err.Error())
+		return
+	}
+	// MODE E frames carry explicit offsets, so the receiver needs no
+	// advance size: it drains every connection until EOD and sizes the
+	// object from the highest offset seen.
+	var (
+		mu    sync.Mutex
+		high  uint64
+		parts []Block
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, len(conns))
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c net.Conn) {
+			defer wg.Done()
+			defer c.Close()
+			br := bufio.NewReaderSize(c, 64<<10)
+			for {
+				b, err := ReadBlock(br)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if len(b.Data) > 0 {
+					mu.Lock()
+					parts = append(parts, b)
+					if end := b.Offset + uint64(len(b.Data)); end > high {
+						high = end
+					}
+					mu.Unlock()
+				}
+				if b.Desc&DescEOD != 0 {
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			sess.reply(426, "transfer aborted: "+e.Error())
+			return
+		}
+	}
+	buf := make([]byte, high)
+	for _, b := range parts {
+		copy(buf[b.Offset:], b.Data)
+	}
+	if err := sess.srv.cfg.Store.Put(name, buf); err != nil {
+		sess.reply(552, "store failed: "+err.Error())
+		return
+	}
+	sess.logTransfer(usagestats.Store, int64(high), start, len(conns))
+	sess.reply(226, "transfer complete")
+}
+
+// logTransfer appends a usage record to the local log and ships it to the
+// usage collector, as Globus servers do at the end of each transfer.
+func (sess *session) logTransfer(t usagestats.TransferType, size int64, start time.Time, conns int) {
+	streams := conns
+	stripes := 1
+	if len(sess.passive) > 1 {
+		stripes = len(sess.passive)
+		streams = 1
+	}
+	remote, _, _ := net.SplitHostPort(sess.conn.RemoteAddr().String())
+	rec := usagestats.Record{
+		Type:        t,
+		SizeBytes:   size,
+		Start:       start.UTC(),
+		DurationSec: time.Since(start).Seconds(),
+		ServerHost:  sess.srv.cfg.ServerHost,
+		RemoteHost:  remote,
+		Streams:     streams,
+		Stripes:     stripes,
+		BufferBytes: sess.bufferBytes,
+		BlockBytes:  int64(sess.srv.cfg.BlockSize),
+	}
+	if rec.DurationSec <= 0 {
+		rec.DurationSec = 1e-6
+	}
+	srv := sess.srv
+	srv.mu.Lock()
+	srv.logs = append(srv.logs, rec)
+	srv.mu.Unlock()
+	if srv.cfg.LogWriter != nil {
+		fmt.Fprintln(srv.cfg.LogWriter, rec.Marshal())
+	}
+	if srv.sender != nil {
+		// Usage packets are fire-and-forget in Globus too.
+		_ = srv.sender.Send(rec)
+	}
+}

@@ -1,0 +1,124 @@
+package gridftp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the backend a GridFTP server moves data against. The paper's
+// four NERSC–ANL test categories (mem-mem, mem-disk, disk-mem, disk-disk)
+// differ only in which backend the endpoints use; MemStore plays the
+// memory role and a rate-limited wrapper can model a disk subsystem.
+type Store interface {
+	// Get returns the named object's contents.
+	Get(name string) ([]byte, error)
+	// Put stores the named object.
+	Put(name string, data []byte) error
+	// Size returns the object's length in bytes.
+	Size(name string) (int64, error)
+	// List returns the names of objects with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+}
+
+// ErrNotFound reports a missing object.
+var ErrNotFound = errors.New("gridftp: object not found")
+
+// MemStore is an in-memory Store, safe for concurrent use.
+type MemStore struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewMemStore returns an empty store.
+func NewMemStore() *MemStore {
+	return &MemStore{objects: make(map[string][]byte)}
+}
+
+// Get implements Store. The returned slice is a copy.
+func (m *MemStore) Get(name string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Put implements Store.
+func (m *MemStore) Put(name string, data []byte) error {
+	if name == "" {
+		return errors.New("gridftp: empty object name")
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	m.objects[name] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// Size implements Store.
+func (m *MemStore) Size(name string) (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.objects[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return int64(len(data)), nil
+}
+
+// List implements Store.
+func (m *MemStore) List(prefix string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	for name := range m.objects {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SyntheticStore serves deterministic pseudo-random content of a
+// configured size for any name, the equivalent of GridFTP's memory-to-
+// memory test transfers (/dev/zero endpoints): no disk is touched and the
+// payload needs no preloading. Puts are discarded after validation.
+type SyntheticStore struct {
+	// ObjectSize is the size reported and served for every object.
+	ObjectSize int64
+}
+
+// Get implements Store with a repeating pattern payload.
+func (s *SyntheticStore) Get(name string) ([]byte, error) {
+	if s.ObjectSize < 0 {
+		return nil, errors.New("gridftp: negative synthetic size")
+	}
+	data := make([]byte, s.ObjectSize)
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+	return data, nil
+}
+
+// Put implements Store; the payload is validated and dropped.
+func (s *SyntheticStore) Put(name string, data []byte) error {
+	if name == "" {
+		return errors.New("gridftp: empty object name")
+	}
+	return nil
+}
+
+// Size implements Store.
+func (s *SyntheticStore) Size(name string) (int64, error) { return s.ObjectSize, nil }
+
+// List implements Store; a synthetic store has no enumerable catalogue.
+func (s *SyntheticStore) List(prefix string) ([]string, error) { return nil, nil }

@@ -1,0 +1,285 @@
+package hostmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gftpvc/internal/stats"
+)
+
+func TestRatesValidate(t *testing.T) {
+	good := Rates{MemoryBps: 2e9, DiskReadBps: 1.5e9, DiskWriteBps: 1e9, AggregateBps: 2.5e9}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.DiskWriteBps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rate should fail validation")
+	}
+}
+
+func TestPerTransferCap(t *testing.T) {
+	r := Rates{MemoryBps: 2e9, DiskReadBps: 1.5e9, DiskWriteBps: 1e9, AggregateBps: 2.5e9}
+	cases := []struct {
+		src, dst EndpointKind
+		want     float64
+	}{
+		{Memory, Memory, 2e9},
+		{Disk, Memory, 1.5e9},
+		{Memory, Disk, 1e9},
+		{Disk, Disk, 1e9},
+	}
+	for _, c := range cases {
+		if got := r.PerTransferCap(c.src, c.dst); got != c.want {
+			t.Errorf("cap(%v,%v) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestEndpointKindString(t *testing.T) {
+	if Memory.String() != "mem" || Disk.String() != "disk" {
+		t.Error("EndpointKind string mismatch")
+	}
+}
+
+func TestSimulateSingleTransfer(t *testing.T) {
+	s := Server{AggregateBps: 1e9}
+	tr := &Transfer{StartSec: 0, SizeBytes: 125e6} // 1 Gbit
+	if err := s.Simulate([]*Transfer{tr}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.EndSec-1) > 1e-9 {
+		t.Errorf("end = %v, want 1", tr.EndSec)
+	}
+	if math.Abs(tr.ThroughputBps-1e9) > 1 {
+		t.Errorf("throughput = %v, want 1e9", tr.ThroughputBps)
+	}
+	if len(tr.Intervals) != 1 || tr.Intervals[0].Concurrent != 1 {
+		t.Errorf("intervals = %+v", tr.Intervals)
+	}
+}
+
+func TestSimulateTwoOverlapping(t *testing.T) {
+	s := Server{AggregateBps: 1e9}
+	a := &Transfer{StartSec: 0, SizeBytes: 125e6}
+	b := &Transfer{StartSec: 0, SizeBytes: 125e6}
+	if err := s.Simulate([]*Transfer{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	// Equal split: both finish at 2s with 0.5 Gbps.
+	for _, tr := range []*Transfer{a, b} {
+		if math.Abs(tr.EndSec-2) > 1e-9 {
+			t.Errorf("end = %v, want 2", tr.EndSec)
+		}
+		if math.Abs(tr.ThroughputBps-5e8) > 1 {
+			t.Errorf("throughput = %v, want 5e8", tr.ThroughputBps)
+		}
+		if tr.Intervals[0].OthersBps != 5e8 {
+			t.Errorf("OthersBps = %v, want 5e8", tr.Intervals[0].OthersBps)
+		}
+	}
+}
+
+func TestSimulateStaggeredConcurrencyTrace(t *testing.T) {
+	s := Server{AggregateBps: 1e9}
+	long := &Transfer{StartSec: 0, SizeBytes: 250e6}   // 2 Gbit
+	short := &Transfer{StartSec: 1, SizeBytes: 62.5e6} // 0.5 Gbit
+	if err := s.Simulate([]*Transfer{long, short}); err != nil {
+		t.Fatal(err)
+	}
+	// long runs alone [0,1) at 1 Gbps (1 Gbit moved), shares [1,2) at 0.5
+	// (0.5 Gbit; total 1.5), then alone again: 0.5 Gbit left -> 0.5s.
+	if math.Abs(long.EndSec-2.5) > 1e-9 {
+		t.Errorf("long end = %v, want 2.5", long.EndSec)
+	}
+	if math.Abs(short.EndSec-2.0) > 1e-9 {
+		t.Errorf("short end = %v, want 2.0", short.EndSec)
+	}
+	if len(long.Intervals) != 3 {
+		t.Fatalf("long has %d intervals, want 3: %+v", len(long.Intervals), long.Intervals)
+	}
+	wantConc := []int{1, 2, 1}
+	for i, iv := range long.Intervals {
+		if iv.Concurrent != wantConc[i] {
+			t.Errorf("interval %d concurrency = %d, want %d", i, iv.Concurrent, wantConc[i])
+		}
+	}
+}
+
+func TestSimulateRespectsCaps(t *testing.T) {
+	s := Server{AggregateBps: 1e9}
+	capped := &Transfer{StartSec: 0, SizeBytes: 125e6, CapBps: 2e8}
+	free := &Transfer{StartSec: 0, SizeBytes: 125e6}
+	if err := s.Simulate([]*Transfer{capped, free}); err != nil {
+		t.Fatal(err)
+	}
+	if capped.Intervals[0].RateBps != 2e8 {
+		t.Errorf("capped rate = %v, want 2e8", capped.Intervals[0].RateBps)
+	}
+	if math.Abs(free.Intervals[0].RateBps-8e8) > 1 {
+		t.Errorf("free rate = %v, want 8e8", free.Intervals[0].RateBps)
+	}
+}
+
+func TestSimulateIdleGap(t *testing.T) {
+	s := Server{AggregateBps: 1e9}
+	a := &Transfer{StartSec: 0, SizeBytes: 125e6}
+	b := &Transfer{StartSec: 100, SizeBytes: 125e6}
+	if err := s.Simulate([]*Transfer{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.EndSec-101) > 1e-9 {
+		t.Errorf("b end = %v, want 101", b.EndSec)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if err := (Server{}).Simulate(nil); err == nil {
+		t.Error("zero aggregate should fail")
+	}
+	s := Server{AggregateBps: 1e9}
+	if err := s.Simulate([]*Transfer{{SizeBytes: 0}}); err == nil {
+		t.Error("zero size should fail")
+	}
+	if err := s.Simulate([]*Transfer{{SizeBytes: 1, CapBps: -1}}); err == nil {
+		t.Error("negative cap should fail")
+	}
+}
+
+func TestSimulateConservesAggregate(t *testing.T) {
+	s := Server{AggregateBps: 2.19e9} // the paper's R for NERSC
+	rng := rand.New(rand.NewSource(42))
+	var trs []*Transfer
+	for i := 0; i < 50; i++ {
+		trs = append(trs, &Transfer{
+			StartSec:  rng.Float64() * 100,
+			SizeBytes: 1e8 + rng.Float64()*4e9,
+		})
+	}
+	if err := s.Simulate(trs); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trs {
+		if !(tr.EndSec > tr.StartSec) {
+			t.Fatalf("transfer did not complete: %+v", tr)
+		}
+		moved := 0.0
+		for _, iv := range tr.Intervals {
+			if iv.RateBps+iv.OthersBps > s.AggregateBps*(1+1e-9) {
+				t.Fatalf("aggregate exceeded: %v", iv.RateBps+iv.OthersBps)
+			}
+			moved += iv.RateBps * iv.DurationSec / 8
+		}
+		if math.Abs(moved-tr.SizeBytes)/tr.SizeBytes > 1e-6 {
+			t.Fatalf("interval trace moves %v bytes, size %v", moved, tr.SizeBytes)
+		}
+	}
+}
+
+func TestPredictThroughputAlone(t *testing.T) {
+	s := Server{AggregateBps: 1e9}
+	tr := &Transfer{StartSec: 0, SizeBytes: 125e6}
+	if err := s.Simulate([]*Transfer{tr}); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := PredictThroughput(tr, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alone, prediction equals R.
+	if math.Abs(pred-1e9) > 1 {
+		t.Errorf("pred = %v, want 1e9", pred)
+	}
+}
+
+func TestPredictThroughputCorrelates(t *testing.T) {
+	// Under pure proportional sharing the Eq. 2 predictor should
+	// correlate strongly with actual throughput.
+	s := Server{AggregateBps: 2.19e9}
+	rng := rand.New(rand.NewSource(7))
+	var trs []*Transfer
+	for i := 0; i < 84; i++ {
+		trs = append(trs, &Transfer{
+			StartSec:  rng.Float64() * 500,
+			SizeBytes: 2e8 + rng.Float64()*8e9,
+			CapBps:    NoisyCap(rng, 1.2e9, 1.3),
+		})
+	}
+	if err := s.Simulate(trs); err != nil {
+		t.Fatal(err)
+	}
+	var pred, actual []float64
+	for _, tr := range trs {
+		p, err := PredictThroughput(tr, 2.19e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred = append(pred, p)
+		actual = append(actual, tr.ThroughputBps)
+	}
+	rho, err := stats.Pearson(pred, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.5 {
+		t.Errorf("correlation = %v, want strong positive", rho)
+	}
+}
+
+func TestPredictThroughputRInvariantCorrelation(t *testing.T) {
+	// The paper: "The choice of R impacts the predicted throughput plot,
+	// but it does not impact correlation."
+	s := Server{AggregateBps: 2e9}
+	rng := rand.New(rand.NewSource(9))
+	var trs []*Transfer
+	for i := 0; i < 40; i++ {
+		trs = append(trs, &Transfer{
+			StartSec:  rng.Float64() * 200,
+			SizeBytes: 1e8 + rng.Float64()*2e9,
+		})
+	}
+	if err := s.Simulate(trs); err != nil {
+		t.Fatal(err)
+	}
+	corrFor := func(R float64) float64 {
+		var pred, actual []float64
+		for _, tr := range trs {
+			p, _ := PredictThroughput(tr, R)
+			pred = append(pred, p)
+			actual = append(actual, tr.ThroughputBps)
+		}
+		rho, err := stats.Pearson(pred, actual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rho
+	}
+	if a, b := corrFor(1e9), corrFor(3e9); math.Abs(a-b) > 1e-9 {
+		t.Errorf("correlation depends on R: %v vs %v", a, b)
+	}
+}
+
+func TestPredictThroughputErrors(t *testing.T) {
+	if _, err := PredictThroughput(&Transfer{}, 1e9); err == nil {
+		t.Error("no trace should fail")
+	}
+	tr := &Transfer{Intervals: []Interval{{DurationSec: 1}}}
+	if _, err := PredictThroughput(tr, 1e9); err == nil {
+		t.Error("non-positive duration should fail")
+	}
+}
+
+func TestNoisyCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := NoisyCap(rng, 100, 1); got != 100 {
+		t.Errorf("gsd<=1 should be identity, got %v", got)
+	}
+	for i := 0; i < 1000; i++ {
+		v := NoisyCap(rng, 100, 1.4)
+		if v < 20 || v > 500 {
+			t.Fatalf("noisy cap %v outside clamp", v)
+		}
+	}
+}

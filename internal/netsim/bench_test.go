@@ -1,0 +1,50 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"gftpvc/internal/simclock"
+	"gftpvc/internal/topo"
+)
+
+// BenchmarkManyFlows measures a full simulation of n concurrent flows on
+// one path: arrival, max-min reallocation on every event, completion.
+func benchFlows(b *testing.B, n int) {
+	tp := topo.New()
+	for _, id := range []topo.NodeID{"a", "b", "c"} {
+		tp.AddNode(id, topo.Host)
+	}
+	tp.AddDuplex("a", "b", 10e9, 0.001)
+	tp.AddDuplex("b", "c", 10e9, 0.001)
+	path, err := tp.ShortestPath("a", "c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := simclock.New()
+		nw := New(eng, tp)
+		rng := rand.New(rand.NewSource(int64(i)))
+		done := 0
+		for j := 0; j < n; j++ {
+			at := simclock.Time(rng.Float64() * 10)
+			size := 1e8 + rng.Float64()*1e9
+			eng.MustAt(at, func() {
+				_, err := nw.StartFlow(path, size, FlowOptions{
+					OnDone: func(*Flow, simclock.Time) { done++ },
+				})
+				if err != nil {
+					b.Error(err)
+				}
+			})
+		}
+		eng.Run()
+		if done != n {
+			b.Fatalf("completed %d of %d", done, n)
+		}
+	}
+}
+
+func BenchmarkFlows100(b *testing.B)  { benchFlows(b, 100) }
+func BenchmarkFlows1000(b *testing.B) { benchFlows(b, 1000) }

@@ -1,0 +1,465 @@
+// Package netsim is a discrete-event, fluid-flow wide-area network
+// simulator. Flows traverse a topo.Path and share link capacity by
+// progressive-filling max–min fairness; virtual-circuit flows receive a
+// reserved (guaranteed) rate ahead of best-effort flows, modelling the
+// per-VC virtual queues OSCARS configures on router interfaces. Every
+// directed link accumulates a byte counter, which internal/snmp samples in
+// 30-second bins exactly as ESnet's SNMP collection does.
+//
+// A fluid-flow model (rates, not packets) is the standard substitution for
+// packet-level simulation when the quantities of interest are transfer
+// throughput, link utilization and byte counts — which is all the paper's
+// analyses consume. Packet losses in these networks are rare (one of the
+// paper's findings), so the fluid approximation is faithful.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"gftpvc/internal/simclock"
+	"gftpvc/internal/topo"
+)
+
+// FlowID identifies a flow within one Network.
+type FlowID int64
+
+// Flow is a data transfer (or background traffic stream) in flight.
+type Flow struct {
+	ID   FlowID
+	Path topo.Path
+
+	// sizeBytes is the total size; infinite for background flows.
+	sizeBytes      float64
+	remainingBytes float64
+
+	// rateCapBps is a source-side cap (TCP window limit, disk rate, host
+	// contention share); 0 means uncapped.
+	rateCapBps float64
+
+	// guaranteedBps is the VC reservation; 0 for best-effort flows.
+	guaranteedBps float64
+
+	rate       float64 // current allocated rate
+	start      simclock.Time
+	lastUpdate simclock.Time
+	end        simclock.Time
+	done       bool
+
+	onDone func(*Flow, simclock.Time)
+}
+
+// Rate returns the flow's currently allocated rate in bits/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes left to transfer (Inf for background flows).
+func (f *Flow) Remaining() float64 { return f.remainingBytes }
+
+// Transferred returns the bytes moved so far, as of the last network event.
+func (f *Flow) Transferred() float64 {
+	if math.IsInf(f.sizeBytes, 1) {
+		return math.Inf(1)
+	}
+	return f.sizeBytes - f.remainingBytes
+}
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.done }
+
+// Start returns the virtual time the flow started.
+func (f *Flow) Start() simclock.Time { return f.start }
+
+// End returns the completion time; valid only when Done.
+func (f *Flow) End() simclock.Time { return f.end }
+
+// DurationSec returns the flow duration in seconds; valid only when Done.
+func (f *Flow) DurationSec() float64 { return float64(f.end.Sub(f.start)) }
+
+// ThroughputBps returns size/duration in bits per second; valid only when
+// Done and the duration is positive.
+func (f *Flow) ThroughputBps() float64 {
+	d := f.DurationSec()
+	if !f.done || d <= 0 {
+		return 0
+	}
+	return f.sizeBytes * 8 / d
+}
+
+// FlowOptions configures StartFlow.
+type FlowOptions struct {
+	// RateCapBps limits the source rate; 0 = uncapped.
+	RateCapBps float64
+	// GuaranteedBps is the VC reserved rate; 0 = best-effort. The caller
+	// (the OSCARS layer) is responsible for having admitted the
+	// reservation; the network gives the flow priority up to this rate.
+	GuaranteedBps float64
+	// OnDone runs when the flow completes, inside the event loop.
+	OnDone func(*Flow, simclock.Time)
+}
+
+type linkState struct {
+	link       *topo.Link
+	bytesTotal float64 // cumulative bytes carried (all flows)
+	flows      map[FlowID]*Flow
+}
+
+// Network simulates flows over a topology. All methods must be called from
+// the simulation goroutine (typically from within engine events or between
+// engine runs); Network is not safe for concurrent use.
+type Network struct {
+	eng    *simclock.Engine
+	topo   *topo.Topology
+	flows  map[FlowID]*Flow
+	links  map[topo.LinkID]*linkState
+	nextID FlowID
+
+	recalcGen uint64 // invalidates stale completion events
+}
+
+// New creates a network simulator over the given topology and engine.
+func New(eng *simclock.Engine, tp *topo.Topology) *Network {
+	n := &Network{
+		eng:   eng,
+		topo:  tp,
+		flows: make(map[FlowID]*Flow),
+		links: make(map[topo.LinkID]*linkState),
+	}
+	for _, l := range tp.Links() {
+		n.links[l.ID] = &linkState{link: l, flows: make(map[FlowID]*Flow)}
+	}
+	return n
+}
+
+// Engine returns the underlying event engine.
+func (n *Network) Engine() *simclock.Engine { return n.eng }
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *topo.Topology { return n.topo }
+
+// LinkBytes returns the cumulative bytes carried by the directed link, as
+// of the current virtual time (integrating in-flight flows up to now).
+func (n *Network) LinkBytes(id topo.LinkID) (float64, error) {
+	ls := n.links[id]
+	if ls == nil {
+		return 0, fmt.Errorf("netsim: unknown link %s", id)
+	}
+	total := ls.bytesTotal
+	now := n.eng.Now()
+	for _, f := range ls.flows {
+		total += f.rate / 8 * float64(now.Sub(f.lastUpdate))
+	}
+	return total, nil
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// StartFlow injects a flow of sizeBytes along path, beginning now. For a
+// background stream of unbounded duration, pass math.Inf(1) as sizeBytes
+// and stop it later with StopFlow.
+func (n *Network) StartFlow(path topo.Path, sizeBytes float64, opts FlowOptions) (*Flow, error) {
+	if len(path) == 0 {
+		return nil, errors.New("netsim: empty path")
+	}
+	if sizeBytes <= 0 {
+		return nil, errors.New("netsim: flow size must be positive")
+	}
+	if opts.RateCapBps < 0 || opts.GuaranteedBps < 0 {
+		return nil, errors.New("netsim: negative rate")
+	}
+	for _, l := range path {
+		if n.links[l.ID] == nil {
+			return nil, fmt.Errorf("netsim: path link %s not in network", l.ID)
+		}
+	}
+	n.settle()
+	n.nextID++
+	f := &Flow{
+		ID:             n.nextID,
+		Path:           path,
+		sizeBytes:      sizeBytes,
+		remainingBytes: sizeBytes,
+		rateCapBps:     opts.RateCapBps,
+		guaranteedBps:  opts.GuaranteedBps,
+		start:          n.eng.Now(),
+		lastUpdate:     n.eng.Now(),
+		onDone:         opts.OnDone,
+	}
+	n.flows[f.ID] = f
+	for _, l := range path {
+		n.links[l.ID].flows[f.ID] = f
+	}
+	n.reallocate()
+	return f, nil
+}
+
+// StopFlow removes a flow (typically a background stream) before it
+// completes. Its OnDone callback is not invoked.
+func (n *Network) StopFlow(f *Flow) error {
+	if f == nil || n.flows[f.ID] != f {
+		return errors.New("netsim: flow not active")
+	}
+	n.settle()
+	n.remove(f)
+	f.done = true
+	f.end = n.eng.Now()
+	n.reallocate()
+	return nil
+}
+
+// SetRateCap changes a flow's source-side rate cap and reallocates. A cap
+// of 0 removes the limit.
+func (n *Network) SetRateCap(f *Flow, capBps float64) error {
+	if f == nil || n.flows[f.ID] != f {
+		return errors.New("netsim: flow not active")
+	}
+	if capBps < 0 {
+		return errors.New("netsim: negative rate cap")
+	}
+	n.settle()
+	f.rateCapBps = capBps
+	n.reallocate()
+	return nil
+}
+
+// SetGuarantee changes a flow's reserved rate mid-flight and reallocates:
+// a transfer that started best-effort is upgraded when its circuit
+// finishes provisioning (the VC setup delay), and downgraded to 0 when
+// the circuit is released.
+func (n *Network) SetGuarantee(f *Flow, guaranteedBps float64) error {
+	if f == nil || n.flows[f.ID] != f {
+		return errors.New("netsim: flow not active")
+	}
+	if guaranteedBps < 0 {
+		return errors.New("netsim: negative guarantee")
+	}
+	n.settle()
+	f.guaranteedBps = guaranteedBps
+	n.reallocate()
+	return nil
+}
+
+// settle integrates all in-flight flows up to the current instant,
+// crediting link byte counters and decrementing remaining sizes.
+func (n *Network) settle() {
+	now := n.eng.Now()
+	for _, f := range n.flows {
+		dt := float64(now.Sub(f.lastUpdate))
+		if dt <= 0 {
+			f.lastUpdate = now
+			continue
+		}
+		moved := f.rate / 8 * dt
+		if !math.IsInf(f.remainingBytes, 1) {
+			if moved > f.remainingBytes {
+				moved = f.remainingBytes
+			}
+			f.remainingBytes -= moved
+		}
+		for _, l := range f.Path {
+			n.links[l.ID].bytesTotal += moved
+		}
+		f.lastUpdate = now
+	}
+}
+
+// remove detaches a flow from the network and its links.
+func (n *Network) remove(f *Flow) {
+	delete(n.flows, f.ID)
+	for _, l := range f.Path {
+		delete(n.links[l.ID].flows, f.ID)
+	}
+}
+
+const eps = 1e-6
+
+// reallocate recomputes all flow rates and schedules the next completion.
+//
+// Allocation proceeds in two classes, mirroring router packet schedulers
+// configured for VCs: guaranteed flows first receive min(guarantee, cap),
+// then best-effort flows share the residual capacity max–min fairly, with
+// each flow's source cap modelled as a private virtual link.
+func (n *Network) reallocate() {
+	residual := make(map[topo.LinkID]float64, len(n.links))
+	for id, ls := range n.links {
+		residual[id] = ls.link.CapacityBps
+	}
+
+	// Deterministic iteration order.
+	ids := make([]FlowID, 0, len(n.flows))
+	for id := range n.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var bestEffort []*Flow
+	for _, id := range ids {
+		f := n.flows[id]
+		if f.guaranteedBps > 0 {
+			r := f.guaranteedBps
+			if f.rateCapBps > 0 && f.rateCapBps < r {
+				r = f.rateCapBps
+			}
+			// A guarantee can never exceed the line rate of any hop.
+			for _, l := range f.Path {
+				if avail := residual[l.ID]; r > avail {
+					r = avail
+				}
+			}
+			f.rate = r
+			for _, l := range f.Path {
+				residual[l.ID] -= r
+			}
+		} else {
+			f.rate = 0
+			bestEffort = append(bestEffort, f)
+		}
+	}
+
+	n.maxMin(bestEffort, residual)
+	n.scheduleCompletion()
+}
+
+// maxMin runs progressive filling over the best-effort flows given the
+// residual link capacities. Each capped flow contributes a virtual
+// single-flow link of capacity equal to its cap.
+func (n *Network) maxMin(flows []*Flow, residual map[topo.LinkID]float64) {
+	if len(flows) == 0 {
+		return
+	}
+	frozen := make([]bool, len(flows))
+	// count of unfrozen flows per link
+	count := make(map[topo.LinkID]int)
+	for _, f := range flows {
+		for _, l := range f.Path {
+			count[l.ID]++
+		}
+	}
+	capRemaining := make([]float64, len(flows))
+	for i, f := range flows {
+		if f.rateCapBps > 0 {
+			capRemaining[i] = f.rateCapBps
+		} else {
+			capRemaining[i] = math.Inf(1)
+		}
+	}
+	unfrozen := len(flows)
+	for unfrozen > 0 {
+		// Bottleneck share: min over real links and per-flow caps.
+		share := math.Inf(1)
+		for id, c := range count {
+			if c <= 0 {
+				continue
+			}
+			if s := residual[id] / float64(c); s < share {
+				share = s
+			}
+		}
+		for i := range flows {
+			if !frozen[i] && capRemaining[i] < share {
+				share = capRemaining[i]
+			}
+		}
+		if math.IsInf(share, 1) || share < 0 {
+			break
+		}
+		// Raise all unfrozen flows by the share.
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			f.rate += share
+			capRemaining[i] -= share
+			for _, l := range f.Path {
+				residual[l.ID] -= share
+			}
+		}
+		// Freeze flows that hit their cap or cross a saturated link.
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			saturated := capRemaining[i] <= eps
+			if !saturated {
+				for _, l := range f.Path {
+					if residual[l.ID] <= eps*f.rate+eps {
+						saturated = true
+						break
+					}
+				}
+			}
+			if saturated {
+				frozen[i] = true
+				unfrozen--
+				for _, l := range f.Path {
+					count[l.ID]--
+				}
+			}
+		}
+		if share <= eps {
+			// No progress is possible (e.g. residual already ~0);
+			// freeze everything that remains to terminate.
+			for i := range flows {
+				if !frozen[i] {
+					frozen[i] = true
+					unfrozen--
+				}
+			}
+		}
+	}
+}
+
+// scheduleCompletion arms a single event at the earliest finite completion
+// time among active flows. The generation counter invalidates events armed
+// before the most recent reallocation.
+func (n *Network) scheduleCompletion() {
+	n.recalcGen++
+	gen := n.recalcGen
+	soonest := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 || math.IsInf(f.remainingBytes, 1) {
+			continue
+		}
+		t := f.remainingBytes * 8 / f.rate
+		if t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		return
+	}
+	n.eng.MustAfter(simclock.Duration(soonest), func() {
+		if gen != n.recalcGen {
+			return
+		}
+		n.completeFinished()
+	})
+}
+
+// completeFinished settles, finalizes all flows whose remaining bytes have
+// reached zero, and reallocates.
+func (n *Network) completeFinished() {
+	n.settle()
+	now := n.eng.Now()
+	var finished []*Flow
+	for _, f := range n.flows {
+		if f.remainingBytes <= 0.5 { // sub-byte residue from float rounding
+			finished = append(finished, f)
+		}
+	}
+	sort.Slice(finished, func(i, j int) bool { return finished[i].ID < finished[j].ID })
+	for _, f := range finished {
+		f.remainingBytes = 0
+		f.done = true
+		f.end = now
+		n.remove(f)
+	}
+	n.reallocate()
+	for _, f := range finished {
+		if f.onDone != nil {
+			f.onDone(f, now)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package oscars implements an OSCARS-style inter-domain controller (IDC)
+// for dynamic virtual circuits: an advance-reservation bandwidth ledger,
+// constrained path computation, admission control, and the two circuit
+// provisioning models the paper discusses — the deployed batched signaling
+// with its ~1-minute setup delay, and hypothetical hardware signaling at
+// ~50 ms (round-trip propagation across the US).
+package oscars
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gftpvc/internal/simclock"
+	"gftpvc/internal/topo"
+)
+
+// booking is one admitted bandwidth claim on a link over a time interval.
+type booking struct {
+	start, end simclock.Time
+	rateBps    float64
+	circuit    CircuitID
+}
+
+// Ledger tracks admitted advance reservations per directed link. It is the
+// persistent state of the IDC's scheduler and can also be used standalone
+// (the oscarsd daemon wraps it with wall-clock times).
+//
+// Ledger is safe for concurrent use.
+type Ledger struct {
+	mu sync.Mutex
+	// ReservableFraction caps how much of each link's capacity may be
+	// booked for circuits (providers keep headroom for IP-routed traffic).
+	reservableFraction float64
+	topo               *topo.Topology
+	byLink             map[topo.LinkID][]booking
+}
+
+// NewLedger creates a ledger over the topology. reservableFraction must be
+// in (0, 1]; ESnet-like deployments keep some capacity for IP service.
+func NewLedger(tp *topo.Topology, reservableFraction float64) (*Ledger, error) {
+	if tp == nil {
+		return nil, errors.New("oscars: nil topology")
+	}
+	if reservableFraction <= 0 || reservableFraction > 1 {
+		return nil, errors.New("oscars: reservable fraction must be in (0,1]")
+	}
+	return &Ledger{
+		reservableFraction: reservableFraction,
+		topo:               tp,
+		byLink:             make(map[topo.LinkID][]booking),
+	}, nil
+}
+
+// Topology returns the topology the ledger books against.
+func (l *Ledger) Topology() *topo.Topology { return l.topo }
+
+// Available returns the guaranteed-available bandwidth on the directed link
+// throughout [start, end): the reservable share of capacity minus the peak
+// of overlapping bookings.
+func (l *Ledger) Available(link *topo.Link, start, end simclock.Time) (float64, error) {
+	if link == nil {
+		return 0, errors.New("oscars: nil link")
+	}
+	if end <= start {
+		return 0, errors.New("oscars: empty interval")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.availableLocked(link, start, end), nil
+}
+
+func (l *Ledger) availableLocked(link *topo.Link, start, end simclock.Time) float64 {
+	cap := link.CapacityBps * l.reservableFraction
+	peak := l.peakBookedLocked(link.ID, start, end)
+	avail := cap - peak
+	if avail < 0 {
+		avail = 0
+	}
+	return avail
+}
+
+// peakBookedLocked computes the maximum simultaneous booked rate on the
+// link within [start, end) by sweeping booking boundaries.
+func (l *Ledger) peakBookedLocked(id topo.LinkID, start, end simclock.Time) float64 {
+	type edge struct {
+		at    simclock.Time
+		delta float64
+	}
+	var edges []edge
+	for _, b := range l.byLink[id] {
+		s, e := b.start, b.end
+		if e <= start || s >= end {
+			continue
+		}
+		if s < start {
+			s = start
+		}
+		if e > end {
+			e = end
+		}
+		edges = append(edges, edge{s, b.rateBps}, edge{e, -b.rateBps})
+	}
+	if len(edges) == 0 {
+		return 0
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		// Process releases before claims at the same instant so that
+		// back-to-back reservations do not double-count.
+		return edges[i].delta < edges[j].delta
+	})
+	cur, peak := 0.0, 0.0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// book admits a claim on every link of the path. The caller must have
+// verified availability; book re-verifies atomically and fails without
+// partial effects if any link lacks headroom.
+func (l *Ledger) book(path topo.Path, rateBps float64, start, end simclock.Time, id CircuitID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, link := range path {
+		if l.availableLocked(link, start, end) < rateBps-1e-9 {
+			return fmt.Errorf("oscars: link %s cannot fit %.0f bps in [%v,%v)",
+				link.ID, rateBps, start, end)
+		}
+	}
+	for _, link := range path {
+		l.byLink[link.ID] = append(l.byLink[link.ID], booking{
+			start: start, end: end, rateBps: rateBps, circuit: id,
+		})
+	}
+	return nil
+}
+
+// release removes all bookings belonging to the circuit. It is idempotent.
+func (l *Ledger) release(id CircuitID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for linkID, bs := range l.byLink {
+		kept := bs[:0]
+		for _, b := range bs {
+			if b.circuit != id {
+				kept = append(kept, b)
+			}
+		}
+		l.byLink[linkID] = kept
+	}
+}
+
+// BookedCircuits returns the number of distinct circuits with at least one
+// active booking.
+func (l *Ledger) BookedCircuits() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seen := make(map[CircuitID]bool)
+	for _, bs := range l.byLink {
+		for _, b := range bs {
+			seen[b.circuit] = true
+		}
+	}
+	return len(seen)
+}
+
+// Reserve books rateBps on every link of path throughout [start, end)
+// under the given circuit ID. It is atomic: either every link is booked or
+// none. Standalone ledger users (the oscarsd daemon) drive this directly;
+// the simulation-bound IDC wraps it with signaling and lifecycle.
+func (l *Ledger) Reserve(path topo.Path, rateBps float64, start, end simclock.Time, id CircuitID) error {
+	if rateBps <= 0 {
+		return errors.New("oscars: rate must be positive")
+	}
+	if end <= start {
+		return errors.New("oscars: empty interval")
+	}
+	if len(path) == 0 {
+		return errors.New("oscars: empty path")
+	}
+	return l.book(path, rateBps, start, end, id)
+}
+
+// Release removes all bookings held by the circuit. It is idempotent.
+func (l *Ledger) Release(id CircuitID) { l.release(id) }
+
+// PathWithBandwidth computes the minimum-delay path from src to dst whose
+// every link can guarantee rateBps throughout [start, end). This is the
+// OSCARS path computation element: explicit route selection based on
+// current reservations, one of the paper's three VC advantages.
+func (l *Ledger) PathWithBandwidth(src, dst topo.NodeID, rateBps float64, start, end simclock.Time) (topo.Path, error) {
+	if rateBps <= 0 {
+		return nil, errors.New("oscars: rate must be positive")
+	}
+	if end <= start {
+		return nil, errors.New("oscars: empty interval")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.topo.ConstrainedShortestPath(src, dst, func(link *topo.Link) bool {
+		return l.availableLocked(link, start, end) >= rateBps-1e-9
+	})
+}

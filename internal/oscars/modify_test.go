@@ -1,0 +1,132 @@
+package oscars
+
+import (
+	"math"
+	"testing"
+
+	"gftpvc/internal/simclock"
+)
+
+func TestModifyShrinkRate(t *testing.T) {
+	tp := chain(t)
+	_, idc := newIDC(t, tp, HardwareSignaling)
+	c, err := idc.CreateReservation(Request{
+		Src: "a", Dst: "c", RateBps: 4e9, Start: 10, End: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idc.Modify(c, 1e9, 100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Request.RateBps != 1e9 {
+		t.Errorf("rate = %v, want 1e9", c.Request.RateBps)
+	}
+	// The freed bandwidth is claimable by another circuit.
+	if _, err := idc.CreateReservation(Request{
+		Src: "a", Dst: "c", RateBps: 7e9, Start: 10, End: 100,
+	}); err != nil {
+		t.Fatalf("freed capacity not claimable: %v", err)
+	}
+}
+
+func TestModifyGrowRejectedWhenFull(t *testing.T) {
+	tp := chain(t)
+	_, idc := newIDC(t, tp, HardwareSignaling)
+	a, _ := idc.CreateReservation(Request{Src: "a", Dst: "c", RateBps: 4e9, Start: 10, End: 100})
+	if _, err := idc.CreateReservation(Request{Src: "a", Dst: "c", RateBps: 4e9, Start: 10, End: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// 8 Gbps reservable, 8 booked: growing a to 5e9 must fail and leave
+	// the original booking intact.
+	if err := idc.Modify(a, 5e9, 100); err == nil {
+		t.Fatal("grow should be rejected")
+	}
+	if a.Request.RateBps != 4e9 {
+		t.Errorf("rate after failed modify = %v, want 4e9", a.Request.RateBps)
+	}
+	// The ledger still holds both bookings: nothing extra fits.
+	if _, err := idc.CreateReservation(Request{Src: "a", Dst: "c", RateBps: 1e9, Start: 10, End: 100}); err == nil {
+		t.Fatal("rollback leaked bandwidth")
+	}
+}
+
+func TestModifyExtendActiveCircuit(t *testing.T) {
+	tp := chain(t)
+	eng, idc := newIDC(t, tp, HardwareSignaling)
+	var c *Circuit
+	eng.MustAt(0, func() {
+		var err error
+		c, err = idc.CreateReservation(Request{
+			Src: "a", Dst: "c", RateBps: 1e9, Start: 0, End: 50,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	eng.MustAt(10, func() {
+		if c.State() != Active {
+			t.Error("circuit should be active at t=10")
+		}
+		if err := idc.Modify(c, 1e9, 200); err != nil {
+			t.Errorf("extend: %v", err)
+		}
+	})
+	eng.RunUntil(100)
+	if c.State() != Active {
+		t.Fatalf("state at t=100 = %v, want ACTIVE (extended to 200)", c.State())
+	}
+	eng.RunUntil(250)
+	if c.State() != Released {
+		t.Fatalf("state at t=250 = %v, want RELEASED", c.State())
+	}
+	if math.Abs(float64(c.ReleasedAt())-200) > 1e-9 {
+		t.Errorf("released at %v, want 200", c.ReleasedAt())
+	}
+}
+
+func TestModifyShortenActiveCircuit(t *testing.T) {
+	tp := chain(t)
+	eng, idc := newIDC(t, tp, HardwareSignaling)
+	var c *Circuit
+	eng.MustAt(0, func() {
+		c, _ = idc.CreateReservation(Request{
+			Src: "a", Dst: "c", RateBps: 1e9, Start: 0, End: 500,
+		})
+	})
+	eng.MustAt(10, func() {
+		if err := idc.Modify(c, 1e9, simclock.Time(60)); err != nil {
+			t.Errorf("shorten: %v", err)
+		}
+	})
+	eng.RunUntil(100)
+	if c.State() != Released {
+		t.Fatalf("state = %v, want RELEASED at shortened end", c.State())
+	}
+	if math.Abs(float64(c.ReleasedAt())-60) > 1e-9 {
+		t.Errorf("released at %v, want 60", c.ReleasedAt())
+	}
+}
+
+func TestModifyValidation(t *testing.T) {
+	tp := chain(t)
+	eng, idc := newIDC(t, tp, HardwareSignaling)
+	if err := idc.Modify(nil, 1e9, 10); err == nil {
+		t.Error("nil circuit should fail")
+	}
+	var c *Circuit
+	eng.MustAt(0, func() {
+		c, _ = idc.CreateReservation(Request{Src: "a", Dst: "c", RateBps: 1e9, Start: 0, End: 10})
+	})
+	eng.RunUntil(1)
+	if err := idc.Modify(c, 0, 10); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if err := idc.Modify(c, 1e9, 0); err == nil {
+		t.Error("end before now should fail")
+	}
+	eng.RunUntil(50) // circuit released
+	if err := idc.Modify(c, 1e9, 100); err == nil {
+		t.Error("modifying a released circuit should fail")
+	}
+}

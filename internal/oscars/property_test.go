@@ -1,0 +1,128 @@
+package oscars
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gftpvc/internal/simclock"
+	"gftpvc/internal/topo"
+)
+
+// Property: whatever sequence of reservations and releases is attempted,
+// the admitted set never books any link beyond its reservable share at
+// any instant.
+func TestLedgerNeverOverbooksProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tp := topo.New()
+		for _, id := range []topo.NodeID{"a", "b", "c", "d"} {
+			if _, err := tp.AddNode(id, topo.BackboneRouter); err != nil {
+				return false
+			}
+		}
+		// A triangle plus a spur so multiple paths exist.
+		tp.AddDuplex("a", "b", 10e9, 0.001)
+		tp.AddDuplex("b", "c", 10e9, 0.002)
+		tp.AddDuplex("a", "c", 10e9, 0.005)
+		tp.AddDuplex("c", "d", 10e9, 0.001)
+		frac := 0.3 + rng.Float64()*0.7
+		led, err := NewLedger(tp, frac)
+		if err != nil {
+			return false
+		}
+		type admittedRes struct {
+			path       topo.Path
+			rate       float64
+			start, end simclock.Time
+			id         CircuitID
+		}
+		var admitted []admittedRes
+		nodes := []topo.NodeID{"a", "b", "c", "d"}
+		for i := 0; i < 80; i++ {
+			src := nodes[rng.Intn(len(nodes))]
+			dst := nodes[rng.Intn(len(nodes))]
+			if src == dst {
+				continue
+			}
+			rate := rng.Float64() * 12e9 // sometimes beyond capacity
+			start := simclock.Time(rng.Float64() * 500)
+			end := start + simclock.Time(1+rng.Float64()*200)
+			path, err := led.PathWithBandwidth(src, dst, rate, start, end)
+			if err != nil {
+				continue
+			}
+			id := CircuitID(i + 1)
+			if err := led.Reserve(path, rate, start, end, id); err != nil {
+				continue
+			}
+			admitted = append(admitted, admittedRes{path, rate, start, end, id})
+			// Occasionally release an earlier reservation.
+			if rng.Float64() < 0.2 && len(admitted) > 1 {
+				victim := rng.Intn(len(admitted))
+				led.Release(admitted[victim].id)
+				admitted = append(admitted[:victim], admitted[victim+1:]...)
+			}
+		}
+		// Probe instants: booked rate per link must respect the share.
+		for probe := simclock.Time(0); probe < 720; probe += 7 {
+			perLink := map[topo.LinkID]float64{}
+			for _, r := range admitted {
+				if r.start <= probe && probe < r.end {
+					for _, l := range r.path {
+						perLink[l.ID] += r.rate
+					}
+				}
+			}
+			for id, sum := range perLink {
+				if sum > tp.Links()[0].CapacityBps*frac*(1+1e-9) {
+					_ = id
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PathWithBandwidth never returns a path through a link whose
+// available bandwidth in the window is below the requested rate.
+func TestPathRespectsAvailabilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tp := topo.New()
+		for _, id := range []topo.NodeID{"a", "b", "c"} {
+			tp.AddNode(id, topo.BackboneRouter)
+		}
+		tp.AddDuplex("a", "b", 10e9, 0.001)
+		tp.AddDuplex("b", "c", 10e9, 0.001)
+		tp.AddDuplex("a", "c", 10e9, 0.009)
+		led, err := NewLedger(tp, 1.0)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			rate := 1e9 + rng.Float64()*9e9
+			start := simclock.Time(rng.Float64() * 100)
+			end := start + simclock.Time(1+rng.Float64()*100)
+			path, err := led.PathWithBandwidth("a", "c", rate, start, end)
+			if err != nil {
+				continue
+			}
+			for _, l := range path {
+				avail, err := led.Available(l, start, end)
+				if err != nil || avail < rate-1e-6 {
+					return false
+				}
+			}
+			led.Reserve(path, rate, start, end, CircuitID(i+1))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,323 @@
+// Package oscarsd implements the wall-clock OSCARS reservation daemon: a
+// TCP server speaking newline-delimited JSON over an oscars.Ledger. The
+// simulation-bound IDC (internal/oscars) handles circuit lifecycle inside
+// experiments; this daemon exposes the same admission-control core as a
+// network service, the way the real OSCARS IDC exposes createReservation.
+package oscarsd
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gftpvc/internal/oscars"
+	"gftpvc/internal/simclock"
+	"gftpvc/internal/topo"
+)
+
+// Config configures the daemon.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// Scenario selects the reference topology: nersc-ornl | nersc-anl |
+	// ncar-nics | slac-bnl.
+	Scenario string
+	// ReservableFraction is the share of each link's capacity circuits
+	// may book.
+	ReservableFraction float64
+}
+
+// Request is one protocol message.
+type Request struct {
+	Op      string  `json:"op"`
+	Src     string  `json:"src,omitempty"`
+	Dst     string  `json:"dst,omitempty"`
+	RateBps float64 `json:"rate_bps,omitempty"`
+	Start   float64 `json:"start,omitempty"`
+	End     float64 `json:"end,omitempty"`
+	ID      int64   `json:"id,omitempty"`
+}
+
+// Response is the reply to a Request.
+type Response struct {
+	OK    bool     `json:"ok"`
+	Error string   `json:"error,omitempty"`
+	ID    int64    `json:"id,omitempty"`
+	Path  []string `json:"path,omitempty"`
+	Src   string   `json:"src,omitempty"`
+	Dst   string   `json:"dst,omitempty"`
+	Nodes []string `json:"nodes,omitempty"`
+	Now   float64  `json:"now,omitempty"`
+}
+
+// Server is a running daemon.
+type Server struct {
+	ln     net.Listener
+	ledger *oscars.Ledger
+	tp     *topo.Topology
+	epoch  time.Time
+
+	mu     sync.Mutex
+	nextID oscars.CircuitID
+	held   map[oscars.CircuitID]holding
+
+	wg     sync.WaitGroup
+	conns  map[net.Conn]bool
+	closed bool
+}
+
+// holding records an admitted reservation's booking so modify can roll
+// back.
+type holding struct {
+	path       topo.Path
+	rateBps    float64
+	start, end simclock.Time
+}
+
+// scenarioTopo resolves a scenario name.
+func scenarioTopo(name string) (*topo.Scenario, error) {
+	switch name {
+	case "nersc-ornl":
+		return topo.NERSCORNL(), nil
+	case "nersc-anl":
+		return topo.NERSCANL(), nil
+	case "ncar-nics":
+		return topo.NCARNICS(), nil
+	case "slac-bnl":
+		return topo.SLACBNL(), nil
+	default:
+		return nil, fmt.Errorf("oscarsd: unknown scenario %q", name)
+	}
+}
+
+// Start launches the daemon.
+func Start(cfg Config) (*Server, error) {
+	sc, err := scenarioTopo(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	ledger, err := oscars.NewLedger(sc.Topo, cfg.ReservableFraction)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:     ln,
+		ledger: ledger,
+		tp:     sc.Topo,
+		epoch:  time.Now(),
+		held:   make(map[oscars.CircuitID]holding),
+		conns:  make(map[net.Conn]bool),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Wait blocks until the server is closed.
+func (s *Server) Wait() { s.wg.Wait() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	if errors.Is(err, net.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// now returns seconds since the daemon's epoch.
+func (s *Server) now() simclock.Time {
+	return simclock.Time(time.Since(s.epoch).Seconds())
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<16)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			resp = Response{Error: "malformed request: " + err.Error()}
+		} else {
+			resp = s.dispatch(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Op {
+	case "reserve":
+		return s.reserve(req)
+	case "cancel":
+		return s.cancel(req)
+	case "modify":
+		return s.modify(req)
+	case "available":
+		return s.available(req)
+	case "topology":
+		nodes := s.tp.Nodes()
+		names := make([]string, len(nodes))
+		for i, n := range nodes {
+			names[i] = string(n)
+		}
+		return Response{OK: true, Nodes: names, Now: float64(s.now())}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func pathNames(p topo.Path) []string {
+	out := make([]string, len(p))
+	for i, l := range p {
+		out[i] = string(l.ID)
+	}
+	return out
+}
+
+func (s *Server) findPath(req Request) (topo.Path, error) {
+	if req.RateBps <= 0 {
+		return nil, errors.New("rate_bps must be positive")
+	}
+	if req.End <= req.Start {
+		return nil, errors.New("end must follow start")
+	}
+	if float64(s.now()) > req.Start {
+		return nil, errors.New("start is in the past")
+	}
+	return s.ledger.PathWithBandwidth(
+		topo.NodeID(req.Src), topo.NodeID(req.Dst),
+		req.RateBps, simclock.Time(req.Start), simclock.Time(req.End))
+}
+
+func (s *Server) reserve(req Request) Response {
+	path, err := s.findPath(req)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	h := holding{
+		path: path, rateBps: req.RateBps,
+		start: simclock.Time(req.Start), end: simclock.Time(req.End),
+	}
+	s.held[id] = h
+	s.mu.Unlock()
+	if err := s.ledger.Reserve(path, h.rateBps, h.start, h.end, id); err != nil {
+		s.mu.Lock()
+		delete(s.held, id)
+		s.mu.Unlock()
+		return Response{Error: err.Error()}
+	}
+	return Response{OK: true, ID: int64(id), Path: pathNames(path), Src: req.Src, Dst: req.Dst}
+}
+
+func (s *Server) cancel(req Request) Response {
+	id := oscars.CircuitID(req.ID)
+	s.mu.Lock()
+	_, known := s.held[id]
+	delete(s.held, id)
+	s.mu.Unlock()
+	if !known {
+		return Response{Error: fmt.Sprintf("unknown circuit %d", req.ID)}
+	}
+	s.ledger.Release(id)
+	return Response{OK: true, ID: req.ID}
+}
+
+// modify atomically re-books a held reservation with a new rate and/or
+// window (the OSCARS modifyReservation operation). On failure the old
+// booking is restored.
+func (s *Server) modify(req Request) Response {
+	id := oscars.CircuitID(req.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, known := s.held[id]
+	if !known {
+		return Response{Error: fmt.Sprintf("unknown circuit %d", req.ID)}
+	}
+	if req.RateBps <= 0 || req.End <= req.Start {
+		return Response{Error: "modify needs rate_bps and a valid window"}
+	}
+	s.ledger.Release(id)
+	path, err := s.ledger.PathWithBandwidth(
+		old.path[0].Src, old.path[len(old.path)-1].Dst,
+		req.RateBps, simclock.Time(req.Start), simclock.Time(req.End))
+	if err == nil {
+		err = s.ledger.Reserve(path, req.RateBps,
+			simclock.Time(req.Start), simclock.Time(req.End), id)
+	}
+	if err != nil {
+		// Restore; the old booking fit before, so it fits again.
+		if rbErr := s.ledger.Reserve(old.path, old.rateBps, old.start, old.end, id); rbErr != nil {
+			return Response{Error: fmt.Sprintf("modify failed (%v) and rollback failed (%v)", err, rbErr)}
+		}
+		return Response{Error: "modify rejected: " + err.Error()}
+	}
+	s.held[id] = holding{
+		path: path, rateBps: req.RateBps,
+		start: simclock.Time(req.Start), end: simclock.Time(req.End),
+	}
+	return Response{OK: true, ID: req.ID, Path: pathNames(path)}
+}
+
+func (s *Server) available(req Request) Response {
+	path, err := s.findPath(req)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	return Response{OK: true, Path: pathNames(path)}
+}

@@ -1,0 +1,251 @@
+package oscarsd
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"testing"
+)
+
+// client is a minimal test client for the line-JSON protocol.
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *client) roundTrip(t *testing.T, req Request) Response {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.conn.Write(append(data, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := Start(Config{
+		Addr:               "127.0.0.1:0",
+		Scenario:           "nersc-ornl",
+		ReservableFraction: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{Addr: "127.0.0.1:0", Scenario: "mars-venus", ReservableFraction: 0.5}); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+	if _, err := Start(Config{Addr: "127.0.0.1:0", Scenario: "nersc-ornl", ReservableFraction: 0}); err == nil {
+		t.Error("zero reservable fraction should fail")
+	}
+}
+
+func TestTopologyOp(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv.Addr())
+	resp := c.roundTrip(t, Request{Op: "topology"})
+	if !resp.OK || len(resp.Nodes) == 0 {
+		t.Fatalf("topology response: %+v", resp)
+	}
+}
+
+func TestReserveCancelCycle(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv.Addr())
+	req := Request{
+		Op:  "reserve",
+		Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+		RateBps: 4e9, Start: 100, End: 200,
+	}
+	resp := c.roundTrip(t, req)
+	if !resp.OK || resp.ID == 0 || len(resp.Path) == 0 {
+		t.Fatalf("reserve failed: %+v", resp)
+	}
+	// 5 Gbps reservable; a second 4 Gbps circuit in the same window must
+	// be rejected.
+	if r2 := c.roundTrip(t, req); r2.OK {
+		t.Fatalf("overbooking admitted: %+v", r2)
+	}
+	// Cancel releases the bandwidth.
+	if rc := c.roundTrip(t, Request{Op: "cancel", ID: resp.ID}); !rc.OK {
+		t.Fatalf("cancel failed: %+v", rc)
+	}
+	if r3 := c.roundTrip(t, req); !r3.OK {
+		t.Fatalf("post-cancel reserve failed: %+v", r3)
+	}
+	// Double cancel is an error.
+	if rc := c.roundTrip(t, Request{Op: "cancel", ID: resp.ID}); rc.OK {
+		t.Fatal("double cancel should fail")
+	}
+}
+
+func TestAdvanceReservationsCoexist(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv.Addr())
+	mk := func(start, end float64) Response {
+		return c.roundTrip(t, Request{
+			Op:  "reserve",
+			Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+			RateBps: 4e9, Start: start, End: end,
+		})
+	}
+	if r := mk(100, 200); !r.OK {
+		t.Fatalf("first window: %+v", r)
+	}
+	if r := mk(200, 300); !r.OK {
+		t.Fatalf("adjacent window should be admitted: %+v", r)
+	}
+	if r := mk(150, 250); r.OK {
+		t.Fatalf("overlapping window should be rejected: %+v", r)
+	}
+}
+
+func TestModifyOp(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv.Addr())
+	r := c.roundTrip(t, Request{
+		Op:  "reserve",
+		Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+		RateBps: 4e9, Start: 100, End: 200,
+	})
+	if !r.OK {
+		t.Fatalf("reserve: %+v", r)
+	}
+	// Shrink to 1 Gbps: succeeds and frees bandwidth.
+	if m := c.roundTrip(t, Request{
+		Op: "modify", ID: r.ID, RateBps: 1e9, Start: 100, End: 200,
+	}); !m.OK {
+		t.Fatalf("shrink: %+v", m)
+	}
+	if r2 := c.roundTrip(t, Request{
+		Op:  "reserve",
+		Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+		RateBps: 4e9, Start: 100, End: 200,
+	}); !r2.OK {
+		t.Fatalf("freed capacity not claimable: %+v", r2)
+	}
+	// Growing beyond the remaining headroom fails with rollback.
+	if m := c.roundTrip(t, Request{
+		Op: "modify", ID: r.ID, RateBps: 4.5e9, Start: 100, End: 200,
+	}); m.OK {
+		t.Fatalf("grow should fail: %+v", m)
+	}
+	// The original 1 Gbps booking survives: cancelling it frees exactly
+	// 1 Gbps (a 1 Gbps reservation fits afterwards but not before).
+	if r3 := c.roundTrip(t, Request{
+		Op:  "reserve",
+		Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+		RateBps: 0.9e9, Start: 100, End: 200,
+	}); r3.OK {
+		t.Fatalf("rollback leaked bandwidth: %+v", r3)
+	}
+	if m := c.roundTrip(t, Request{Op: "modify", ID: 999, RateBps: 1e9, Start: 0, End: 1}); m.OK {
+		t.Fatal("modify of unknown circuit should fail")
+	}
+	if m := c.roundTrip(t, Request{Op: "modify", ID: r.ID, RateBps: 0, Start: 0, End: 1}); m.OK {
+		t.Fatal("modify with zero rate should fail")
+	}
+}
+
+func TestAvailableOp(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv.Addr())
+	resp := c.roundTrip(t, Request{
+		Op:  "available",
+		Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+		RateBps: 1e9, Start: 10, End: 20,
+	})
+	if !resp.OK || len(resp.Path) == 0 {
+		t.Fatalf("available: %+v", resp)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv.Addr())
+	cases := []Request{
+		{Op: "frobnicate"},
+		{Op: "reserve", Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst", RateBps: 0, Start: 10, End: 20},
+		{Op: "reserve", Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst", RateBps: 1e9, Start: 20, End: 10},
+		{Op: "reserve", Src: "nope", Dst: "nersc-ornl-dtn-dst", RateBps: 1e9, Start: 10, End: 20},
+		{Op: "cancel", ID: 999},
+	}
+	for i, req := range cases {
+		if resp := c.roundTrip(t, req); resp.OK {
+			t.Errorf("case %d should fail: %+v", i, resp)
+		}
+	}
+}
+
+func TestMalformedLine(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv.Addr())
+	if _, err := c.conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("malformed line should error: %+v", resp)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := startServer(t)
+	done := make(chan bool, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		go func() {
+			c := dial(t, srv.Addr())
+			resp := c.roundTrip(t, Request{
+				Op:  "reserve",
+				Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+				RateBps: 1e9, Start: float64(1000 + i), End: float64(1000 + i + 1),
+			})
+			done <- resp.OK
+		}()
+	}
+	okCount := 0
+	for i := 0; i < 4; i++ {
+		if <-done {
+			okCount++
+		}
+	}
+	// Disjoint 1-second windows at 1 Gbps on a 5 Gbps-reservable path:
+	// all four must be admitted.
+	if okCount != 4 {
+		t.Errorf("admitted %d of 4 disjoint reservations", okCount)
+	}
+}

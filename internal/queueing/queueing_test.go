@@ -1,0 +1,214 @@
+package queueing
+
+import (
+	"math/rand"
+	"testing"
+
+	"gftpvc/internal/simclock"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO()
+	if f.Dequeue() != nil {
+		t.Fatal("empty FIFO should dequeue nil")
+	}
+	a := &Packet{SizeBytes: 1}
+	b := &Packet{SizeBytes: 2}
+	f.Enqueue(a)
+	f.Enqueue(b)
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if f.Dequeue() != a || f.Dequeue() != b {
+		t.Fatal("FIFO order violated")
+	}
+}
+
+func TestNewDRRValidation(t *testing.T) {
+	if _, err := NewDRR(0, 1); err == nil {
+		t.Error("zero quantum should fail")
+	}
+	if _, err := NewDRR(1, -1); err == nil {
+		t.Error("negative quantum should fail")
+	}
+}
+
+func TestDRRInterleavesClasses(t *testing.T) {
+	d, err := NewDRR(1500, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue 3 GP packets and 3 alpha packets; equal quanta must
+	// alternate service rather than draining one class first.
+	for i := 0; i < 3; i++ {
+		d.Enqueue(&Packet{Class: GeneralPurpose, SizeBytes: 1500})
+		d.Enqueue(&Packet{Class: Alpha, SizeBytes: 1500})
+	}
+	var order []Class
+	for p := d.Dequeue(); p != nil; p = d.Dequeue() {
+		order = append(order, p.Class)
+	}
+	if len(order) != 6 {
+		t.Fatalf("dequeued %d packets, want 6", len(order))
+	}
+	switches := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] != order[i-1] {
+			switches++
+		}
+	}
+	if switches < 3 {
+		t.Errorf("classes barely interleave: %v", order)
+	}
+}
+
+func TestDRRSkipsEmptyClass(t *testing.T) {
+	d, _ := NewDRR(1500, 1500)
+	d.Enqueue(&Packet{Class: Alpha, SizeBytes: 1000})
+	if p := d.Dequeue(); p == nil || p.Class != Alpha {
+		t.Fatal("lone alpha packet not served")
+	}
+	if d.Dequeue() != nil {
+		t.Fatal("empty DRR should dequeue nil")
+	}
+}
+
+func TestDRROversizedPacketStillServed(t *testing.T) {
+	// A packet larger than the quantum must still make progress.
+	d, _ := NewDRR(100, 100)
+	d.Enqueue(&Packet{Class: GeneralPurpose, SizeBytes: 9000})
+	if p := d.Dequeue(); p == nil {
+		t.Fatal("oversized packet starved")
+	}
+}
+
+func TestLinkTransmitsAtCapacity(t *testing.T) {
+	eng := simclock.New()
+	link, err := NewLink(eng, NewFIFO(), 1e6) // 1 Mbps
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.MustAt(0, func() {
+		link.Arrive(&Packet{Class: GeneralPurpose, SizeBytes: 1250}) // 10 ms at 1 Mbps
+		link.Arrive(&Packet{Class: GeneralPurpose, SizeBytes: 1250})
+	})
+	eng.Run()
+	dep := link.Departed()
+	if len(dep) != 2 {
+		t.Fatalf("departed %d packets, want 2", len(dep))
+	}
+	if d := dep[0].DelaySec(); d < 0.0099 || d > 0.0101 {
+		t.Errorf("first packet delay %v, want ~10ms", d)
+	}
+	if d := dep[1].DelaySec(); d < 0.0199 || d > 0.0201 {
+		t.Errorf("second packet delay %v, want ~20ms (queued)", d)
+	}
+}
+
+func TestNewLinkValidation(t *testing.T) {
+	eng := simclock.New()
+	if _, err := NewLink(nil, NewFIFO(), 1); err == nil {
+		t.Error("nil engine should fail")
+	}
+	if _, err := NewLink(eng, nil, 1); err == nil {
+		t.Error("nil scheduler should fail")
+	}
+	if _, err := NewLink(eng, NewFIFO(), 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+}
+
+func TestPoissonSourceRate(t *testing.T) {
+	eng := simclock.New()
+	link, _ := NewLink(eng, NewFIFO(), 1e9)
+	rng := rand.New(rand.NewSource(5))
+	if err := PoissonSource(eng, link, GeneralPurpose, 1000, 100, 10, rng); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	n := len(link.Departed())
+	// ~10,000 arrivals expected over 10 s; allow wide tolerance.
+	if n < 9000 || n > 11000 {
+		t.Errorf("Poisson source produced %d packets, want ~10000", n)
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	eng := simclock.New()
+	link, _ := NewLink(eng, NewFIFO(), 1e9)
+	rng := rand.New(rand.NewSource(1))
+	if err := PoissonSource(eng, link, GeneralPurpose, 0, 100, 1, rng); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if err := PoissonSource(eng, link, GeneralPurpose, 1, 0, 1, rng); err == nil {
+		t.Error("zero size should fail")
+	}
+	if err := BurstSource(eng, link, Alpha, 0, 1, 1, 1); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if err := BurstSource(eng, link, Alpha, 1, 0, 1, 1); err == nil {
+		t.Error("zero burst should fail")
+	}
+}
+
+func TestBurstSourceEmits(t *testing.T) {
+	eng := simclock.New()
+	link, _ := NewLink(eng, NewFIFO(), 1e9)
+	if err := BurstSource(eng, link, Alpha, 1, 10, 1500, 5); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// Bursts at t=1..5: 5 bursts of 10.
+	if n := len(link.Departed()); n != 50 {
+		t.Errorf("burst source produced %d packets, want 50", n)
+	}
+}
+
+func TestVirtualQueuesCutGPJitter(t *testing.T) {
+	// The paper's positive #3: virtual queues prevent GP packets from
+	// queueing behind α bursts, shrinking both tail delay and spread.
+	fifo, drr, err := CompareIsolation(3, 1e9, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifo.N < 1000 || drr.N < 1000 {
+		t.Fatalf("too few GP packets: %d / %d", fifo.N, drr.N)
+	}
+	if drr.Max >= fifo.Max {
+		t.Errorf("DRR max delay %v ms should beat FIFO %v ms", drr.Max, fifo.Max)
+	}
+	if drr.StdDev >= fifo.StdDev {
+		t.Errorf("DRR jitter %v ms should beat FIFO %v ms", drr.StdDev, fifo.StdDev)
+	}
+}
+
+func TestLinkDrainsCompletely(t *testing.T) {
+	// Conservation: every arrived packet eventually departs.
+	eng := simclock.New()
+	sched, _ := NewDRR(1500, 9000)
+	link, _ := NewLink(eng, sched, 1e8)
+	rng := rand.New(rand.NewSource(9))
+	arrivals := 0
+	for i := 0; i < 200; i++ {
+		at := simclock.Time(rng.Float64() * 2)
+		eng.MustAt(at, func() {
+			link.Arrive(&Packet{Class: Class(rng.Intn(2)), SizeBytes: 500 + rng.Intn(8500)})
+		})
+		arrivals++
+	}
+	eng.Run()
+	if len(link.Departed()) != arrivals {
+		t.Errorf("departed %d of %d packets", len(link.Departed()), arrivals)
+	}
+	// Departures are ordered in time and never precede arrivals.
+	prev := simclock.Time(0)
+	for _, p := range link.Departed() {
+		if p.Departed < p.Arrived {
+			t.Fatal("packet departed before arriving")
+		}
+		if p.Departed < prev {
+			t.Fatal("departures out of order")
+		}
+		prev = p.Departed
+	}
+}

@@ -1,0 +1,40 @@
+package sessions_test
+
+import (
+	"fmt"
+	"time"
+
+	"gftpvc/internal/sessions"
+	"gftpvc/internal/usagestats"
+)
+
+// ExampleGroup shows the paper's session grouping: three transfers, the
+// first two back-to-back (within g), the third after a long pause.
+func ExampleGroup() {
+	base := time.Date(2012, 4, 2, 2, 0, 0, 0, time.UTC)
+	rec := func(offsetSec, durSec float64, mb int64) usagestats.Record {
+		return usagestats.Record{
+			Type:       usagestats.Retrieve,
+			SizeBytes:  mb << 20,
+			Start:      base.Add(time.Duration(offsetSec * float64(time.Second))),
+			ServerHost: "dtn.slac.stanford.edu", RemoteHost: "dtn.bnl.gov",
+			DurationSec: durSec, Streams: 8, Stripes: 1,
+		}
+	}
+	records := []usagestats.Record{
+		rec(0, 30, 400),
+		rec(40, 30, 400),  // 10 s after the first ends: same session
+		rec(600, 30, 400), // 9.5 min later: a new session
+	}
+	ss, err := sessions.Group(records, time.Minute)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, s := range ss {
+		fmt.Printf("session %d: %d transfers, %d MB\n", i+1, s.Count(), s.SizeBytes()>>20)
+	}
+	// Output:
+	// session 1: 2 transfers, 800 MB
+	// session 2: 1 transfers, 400 MB
+}

@@ -1,0 +1,106 @@
+package sessions
+
+import (
+	"errors"
+	"sort"
+
+	"gftpvc/internal/usagestats"
+)
+
+// The paper could not group the anonymized NERSC logs into sessions, but
+// "it was possible to isolate GridFTP transfers corresponding to periodic
+// administration-run tests" — repeated transfers of the same nominal size
+// launched at fixed times of day. IsolatePeriodic implements that
+// isolation step.
+
+// PeriodicGroup is one detected admin-test series.
+type PeriodicGroup struct {
+	// NominalBytes is the group's median size.
+	NominalBytes int64
+	// Hours are the start hours (UTC) the series runs at.
+	Hours []int
+	// Records are the member transfers, ordered by start time.
+	Records []usagestats.Record
+}
+
+// IsolatePeriodic finds series of transfers with near-identical sizes
+// (within sizeTol relative, e.g. 0.3) that recur at a small set of start
+// hours. A group qualifies when it has at least minCount members and its
+// two most common start hours cover at least 60% of them (cron-like
+// scheduling). Groups are returned largest first.
+func IsolatePeriodic(records []usagestats.Record, sizeTol float64, minCount int) ([]PeriodicGroup, error) {
+	if sizeTol <= 0 || sizeTol >= 1 {
+		return nil, errors.New("sessions: size tolerance must be in (0,1)")
+	}
+	if minCount < 3 {
+		return nil, errors.New("sessions: minCount must be >= 3")
+	}
+	if len(records) == 0 {
+		return nil, nil
+	}
+	// Size clustering by consecutive-gap chaining over the sorted sizes:
+	// a record joins the current cluster while its size is within sizeTol
+	// (relative) of the previous member. A dense same-nominal-size series
+	// chains into one cluster regardless of its spread; scattered user
+	// traffic either fragments (sparse regions) or chains into one broad
+	// cluster that the start-hour test below rejects.
+	sorted := make([]usagestats.Record, len(records))
+	copy(sorted, records)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].SizeBytes < sorted[j].SizeBytes })
+	var clusters [][]usagestats.Record
+	var cur []usagestats.Record
+	for _, r := range sorted {
+		if len(cur) > 0 {
+			prev := cur[len(cur)-1].SizeBytes
+			if float64(r.SizeBytes-prev) > sizeTol*float64(prev) {
+				clusters = append(clusters, cur)
+				cur = nil
+			}
+		}
+		cur = append(cur, r)
+	}
+	clusters = append(clusters, cur)
+
+	var out []PeriodicGroup
+	for _, cluster := range clusters {
+		if len(cluster) < minCount {
+			continue
+		}
+		byHour := map[int]int{}
+		for _, r := range cluster {
+			byHour[r.Start.UTC().Hour()]++
+		}
+		// Two most common hours must dominate.
+		counts := make([]int, 0, len(byHour))
+		for _, n := range byHour {
+			counts = append(counts, n)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		top2 := counts[0]
+		if len(counts) > 1 {
+			top2 += counts[1]
+		}
+		if float64(top2) < 0.6*float64(len(cluster)) {
+			continue
+		}
+		g := PeriodicGroup{Records: cluster}
+		usagestats.SortByStart(g.Records)
+		sizes := make([]int64, len(cluster))
+		for i, r := range cluster {
+			sizes[i] = r.SizeBytes
+		}
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+		g.NominalBytes = sizes[len(sizes)/2]
+		var hours []int
+		for h, n := range byHour {
+			if float64(n) >= 0.1*float64(len(cluster)) {
+				hours = append(hours, h)
+			}
+		}
+		sort.Ints(hours)
+		g.Hours = hours
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return len(out[i].Records) > len(out[j].Records) })
+	return out, nil
+}

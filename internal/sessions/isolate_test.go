@@ -1,0 +1,102 @@
+package sessions_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"gftpvc/internal/sessions"
+	"gftpvc/internal/usagestats"
+	"gftpvc/internal/workload"
+)
+
+func TestIsolatePeriodicValidation(t *testing.T) {
+	if _, err := sessions.IsolatePeriodic(nil, 0, 5); err == nil {
+		t.Error("zero tolerance should fail")
+	}
+	if _, err := sessions.IsolatePeriodic(nil, 1.5, 5); err == nil {
+		t.Error("tolerance >= 1 should fail")
+	}
+	if _, err := sessions.IsolatePeriodic(nil, 0.3, 1); err == nil {
+		t.Error("minCount < 3 should fail")
+	}
+	groups, err := sessions.IsolatePeriodic(nil, 0.3, 5)
+	if err != nil || groups != nil {
+		t.Errorf("empty input: %v, %v", groups, err)
+	}
+}
+
+func TestIsolatePeriodicRecoversAdminTests(t *testing.T) {
+	// The paper's NERSC pipeline: anonymized logs mixing user traffic and
+	// the periodic 32 GB test transfers. Isolation must recover the 145
+	// test records from the noise.
+	tests := workload.NERSCORNL32G(9)
+	rng := rand.New(rand.NewSource(13))
+	base := time.Date(2010, 9, 1, 0, 0, 0, 0, time.UTC)
+	mixed := make([]usagestats.Record, 0, len(tests)+400)
+	mixed = append(mixed, tests...)
+	for i := 0; i < 400; i++ {
+		// User traffic: broadly spread sizes and start times.
+		size := int64(1e5 + rng.Float64()*8e9)
+		mixed = append(mixed, usagestats.Record{
+			Type:       usagestats.Retrieve,
+			SizeBytes:  size,
+			Start:      base.Add(time.Duration(rng.Float64() * 29 * 24 * float64(time.Hour))),
+			ServerHost: workload.HostNERSC, RemoteHost: "",
+			DurationSec: 1 + rng.Float64()*500, Streams: 1, Stripes: 1,
+		})
+	}
+	rng.Shuffle(len(mixed), func(i, j int) { mixed[i], mixed[j] = mixed[j], mixed[i] })
+
+	groups, err := sessions.IsolatePeriodic(mixed, 0.30, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("found %d periodic groups, want 1", len(groups))
+	}
+	g := groups[0]
+	if len(g.Records) < 140 || len(g.Records) > 160 {
+		t.Errorf("group has %d records, want ~145", len(g.Records))
+	}
+	// Nominal size near 32 GB.
+	if g.NominalBytes < 28<<30 || g.NominalBytes > 36<<30 {
+		t.Errorf("nominal size = %d, want ~32 GB", g.NominalBytes)
+	}
+	// The cron hours 2 and 8 must be detected.
+	hasHour := map[int]bool{}
+	for _, h := range g.Hours {
+		hasHour[h] = true
+	}
+	if !hasHour[2] || !hasHour[8] {
+		t.Errorf("hours = %v, want {2, 8}", g.Hours)
+	}
+	// Members are time-ordered.
+	for i := 1; i < len(g.Records); i++ {
+		if g.Records[i].Start.Before(g.Records[i-1].Start) {
+			t.Fatal("group records out of order")
+		}
+	}
+}
+
+func TestIsolatePeriodicRejectsUnscheduled(t *testing.T) {
+	// Same-size transfers at uniformly random hours are not admin tests.
+	rng := rand.New(rand.NewSource(5))
+	base := time.Date(2010, 9, 1, 0, 0, 0, 0, time.UTC)
+	var records []usagestats.Record
+	for i := 0; i < 100; i++ {
+		records = append(records, usagestats.Record{
+			Type:       usagestats.Retrieve,
+			SizeBytes:  1 << 30,
+			Start:      base.Add(time.Duration(rng.Float64() * 29 * 24 * float64(time.Hour))),
+			ServerHost: "h", DurationSec: 10, Streams: 1, Stripes: 1,
+		})
+	}
+	groups, err := sessions.IsolatePeriodic(records, 0.3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Errorf("unscheduled traffic misclassified as periodic: %d groups", len(groups))
+	}
+}

@@ -1,0 +1,205 @@
+package simxfer
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gftpvc/internal/sessions"
+	"gftpvc/internal/topo"
+	"gftpvc/internal/usagestats"
+)
+
+var epoch = time.Date(2012, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// dtnScenario builds a path whose access links model a 2 Gbps DTN.
+func dtnScenario(t *testing.T) *topo.Scenario {
+	t.Helper()
+	s, err := topo.CustomScenario("test-dtn", 3, 10e9, 2e9, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, epoch); err == nil {
+		t.Error("nil scenario should fail")
+	}
+	if _, err := New(dtnScenario(t), time.Time{}); err == nil {
+		t.Error("zero epoch should fail")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	c, err := New(dtnScenario(t), epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Session{
+		{FileSizes: nil},
+		{FileSizes: []float64{0}},
+		{FileSizes: []float64{1e6}, GapSec: -1},
+		{FileSizes: []float64{1e6}, Streams: 99},
+	}
+	for i, s := range bad {
+		if err := c.Schedule(s); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSingleSessionProducesRecords(t *testing.T) {
+	c, err := New(dtnScenario(t), epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Schedule(Session{
+		Start:     10,
+		FileSizes: []float64{1e9, 2e9, 3e9},
+		GapSec:    5,
+		Streams:   8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d, want 3", len(records))
+	}
+	for i, r := range records {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("record %d invalid: %v", i, err)
+		}
+		if r.Streams != 8 || r.Type != usagestats.Retrieve {
+			t.Errorf("record %d = %+v", i, r)
+		}
+		// Alone on a 2 Gbps-access DTN the transfer cannot beat 2 Gbps.
+		if thr := r.ThroughputBps(); thr > 2e9+1 {
+			t.Errorf("record %d throughput %v exceeds DTN access rate", i, thr)
+		}
+	}
+	// Sequential with 5 s gaps: starts strictly ordered.
+	for i := 1; i < len(records); i++ {
+		if gap := records[i].Start.Sub(records[i-1].End()); gap < 4*time.Second {
+			t.Errorf("inter-transfer gap %v, want ~5s", gap)
+		}
+	}
+}
+
+func TestRecordsRegroupIntoOneSession(t *testing.T) {
+	c, _ := New(dtnScenario(t), epoch)
+	sizes := make([]float64, 10)
+	for i := range sizes {
+		sizes[i] = 500e6
+	}
+	if err := c.Schedule(Session{Start: 0, FileSizes: sizes, GapSec: 2, Streams: 4}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := sessions.Group(records, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 1 || ss[0].Count() != 10 {
+		t.Fatalf("regrouped %d sessions (first has %d transfers), want 1 x 10", len(ss), ss[0].Count())
+	}
+}
+
+func TestDTNContentionSharesAccessLink(t *testing.T) {
+	// Two concurrent sessions through the same 2 Gbps DTN must share it:
+	// each transfer sees roughly half the solo throughput.
+	solo := func() float64 {
+		c, _ := New(dtnScenario(t), epoch)
+		c.Schedule(Session{Start: 0, FileSizes: []float64{20e9}, Streams: 8})
+		records, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return records[0].ThroughputBps()
+	}()
+	c, _ := New(dtnScenario(t), epoch)
+	for i := 0; i < 2; i++ {
+		if err := c.Schedule(Session{Start: 0, FileSizes: []float64{20e9}, Streams: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("records = %d", len(records))
+	}
+	for _, r := range records {
+		ratio := r.ThroughputBps() / solo
+		if math.Abs(ratio-0.5) > 0.1 {
+			t.Errorf("contended/solo = %v, want ~0.5 (DTN access shared)", ratio)
+		}
+	}
+}
+
+func TestDirectionsUseOppositeAccessDirections(t *testing.T) {
+	// A RETR (src->dst) and a STOR (dst->src) do not share a directed
+	// access link, so running both concurrently leaves each at full rate.
+	c, _ := New(dtnScenario(t), epoch)
+	c.Schedule(Session{Start: 0, FileSizes: []float64{10e9}, Streams: 8, Direction: SrcToDst})
+	c.Schedule(Session{Start: 0, FileSizes: []float64{10e9}, Streams: 8, Direction: DstToSrc})
+	records, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("records = %d", len(records))
+	}
+	types := map[usagestats.TransferType]bool{}
+	for _, r := range records {
+		types[r.Type] = true
+		if thr := r.ThroughputBps(); thr < 1.5e9 {
+			t.Errorf("%s throughput %v, want near 2 Gbps (no shared direction)", r.Type, thr)
+		}
+	}
+	if !types[usagestats.Retrieve] || !types[usagestats.Store] {
+		t.Errorf("types = %v, want both RETR and STOR", types)
+	}
+}
+
+func TestSmallFilesRampLimited(t *testing.T) {
+	// TCP slow start must bite in the simulated mode too: tiny files move
+	// far below the DTN rate, large files approach it.
+	c, _ := New(dtnScenario(t), epoch)
+	c.Schedule(Session{Start: 0, FileSizes: []float64{5e6}, Streams: 1})
+	c.Schedule(Session{Start: 100, FileSizes: []float64{20e9}, Streams: 8})
+	records, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var small, large float64
+	for _, r := range records {
+		if r.SizeBytes < 1e9 {
+			small = r.ThroughputBps()
+		} else {
+			large = r.ThroughputBps()
+		}
+	}
+	if small >= large/3 {
+		t.Errorf("small-file throughput %v should sit well below large-file %v", small, large)
+	}
+}
+
+func TestCustomScenarioValidation(t *testing.T) {
+	if _, err := topo.CustomScenario("x", 3, 0, 1e9, 0.05); err == nil {
+		t.Error("zero core capacity should fail")
+	}
+	if _, err := topo.CustomScenario("x", 3, 1e9, 0, 0.05); err == nil {
+		t.Error("zero access capacity should fail")
+	}
+	if _, err := topo.CustomScenario("x", 1, 1e9, 1e9, 0.05); err == nil {
+		t.Error("single core router should fail")
+	}
+}

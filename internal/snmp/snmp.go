@@ -1,0 +1,288 @@
+// Package snmp reproduces the measurement channel of the paper's link-
+// utilization analysis: per-interface byte counters collected on a fixed
+// 30-second cadence (as ESnet configures its routers), the Eq. 1
+// overlap-weighted estimate of bytes a link carried during one GridFTP
+// transfer, and the per-quartile correlation analyses behind Tables
+// XI–XIII.
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"gftpvc/internal/netsim"
+	"gftpvc/internal/simclock"
+	"gftpvc/internal/stats"
+	"gftpvc/internal/topo"
+)
+
+// DefaultBinSec is ESnet's SNMP collection interval.
+const DefaultBinSec = 30.0
+
+// Counter is one interface's byte-count series: Bytes[i] is the bytes
+// carried during [Origin + i·BinSec, Origin + (i+1)·BinSec).
+type Counter struct {
+	Link   topo.LinkID
+	Origin float64
+	BinSec float64
+	Bytes  []float64
+}
+
+// binRange returns the indices of bins overlapping [startSec, endSec).
+func (c *Counter) binRange(startSec, endSec float64) (int, int, error) {
+	if c.BinSec <= 0 {
+		return 0, 0, errors.New("snmp: non-positive bin size")
+	}
+	if endSec <= startSec {
+		return 0, 0, errors.New("snmp: empty interval")
+	}
+	first := int((startSec - c.Origin) / c.BinSec)
+	// endSec is exclusive: an interval ending exactly on a bin boundary
+	// does not touch the next bin.
+	last := int(math.Ceil((endSec-c.Origin)/c.BinSec)) - 1
+	if startSec < c.Origin || last >= len(c.Bytes) {
+		return 0, 0, fmt.Errorf("snmp: interval [%v,%v) outside collected range", startSec, endSec)
+	}
+	return first, last, nil
+}
+
+// OverlapBytes implements Eq. 1: the estimated number of bytes the link
+// carried during [startSec, endSec), prorating the first and last SNMP
+// bins by their overlap with the interval.
+func (c *Counter) OverlapBytes(startSec, endSec float64) (float64, error) {
+	first, last, err := c.binRange(startSec, endSec)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i := first; i <= last; i++ {
+		binStart := c.Origin + float64(i)*c.BinSec
+		binEnd := binStart + c.BinSec
+		lo, hi := binStart, binEnd
+		if startSec > lo {
+			lo = startSec
+		}
+		if endSec < hi {
+			hi = endSec
+		}
+		if hi <= lo {
+			continue
+		}
+		total += c.Bytes[i] * (hi - lo) / c.BinSec
+	}
+	return total, nil
+}
+
+// AverageLoadBps returns the link's average load in bits/second over the
+// interval (the Table XIII quantity B_i/D_i).
+func (c *Counter) AverageLoadBps(startSec, endSec float64) (float64, error) {
+	b, err := c.OverlapBytes(startSec, endSec)
+	if err != nil {
+		return 0, err
+	}
+	return b * 8 / (endSec - startSec), nil
+}
+
+// Poller samples a netsim network's link byte counters every BinSec of
+// virtual time, producing one Counter per observed link.
+type Poller struct {
+	nw       *netsim.Network
+	counters map[topo.LinkID]*Counter
+	lastTot  map[topo.LinkID]float64
+	binSec   float64
+	ticker   *simclock.Ticker
+}
+
+// NewPoller creates a poller for the given links. Call Start before
+// running the simulation; collection begins at the current virtual time.
+func NewPoller(nw *netsim.Network, links []topo.LinkID, binSec float64) (*Poller, error) {
+	if nw == nil {
+		return nil, errors.New("snmp: nil network")
+	}
+	if binSec <= 0 {
+		return nil, errors.New("snmp: bin size must be positive")
+	}
+	if len(links) == 0 {
+		return nil, errors.New("snmp: no links to observe")
+	}
+	p := &Poller{
+		nw:       nw,
+		counters: make(map[topo.LinkID]*Counter, len(links)),
+		lastTot:  make(map[topo.LinkID]float64, len(links)),
+		binSec:   binSec,
+	}
+	origin := float64(nw.Engine().Now())
+	for _, id := range links {
+		if _, err := nw.LinkBytes(id); err != nil {
+			return nil, err
+		}
+		p.counters[id] = &Counter{Link: id, Origin: origin, BinSec: binSec}
+	}
+	return p, nil
+}
+
+// Start schedules the 30-second collection ticks.
+func (p *Poller) Start() error {
+	if p.ticker != nil {
+		return errors.New("snmp: poller already started")
+	}
+	// Seed the cumulative baselines at the origin.
+	for id := range p.counters {
+		tot, err := p.nw.LinkBytes(id)
+		if err != nil {
+			return err
+		}
+		p.lastTot[id] = tot
+	}
+	tk, err := simclock.Tick(p.nw.Engine(), simclock.Duration(p.binSec), func(simclock.Time) {
+		p.sample()
+	})
+	if err != nil {
+		return err
+	}
+	p.ticker = tk
+	return nil
+}
+
+// Stop cancels collection.
+func (p *Poller) Stop() {
+	if p.ticker != nil {
+		p.ticker.Cancel()
+	}
+}
+
+func (p *Poller) sample() {
+	// Deterministic order is irrelevant for appends, but keep it tidy.
+	ids := make([]topo.LinkID, 0, len(p.counters))
+	for id := range p.counters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		tot, err := p.nw.LinkBytes(id)
+		if err != nil {
+			continue
+		}
+		c := p.counters[id]
+		c.Bytes = append(c.Bytes, tot-p.lastTot[id])
+		p.lastTot[id] = tot
+	}
+}
+
+// Counter returns the series for one link, or nil.
+func (p *Poller) Counter(id topo.LinkID) *Counter { return p.counters[id] }
+
+// TransferObs is one GridFTP transfer as the correlation analysis sees it:
+// when it ran and how many bytes it moved.
+type TransferObs struct {
+	StartSec float64
+	DurSec   float64
+	Bytes    float64
+}
+
+// QuartileOf assigns each observation a throughput quartile 0..3 (the
+// paper divides the 32 GB transfers "into four quartiles based on
+// throughput").
+func QuartileOf(obs []TransferObs) []int {
+	ths := make([]float64, len(obs))
+	for i, o := range obs {
+		if o.DurSec > 0 {
+			ths[i] = o.Bytes * 8 / o.DurSec
+		}
+	}
+	q1, _ := stats.Quantile(ths, 0.25)
+	q2, _ := stats.Quantile(ths, 0.50)
+	q3, _ := stats.Quantile(ths, 0.75)
+	out := make([]int, len(obs))
+	for i, t := range ths {
+		switch {
+		case t <= q1:
+			out[i] = 0
+		case t <= q2:
+			out[i] = 1
+		case t <= q3:
+			out[i] = 2
+		default:
+			out[i] = 3
+		}
+	}
+	return out
+}
+
+// CorrelationRow holds one Table XI/XII column for a link: the correlation
+// within each throughput quartile plus over all transfers.
+type CorrelationRow struct {
+	Link      topo.LinkID
+	Quartiles [4]float64
+	All       float64
+}
+
+// CorrelateTotal computes Table XI for one link: corr(GridFTP bytes, Bᵢ)
+// per quartile and overall, where Bᵢ is the Eq. 1 estimate of total bytes
+// the link carried during each transfer.
+func (c *Counter) CorrelateTotal(obs []TransferObs) (CorrelationRow, error) {
+	return c.correlate(obs, false)
+}
+
+// CorrelateOther computes Table XII for one link: corr(GridFTP bytes,
+// Bᵢ − GridFTP bytes), the transfer against the *remaining* traffic.
+func (c *Counter) CorrelateOther(obs []TransferObs) (CorrelationRow, error) {
+	return c.correlate(obs, true)
+}
+
+func (c *Counter) correlate(obs []TransferObs, subtractSelf bool) (CorrelationRow, error) {
+	row := CorrelationRow{Link: c.Link}
+	if len(obs) < 2 {
+		return row, errors.New("snmp: need at least two observations")
+	}
+	g := make([]float64, len(obs))
+	b := make([]float64, len(obs))
+	for i, o := range obs {
+		g[i] = o.Bytes
+		est, err := c.OverlapBytes(o.StartSec, o.StartSec+o.DurSec)
+		if err != nil {
+			return row, err
+		}
+		if subtractSelf {
+			est -= o.Bytes
+		}
+		b[i] = est
+	}
+	quart := QuartileOf(obs)
+	for q := 0; q < 4; q++ {
+		var gq, bq []float64
+		for i := range obs {
+			if quart[i] == q {
+				gq = append(gq, g[i])
+				bq = append(bq, b[i])
+			}
+		}
+		if len(gq) >= 2 {
+			if r, err := stats.Pearson(gq, bq); err == nil {
+				row.Quartiles[q] = r
+			}
+		}
+	}
+	all, err := stats.Pearson(g, b)
+	if err != nil {
+		return row, err
+	}
+	row.All = all
+	return row, nil
+}
+
+// LoadSummary computes Table XIII for one link: the five-number summary of
+// the link's average load (Gbps) across the observation windows.
+func (c *Counter) LoadSummary(obs []TransferObs) (stats.Summary, error) {
+	loads := make([]float64, 0, len(obs))
+	for _, o := range obs {
+		l, err := c.AverageLoadBps(o.StartSec, o.StartSec+o.DurSec)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		loads = append(loads, l/1e9)
+	}
+	return stats.Summarize(loads)
+}

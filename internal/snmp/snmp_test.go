@@ -1,0 +1,278 @@
+package snmp
+
+import (
+	"math"
+	"testing"
+
+	"gftpvc/internal/netsim"
+	"gftpvc/internal/simclock"
+	"gftpvc/internal/topo"
+)
+
+func counterWith(bytes ...float64) *Counter {
+	return &Counter{Link: "l", Origin: 0, BinSec: 30, Bytes: bytes}
+}
+
+func TestOverlapBytesWholeBins(t *testing.T) {
+	c := counterWith(300, 600, 900)
+	got, err := c.OverlapBytes(0, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1800 {
+		t.Errorf("OverlapBytes = %v, want 1800", got)
+	}
+}
+
+func TestOverlapBytesPartialBins(t *testing.T) {
+	// Eq. 1's proration: transfer spans [15, 75): half of bin 0, all of
+	// bin 1, half of bin 2.
+	c := counterWith(300, 600, 900)
+	got, err := c.OverlapBytes(15, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 150.0 + 600 + 450
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("OverlapBytes = %v, want %v", got, want)
+	}
+}
+
+func TestOverlapBytesWithinOneBin(t *testing.T) {
+	c := counterWith(300)
+	got, err := c.OverlapBytes(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100) > 1e-9 {
+		t.Errorf("OverlapBytes = %v, want 100", got)
+	}
+}
+
+func TestOverlapBytesErrors(t *testing.T) {
+	c := counterWith(300, 600)
+	if _, err := c.OverlapBytes(10, 10); err == nil {
+		t.Error("empty interval should fail")
+	}
+	if _, err := c.OverlapBytes(-5, 10); err == nil {
+		t.Error("before origin should fail")
+	}
+	if _, err := c.OverlapBytes(10, 1000); err == nil {
+		t.Error("beyond collected range should fail")
+	}
+	bad := &Counter{BinSec: 0, Bytes: []float64{1}}
+	if _, err := bad.OverlapBytes(0, 1); err == nil {
+		t.Error("zero bin should fail")
+	}
+}
+
+func TestAverageLoad(t *testing.T) {
+	c := counterWith(300, 300)
+	got, err := c.AverageLoadBps(0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-80) > 1e-9 { // 600 bytes over 60 s = 80 bps
+		t.Errorf("AverageLoadBps = %v, want 80", got)
+	}
+}
+
+func TestQuartileOf(t *testing.T) {
+	obs := []TransferObs{
+		{0, 10, 100}, {0, 10, 200}, {0, 10, 300}, {0, 10, 400},
+		{0, 10, 500}, {0, 10, 600}, {0, 10, 700}, {0, 10, 800},
+	}
+	q := QuartileOf(obs)
+	if q[0] != 0 || q[7] != 3 {
+		t.Errorf("quartiles = %v", q)
+	}
+	counts := [4]int{}
+	for _, v := range q {
+		counts[v]++
+	}
+	for i, n := range counts {
+		if n == 0 {
+			t.Errorf("quartile %d empty: %v", i, q)
+		}
+	}
+}
+
+// buildSimWithPoller runs two foreground transfers plus light background
+// traffic over a 3-node chain and collects SNMP bins.
+func buildSimWithPoller(t *testing.T) (*Counter, []TransferObs) {
+	t.Helper()
+	eng := simclock.New()
+	tp := topo.New()
+	for _, id := range []topo.NodeID{"a", "b", "c"} {
+		tp.AddNode(id, topo.Host)
+	}
+	tp.AddDuplex("a", "b", 10e9, 0.001)
+	tp.AddDuplex("b", "c", 10e9, 0.001)
+	nw := netsim.New(eng, tp)
+	path, _ := tp.ShortestPath("a", "c")
+	linkID := path[1].ID // b->c, the "backbone" hop
+
+	p, err := NewPoller(nw, []topo.LinkID{linkID}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Background stream at 50 Mbps for the whole window.
+	if _, err := nw.StartFlow(path, math.Inf(1), netsim.FlowOptions{RateCapBps: 50e6}); err != nil {
+		t.Fatal(err)
+	}
+	var obs []TransferObs
+	addTransfer := func(at simclock.Time, size float64, rate float64) {
+		eng.MustAt(at, func() {
+			f, err := nw.StartFlow(path, size, netsim.FlowOptions{
+				RateCapBps: rate,
+				OnDone: func(f *netsim.Flow, now simclock.Time) {
+					obs = append(obs, TransferObs{
+						StartSec: float64(f.Start()),
+						DurSec:   f.DurationSec(),
+						Bytes:    size,
+					})
+				},
+			})
+			if err != nil {
+				t.Errorf("StartFlow: %v", err)
+			}
+			_ = f
+		})
+	}
+	// Both transfers span many 30-second bins, as the paper's 32 GB test
+	// transfers did; Eq. 1's proration error is small only in that regime.
+	addTransfer(30, 40e9, 2e9)  // 160s at 2 Gbps
+	addTransfer(400, 32e9, 1e9) // 256s at 1 Gbps
+	eng.RunUntil(1200)
+	return p.Counter(linkID), obs
+}
+
+func TestPollerBinsCaptureTraffic(t *testing.T) {
+	c, obs := buildSimWithPoller(t)
+	if len(obs) != 2 {
+		t.Fatalf("got %d observations, want 2", len(obs))
+	}
+	if len(c.Bytes) < 39 {
+		t.Fatalf("collected %d bins, want >= 39 over 1200s", len(c.Bytes))
+	}
+	// The Eq.1 estimate should land near the transfer's own bytes plus the
+	// 50 Mbps background share; edge-bin proration bounds the error.
+	for i, o := range obs {
+		est, err := c.OverlapBytes(o.StartSec, o.StartSec+o.DurSec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := o.Bytes + 50e6/8*o.DurSec
+		if math.Abs(est-want)/want > 0.10 {
+			t.Errorf("transfer %d: estimate %v, want within 10%% of %v", i, est, want)
+		}
+	}
+}
+
+func TestPollerValidation(t *testing.T) {
+	eng := simclock.New()
+	tp := topo.New()
+	tp.AddNode("a", topo.Host)
+	tp.AddNode("b", topo.Host)
+	tp.AddDuplex("a", "b", 1e9, 0.001)
+	nw := netsim.New(eng, tp)
+	link := tp.Link("a", "b").ID
+	if _, err := NewPoller(nil, []topo.LinkID{link}, 30); err == nil {
+		t.Error("nil network should fail")
+	}
+	if _, err := NewPoller(nw, nil, 30); err == nil {
+		t.Error("no links should fail")
+	}
+	if _, err := NewPoller(nw, []topo.LinkID{link}, 0); err == nil {
+		t.Error("zero bin should fail")
+	}
+	if _, err := NewPoller(nw, []topo.LinkID{"bogus"}, 30); err == nil {
+		t.Error("unknown link should fail")
+	}
+	p, err := NewPoller(nw, []topo.LinkID{link}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err == nil {
+		t.Error("double start should fail")
+	}
+	p.Stop()
+}
+
+func TestCorrelationHighWhenTransfersDominate(t *testing.T) {
+	// When GridFTP transfers dominate link bytes (light background), the
+	// Table XI correlation over all transfers should be very high, and
+	// the Table XII correlation (vs other traffic) low — the paper's
+	// headline findings.
+	eng := simclock.New()
+	tp := topo.New()
+	for _, id := range []topo.NodeID{"a", "b", "c"} {
+		tp.AddNode(id, topo.Host)
+	}
+	tp.AddDuplex("a", "b", 10e9, 0.001)
+	tp.AddDuplex("b", "c", 10e9, 0.001)
+	nw := netsim.New(eng, tp)
+	path, _ := tp.ShortestPath("a", "c")
+	linkID := path[1].ID
+	p, _ := NewPoller(nw, []topo.LinkID{linkID}, 30)
+	p.Start()
+	nw.StartFlow(path, math.Inf(1), netsim.FlowOptions{RateCapBps: 30e6})
+	var obs []TransferObs
+	sizes := []float64{1e9, 2e9, 4e9, 8e9, 16e9, 3e9, 6e9, 12e9}
+	for i, size := range sizes {
+		size := size
+		eng.MustAt(simclock.Time(float64(i)*300), func() {
+			nw.StartFlow(path, size, netsim.FlowOptions{
+				RateCapBps: 1e9 + float64(i%4)*5e8,
+				OnDone: func(f *netsim.Flow, _ simclock.Time) {
+					obs = append(obs, TransferObs{
+						StartSec: float64(f.Start()), DurSec: f.DurationSec(), Bytes: size,
+					})
+				},
+			})
+		})
+	}
+	eng.RunUntil(3000)
+	c := p.Counter(linkID)
+	rowTotal, err := c.CorrelateTotal(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowTotal.All < 0.95 {
+		t.Errorf("Table XI 'All' correlation = %v, want > 0.95", rowTotal.All)
+	}
+	rowOther, err := c.CorrelateOther(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rowOther.All) > 0.6 {
+		t.Errorf("Table XII 'All' correlation = %v, want near 0", rowOther.All)
+	}
+	// Table XIII: average loads well under capacity (lightly loaded).
+	sum, err := c.LoadSummary(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Max > 10 {
+		t.Errorf("max load %v Gbps exceeds capacity", sum.Max)
+	}
+	if sum.Max > 6 {
+		t.Errorf("max load %v Gbps; links should be lightly loaded", sum.Max)
+	}
+}
+
+func TestCorrelateErrors(t *testing.T) {
+	c := counterWith(100, 100)
+	if _, err := c.CorrelateTotal([]TransferObs{{0, 10, 1}}); err == nil {
+		t.Error("single observation should fail")
+	}
+	if _, err := c.CorrelateTotal([]TransferObs{{0, 1e6, 1}, {0, 10, 2}}); err == nil {
+		t.Error("out-of-range interval should fail")
+	}
+}

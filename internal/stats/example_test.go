@@ -1,0 +1,40 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"gftpvc/internal/stats"
+)
+
+// ExampleQuantileSampler reconstructs a distribution from a published
+// five-number summary (here Table II's transfer-throughput row) and reads
+// values off its inverse CDF.
+func ExampleQuantileSampler() {
+	summary := stats.Summary{
+		Min: 0.004, Q1: 45.4, Median: 109.6, Mean: 195.9, Q3: 256.2, Max: 2560,
+	}
+	sampler, err := stats.NewQuantileSampler(summary)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("P25 = %.1f Mbps\n", sampler.Value(0.25))
+	fmt.Printf("P50 = %.1f Mbps\n", sampler.Value(0.50))
+	fmt.Printf("P75 = %.1f Mbps\n", sampler.Value(0.75))
+	// Output:
+	// P25 = 45.4 Mbps
+	// P50 = 109.6 Mbps
+	// P75 = 256.2 Mbps
+}
+
+// ExampleSummarize computes the paper-style five-number summary.
+func ExampleSummarize() {
+	s, err := stats.Summarize([]float64{758, 1310, 1640, 2005, 3640})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("median %.0f, IQR %.1f\n", s.Median, s.IQR())
+	// Output:
+	// median 1640, IQR 695.0
+}

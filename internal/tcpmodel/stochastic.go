@@ -1,0 +1,171 @@
+package tcpmodel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// The stochastic variant complements the deterministic Transfer model: it
+// simulates each stream's congestion window RTT by RTT with random packet
+// losses and Reno halving, and records a per-connection trace. The tstat
+// package consumes these traces the way the paper planned to use the
+// tstat tool — "a tool that reports packet loss information on a per-TCP
+// connection basis" — to test the rare-loss hypothesis behind Figs 3–4.
+
+// TraceSample is one RTT of one connection.
+type TraceSample struct {
+	TimeSec   float64
+	CwndBytes float64
+	Packets   int
+	Losses    int
+}
+
+// ConnTrace is the life of one TCP connection within a transfer.
+type ConnTrace struct {
+	Stream      int
+	Samples     []TraceSample
+	PacketsSent int
+	Retransmits int
+}
+
+// LossRate returns the connection's observed loss fraction.
+func (c ConnTrace) LossRate() float64 {
+	if c.PacketsSent == 0 {
+		return 0
+	}
+	return float64(c.Retransmits) / float64(c.PacketsSent)
+}
+
+// poisson draws from Poisson(lambda) (Knuth for small lambda, normal
+// approximation above).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// TransferStochastic simulates moving sizeBytes with random losses,
+// returning the realized result and one trace per connection. Each RTT,
+// every stream sends up to a window of packets (jointly capped by the
+// aggregate rate); each packet is lost independently with LossRate, and
+// any loss in an RTT halves that stream's window (Reno fast recovery,
+// one halving per round trip).
+func (c Config) TransferStochastic(rng *rand.Rand, sizeBytes float64, streams int) (Result, []ConnTrace, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, nil, err
+	}
+	if rng == nil {
+		return Result{}, nil, errors.New("tcpmodel: nil rng")
+	}
+	if sizeBytes <= 0 {
+		return Result{}, nil, errors.New("tcpmodel: size must be positive")
+	}
+	if streams < 1 {
+		return Result{}, nil, errors.New("tcpmodel: at least one stream")
+	}
+	wMax := c.StreamBufBytes
+	if bw := c.BottleneckBps * c.RTTSec / 8 / float64(streams); bw < wMax {
+		wMax = bw
+	}
+	if wMax < c.MSSBytes {
+		wMax = c.MSSBytes
+	}
+	cwnd := make([]float64, streams)
+	ssthresh := make([]float64, streams)
+	traces := make([]ConnTrace, streams)
+	for i := range cwnd {
+		cwnd[i] = c.InitCwndSegments * c.MSSBytes
+		if cwnd[i] > wMax {
+			cwnd[i] = wMax
+		}
+		ssthresh[i] = c.SSThreshBytes
+		traces[i].Stream = i + 1
+	}
+	remaining := sizeBytes
+	elapsed := 0.0
+	perRTTCap := math.Inf(1)
+	if c.AggregateCapBps > 0 {
+		perRTTCap = c.AggregateCapBps * c.RTTSec / 8
+	}
+	if linkCap := c.BottleneckBps * c.RTTSec / 8; linkCap < perRTTCap {
+		perRTTCap = linkCap
+	}
+	const maxRounds = 10_000_000
+	for round := 0; remaining > 0 && round < maxRounds; round++ {
+		totalWindow := 0.0
+		for i := range cwnd {
+			totalWindow += cwnd[i]
+		}
+		scale := 1.0
+		if totalWindow > perRTTCap {
+			scale = perRTTCap / totalWindow
+		}
+		sentThisRTT := 0.0
+		for i := range cwnd {
+			allowance := cwnd[i] * scale
+			if allowance > remaining-sentThisRTT {
+				allowance = remaining - sentThisRTT
+			}
+			if allowance < 0 {
+				allowance = 0
+			}
+			pkts := int(math.Ceil(allowance / c.MSSBytes))
+			losses := 0
+			if c.LossRate > 0 && pkts > 0 {
+				losses = poisson(rng, float64(pkts)*c.LossRate)
+				if losses > pkts {
+					losses = pkts
+				}
+			}
+			traces[i].PacketsSent += pkts
+			traces[i].Retransmits += losses
+			traces[i].Samples = append(traces[i].Samples, TraceSample{
+				TimeSec: elapsed, CwndBytes: cwnd[i], Packets: pkts, Losses: losses,
+			})
+			// Lost packets are retransmitted next RTT; only delivered
+			// bytes count toward the transfer.
+			sentThisRTT += allowance - float64(losses)*c.MSSBytes
+			if losses > 0 {
+				ssthresh[i] = math.Max(cwnd[i]/2, c.MSSBytes)
+				cwnd[i] = ssthresh[i]
+			} else if cwnd[i] < ssthresh[i] {
+				cwnd[i] = math.Min(cwnd[i]*2, ssthresh[i])
+			} else {
+				cwnd[i] += c.MSSBytes
+			}
+			if cwnd[i] > wMax {
+				cwnd[i] = wMax
+			}
+		}
+		if sentThisRTT < 0 {
+			sentThisRTT = 0
+		}
+		remaining -= sentThisRTT
+		elapsed += c.RTTSec
+	}
+	if remaining > 0 {
+		return Result{}, nil, errors.New("tcpmodel: stochastic transfer did not converge")
+	}
+	res := Result{
+		DurationSec:   elapsed,
+		ThroughputBps: sizeBytes * 8 / elapsed,
+	}
+	return res, traces, nil
+}

@@ -1,0 +1,185 @@
+package tcpmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPoissonZeroAndNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if poisson(rng, 0) != 0 || poisson(rng, -5) != 0 {
+		t.Error("non-positive lambda should yield 0")
+	}
+}
+
+func TestPoissonSmallLambdaMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const lambda = 3.0
+	sum := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, lambda)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-lambda) > 0.1 {
+		t.Errorf("Poisson(3) sample mean = %v", mean)
+	}
+}
+
+func TestPoissonLargeLambdaNormalApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const lambda = 400.0
+	sum := 0.0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		v := poisson(rng, lambda)
+		if v < 0 {
+			t.Fatal("negative Poisson draw")
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	if math.Abs(mean-lambda)/lambda > 0.03 {
+		t.Errorf("Poisson(400) sample mean = %v", mean)
+	}
+}
+
+func TestTransferStochasticTraceShape(t *testing.T) {
+	cfg := ESnetPath(0.08)
+	rng := rand.New(rand.NewSource(4))
+	res, traces, err := cfg.TransferStochastic(rng, 500e6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 4 {
+		t.Fatalf("traces = %d, want 4", len(traces))
+	}
+	totalPackets := 0
+	for i, tr := range traces {
+		if tr.Stream != i+1 {
+			t.Errorf("trace %d stream = %d", i, tr.Stream)
+		}
+		if len(tr.Samples) == 0 {
+			t.Fatal("empty trace")
+		}
+		// cwnd is monotone while loss-free and bounded by the window cap.
+		prevT := -1.0
+		for _, s := range tr.Samples {
+			if s.TimeSec <= prevT {
+				t.Fatal("trace time not increasing")
+			}
+			prevT = s.TimeSec
+			if s.CwndBytes <= 0 {
+				t.Fatal("non-positive cwnd")
+			}
+			if s.Losses != 0 {
+				t.Fatal("losses in loss-free config")
+			}
+			totalPackets += s.Packets
+		}
+		if tr.LossRate() != 0 {
+			t.Errorf("loss rate = %v in loss-free config", tr.LossRate())
+		}
+	}
+	// Packets must cover the payload (retransmissions would add more).
+	if float64(totalPackets)*cfg.MSSBytes < 500e6 {
+		t.Errorf("packets (%d) cannot cover the payload", totalPackets)
+	}
+	if res.DurationSec <= 0 || res.ThroughputBps <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestTransferStochasticLossRateEmpirical(t *testing.T) {
+	cfg := ESnetPath(0.08)
+	cfg.LossRate = 5e-4
+	rng := rand.New(rand.NewSource(5))
+	_, traces, err := cfg.TransferStochastic(rng, 1e9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, lost := 0, 0
+	for _, tr := range traces {
+		sent += tr.PacketsSent
+		lost += tr.Retransmits
+	}
+	got := float64(lost) / float64(sent)
+	if got < 1e-4 || got > 2e-3 {
+		t.Errorf("empirical loss rate = %v, configured 5e-4", got)
+	}
+}
+
+func TestConnTraceLossRateZeroPackets(t *testing.T) {
+	var tr ConnTrace
+	if tr.LossRate() != 0 {
+		t.Error("zero-packet trace should report 0 loss")
+	}
+}
+
+func TestTransferStochasticStreamsShareAggregate(t *testing.T) {
+	cfg := ESnetPath(0.08)
+	rng := rand.New(rand.NewSource(6))
+	res1, _, err := cfg.TransferStochastic(rng, 2e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res8, _, err := cfg.TransferStochastic(rng, 2e9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large file, loss-free: both bounded by the 200 Mbps aggregate cap.
+	for _, r := range []Result{res1, res8} {
+		if r.ThroughputBps > cfg.AggregateCapBps*1.02 {
+			t.Errorf("throughput %v exceeds aggregate cap", r.ThroughputBps)
+		}
+	}
+}
+
+func TestTransferStochasticBottleneckCap(t *testing.T) {
+	cfg := ESnetPath(0.08)
+	cfg.AggregateCapBps = 0
+	cfg.BottleneckBps = 50e6
+	rng := rand.New(rand.NewSource(7))
+	res, _, err := cfg.TransferStochastic(rng, 5e8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ThroughputBps > 50e6*1.02 {
+		t.Errorf("throughput %v exceeds bottleneck", res.ThroughputBps)
+	}
+}
+
+func TestResultRampReported(t *testing.T) {
+	cfg := ESnetPath(0.08)
+	res, err := cfg.Transfer(1e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RampSec <= 0 {
+		t.Errorf("ramp = %v, want positive (cold start)", res.RampSec)
+	}
+	if res.RampSec >= res.DurationSec {
+		t.Errorf("ramp %v should end before the transfer (%v)", res.RampSec, res.DurationSec)
+	}
+	if res.SteadyBps <= 0 {
+		t.Errorf("steady = %v", res.SteadyBps)
+	}
+}
+
+func TestTransferWarmStartSkipsRamp(t *testing.T) {
+	cfg := ESnetPath(0.08)
+	cfg.InitCwndSegments = cfg.StreamBufBytes / cfg.MSSBytes
+	cfg.SSThreshBytes = cfg.StreamBufBytes
+	res, err := cfg.Transfer(1e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RampSec > 0.01 {
+		t.Errorf("warm start ramp = %v, want ~0", res.RampSec)
+	}
+	// Warm throughput ≈ steady rate.
+	if res.ThroughputBps < 0.99*res.SteadyBps {
+		t.Errorf("warm throughput %v below steady %v", res.ThroughputBps, res.SteadyBps)
+	}
+}

@@ -1,0 +1,101 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotValidation(t *testing.T) {
+	s := Series{Name: "a", X: []float64{1}, Y: []float64{1}}
+	if _, err := Plot(5, 5, s); err == nil {
+		t.Error("tiny grid should fail")
+	}
+	if _, err := Plot(40, 10); err == nil {
+		t.Error("no series should fail")
+	}
+	bad := Series{Name: "b", X: []float64{1, 2}, Y: []float64{1}}
+	if _, err := Plot(40, 10, bad); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	nan := Series{Name: "c", X: []float64{1}, Y: []float64{math.NaN()}}
+	if _, err := Plot(40, 10, nan); err == nil {
+		t.Error("all-NaN series should fail")
+	}
+}
+
+func TestPlotPlacesExtremes(t *testing.T) {
+	s := Series{
+		Name: "ramp", Marker: 'o',
+		X: []float64{0, 50, 100},
+		Y: []float64{0, 50, 100},
+	}
+	out, err := Plot(40, 10, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// Top row holds the max point (rightmost), bottom data row the min.
+	if !strings.Contains(lines[0], "o") {
+		t.Errorf("top row missing max point:\n%s", out)
+	}
+	if !strings.Contains(lines[9], "o") {
+		t.Errorf("bottom row missing min point:\n%s", out)
+	}
+	// Axis labels show the ranges.
+	if !strings.Contains(out, "100") {
+		t.Errorf("missing axis label:\n%s", out)
+	}
+	// Legend names the series.
+	if !strings.Contains(out, "o = ramp") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+}
+
+func TestPlotTwoSeriesMarkers(t *testing.T) {
+	a := Series{Name: "one", Marker: '1', X: []float64{0, 1}, Y: []float64{0, 1}}
+	b := Series{Name: "eight", Marker: '8', X: []float64{0, 1}, Y: []float64{1, 0}}
+	out, err := Plot(40, 10, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1") || !strings.Contains(out, "8") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1 = one") || !strings.Contains(out, "8 = eight") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestPlotSkipsNaN(t *testing.T) {
+	s := Series{
+		Name: "gappy",
+		X:    []float64{0, 1, 2},
+		Y:    []float64{1, math.NaN(), 3},
+	}
+	if _, err := Plot(40, 8, s); err != nil {
+		t.Fatalf("NaN gaps should be tolerated: %v", err)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	s := Series{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}
+	out, err := Plot(40, 8, s)
+	if err != nil {
+		t.Fatalf("constant series: %v", err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("no points drawn:\n%s", out)
+	}
+}
+
+func TestDefaultMarker(t *testing.T) {
+	s := Series{Name: "d", X: []float64{0, 1}, Y: []float64{0, 1}}
+	out, err := Plot(40, 8, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "* = d") {
+		t.Errorf("default marker legend missing:\n%s", out)
+	}
+}

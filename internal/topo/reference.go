@@ -1,0 +1,154 @@
+package topo
+
+import "fmt"
+
+// Scenario bundles a reference topology with the endpoints and observed
+// core routers of one of the paper's four measured paths.
+type Scenario struct {
+	Name string
+	Topo *Topology
+	// SrcHost and DstHost are the data-transfer nodes at the two ends.
+	SrcHost, DstHost NodeID
+	// CoreRouters lists the backbone routers whose egress interfaces the
+	// SNMP analysis observes (the paper's rt1..rt5).
+	CoreRouters []NodeID
+	// RTTSec is the end-to-end round-trip propagation delay.
+	RTTSec float64
+}
+
+// Gbps converts gigabits/second to bits/second.
+const Gbps = 1e9
+
+// buildLinear constructs a host–site–core*n–site–host chain. All links are
+// duplex at capacityBps. Access links get accessDelay each; the one-way core
+// delay is split evenly across the core hops.
+func buildLinear(name string, nCore int, capacityBps, rttSec float64) (*Scenario, error) {
+	if nCore < 2 {
+		return nil, fmt.Errorf("topo: scenario %s needs at least two core routers", name)
+	}
+	t := New()
+	src := NodeID(name + "-dtn-src")
+	dst := NodeID(name + "-dtn-dst")
+	siteA := NodeID(name + "-pe-a")
+	siteB := NodeID(name + "-pe-b")
+	mustNode := func(id NodeID, k NodeKind) {
+		if _, err := t.AddNode(id, k); err != nil {
+			panic(err)
+		}
+	}
+	mustNode(src, Host)
+	mustNode(dst, Host)
+	mustNode(siteA, SiteRouter)
+	mustNode(siteB, SiteRouter)
+	cores := make([]NodeID, nCore)
+	for i := range cores {
+		cores[i] = NodeID(fmt.Sprintf("%s-rt%d", name, i+1))
+		mustNode(cores[i], BackboneRouter)
+	}
+	// Delay budget: one-way = rtt/2; the four edge hops (host–PE and
+	// PE–core at each end) carry 5% of the one-way delay apiece, and the
+	// nCore-1 core-to-core hops split the remaining 80%.
+	oneWay := rttSec / 2
+	edgeDelay := 0.05 * oneWay
+	coreDelay := (oneWay - 4*edgeDelay) / float64(nCore-1)
+	mustDuplex := func(a, b NodeID, d float64) {
+		if err := t.AddDuplex(a, b, capacityBps, d); err != nil {
+			panic(err)
+		}
+	}
+	mustDuplex(src, siteA, edgeDelay)
+	mustDuplex(siteA, cores[0], edgeDelay)
+	for i := 0; i+1 < nCore; i++ {
+		mustDuplex(cores[i], cores[i+1], coreDelay)
+	}
+	mustDuplex(cores[nCore-1], siteB, edgeDelay)
+	mustDuplex(siteB, dst, edgeDelay)
+	return &Scenario{
+		Name: name, Topo: t,
+		SrcHost: src, DstHost: dst,
+		CoreRouters: cores,
+		RTTSec:      rttSec,
+	}, nil
+}
+
+// CustomScenario builds a linear host–PE–core*n–PE–host scenario with
+// separate core and access capacities. Setting the host access links to a
+// DTN's sustainable aggregate rate makes the network simulator model
+// server contention for free: every flow in or out of that DTN shares its
+// access link, exactly as concurrent transfers share the server's R
+// (internal/simxfer builds on this).
+func CustomScenario(name string, nCore int, coreBps, accessBps, rttSec float64) (*Scenario, error) {
+	if accessBps <= 0 || coreBps <= 0 {
+		return nil, fmt.Errorf("topo: scenario %s capacities must be positive", name)
+	}
+	s, err := buildLinear(name, nCore, coreBps, rttSec)
+	if err != nil {
+		return nil, err
+	}
+	// Re-rate the four host access links (both directions at each end).
+	for _, pair := range [][2]NodeID{
+		{s.SrcHost, NodeID(name + "-pe-a")},
+		{s.DstHost, NodeID(name + "-pe-b")},
+	} {
+		for _, dir := range [][2]NodeID{{pair[0], pair[1]}, {pair[1], pair[0]}} {
+			l := s.Topo.Link(dir[0], dir[1])
+			if l == nil {
+				return nil, fmt.Errorf("topo: missing access link %s->%s", dir[0], dir[1])
+			}
+			l.CapacityBps = accessBps
+		}
+	}
+	return s, nil
+}
+
+// The four measured paths. Link capacity is 10 Gbps everywhere, matching
+// the paper ("link capacity, which is typically 10 Gbps on these paths").
+// RTTs: the paper states the SLAC–BNL bandwidth-delay product as
+// 10 Gbps × 80 ms, so that path's RTT is 80 ms; the others are set from
+// typical ESnet coast-to-interior distances, with NCAR–NICS the shortest
+// (the paper calls it "the shorter NCAR-NICS path").
+
+// NERSCORNL returns the NERSC(Berkeley)–ORNL(Oak Ridge) path with five
+// observed core routers (rt1..rt5, as in Tables XI–XIII).
+func NERSCORNL() *Scenario {
+	s, err := buildLinear("nersc-ornl", 5, 10*Gbps, 0.065)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NERSCANL returns the NERSC–ANL (Argonne) path.
+func NERSCANL() *Scenario {
+	s, err := buildLinear("nersc-anl", 4, 10*Gbps, 0.055)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NCARNICS returns the NCAR(Boulder)–NICS(Knoxville) path, the shortest of
+// the four.
+func NCARNICS() *Scenario {
+	s, err := buildLinear("ncar-nics", 4, 10*Gbps, 0.040)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SLACBNL returns the SLAC(Menlo Park)–BNL(Brookhaven) path; RTT 80 ms per
+// the paper's BDP statement.
+func SLACBNL() *Scenario {
+	s, err := buildLinear("slac-bnl", 5, 10*Gbps, 0.080)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ForwardPath returns the routed path from the scenario's source DTN to its
+// destination DTN.
+func (s *Scenario) ForwardPath() (Path, error) {
+	return s.Topo.ShortestPath(s.SrcHost, s.DstHost)
+}

@@ -1,0 +1,291 @@
+// Package topo models wide-area network topology: nodes (hosts, site
+// routers, backbone routers), directed links with capacity and propagation
+// delay, and shortest-path / constrained-path routing. It provides
+// reference topologies shaped like the ESnet paths analyzed in the paper
+// (NERSC–ORNL, NERSC–ANL, NCAR–NICS, SLAC–BNL).
+package topo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeKind classifies a topology node.
+type NodeKind int
+
+const (
+	// Host is an end system (e.g. a data transfer node).
+	Host NodeKind = iota
+	// SiteRouter is a provider-edge router located on a campus.
+	SiteRouter
+	// BackboneRouter is a core router.
+	BackboneRouter
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case SiteRouter:
+		return "site-router"
+	case BackboneRouter:
+		return "backbone-router"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// NodeID identifies a node by name. Names are unique within a Topology.
+type NodeID string
+
+// Node is a vertex in the topology.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+}
+
+// LinkID identifies a directed link as "src->dst".
+type LinkID string
+
+// Link is a directed edge. WAN links are created in pairs (AddDuplex).
+// CapacityBps is the line rate in bits per second; DelaySec is the one-way
+// propagation delay contribution of this hop.
+type Link struct {
+	ID          LinkID
+	Src, Dst    NodeID
+	CapacityBps float64
+	DelaySec    float64
+}
+
+// Topology is a directed graph of nodes and links. It is not safe for
+// concurrent mutation; build it fully before sharing.
+type Topology struct {
+	nodes map[NodeID]*Node
+	links map[LinkID]*Link
+	adj   map[NodeID][]*Link // outgoing links per node
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{
+		nodes: make(map[NodeID]*Node),
+		links: make(map[LinkID]*Link),
+		adj:   make(map[NodeID][]*Link),
+	}
+}
+
+// AddNode adds a node. Re-adding an existing ID is an error.
+func (t *Topology) AddNode(id NodeID, kind NodeKind) (*Node, error) {
+	if id == "" {
+		return nil, errors.New("topo: empty node id")
+	}
+	if _, ok := t.nodes[id]; ok {
+		return nil, fmt.Errorf("topo: duplicate node %q", id)
+	}
+	n := &Node{ID: id, Kind: kind}
+	t.nodes[id] = n
+	return n, nil
+}
+
+// Node returns the node with the given ID, or nil.
+func (t *Topology) Node(id NodeID) *Node { return t.nodes[id] }
+
+// Nodes returns all node IDs in sorted order (deterministic iteration).
+func (t *Topology) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(t.nodes))
+	for id := range t.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// LinkIDFor returns the canonical directed link ID from src to dst.
+func LinkIDFor(src, dst NodeID) LinkID { return LinkID(string(src) + "->" + string(dst)) }
+
+// AddLink adds a directed link from src to dst. Both nodes must exist.
+func (t *Topology) AddLink(src, dst NodeID, capacityBps, delaySec float64) (*Link, error) {
+	if t.nodes[src] == nil || t.nodes[dst] == nil {
+		return nil, fmt.Errorf("topo: link %s->%s references unknown node", src, dst)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("topo: self-loop on %s", src)
+	}
+	if capacityBps <= 0 {
+		return nil, fmt.Errorf("topo: link %s->%s capacity must be positive", src, dst)
+	}
+	if delaySec < 0 {
+		return nil, fmt.Errorf("topo: link %s->%s negative delay", src, dst)
+	}
+	id := LinkIDFor(src, dst)
+	if _, ok := t.links[id]; ok {
+		return nil, fmt.Errorf("topo: duplicate link %s", id)
+	}
+	l := &Link{ID: id, Src: src, Dst: dst, CapacityBps: capacityBps, DelaySec: delaySec}
+	t.links[id] = l
+	t.adj[src] = append(t.adj[src], l)
+	return l, nil
+}
+
+// AddDuplex adds the link pair src<->dst with identical capacity and delay.
+func (t *Topology) AddDuplex(a, b NodeID, capacityBps, delaySec float64) error {
+	if _, err := t.AddLink(a, b, capacityBps, delaySec); err != nil {
+		return err
+	}
+	_, err := t.AddLink(b, a, capacityBps, delaySec)
+	return err
+}
+
+// Link returns the directed link from src to dst, or nil.
+func (t *Topology) Link(src, dst NodeID) *Link { return t.links[LinkIDFor(src, dst)] }
+
+// Links returns all links sorted by ID.
+func (t *Topology) Links() []*Link {
+	ls := make([]*Link, 0, len(t.links))
+	for _, l := range t.links {
+		ls = append(ls, l)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].ID < ls[j].ID })
+	return ls
+}
+
+// Path is an ordered sequence of directed links from a source to a
+// destination node.
+type Path []*Link
+
+// RTTSec returns the round-trip propagation delay of the path, assuming the
+// reverse direction has symmetric delay.
+func (p Path) RTTSec() float64 {
+	var oneWay float64
+	for _, l := range p {
+		oneWay += l.DelaySec
+	}
+	return 2 * oneWay
+}
+
+// BottleneckBps returns the minimum link capacity along the path, or 0 for
+// an empty path.
+func (p Path) BottleneckBps() float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	min := math.Inf(1)
+	for _, l := range p {
+		if l.CapacityBps < min {
+			min = l.CapacityBps
+		}
+	}
+	return min
+}
+
+// Nodes returns the node sequence the path traverses.
+func (p Path) Nodes() []NodeID {
+	if len(p) == 0 {
+		return nil
+	}
+	out := []NodeID{p[0].Src}
+	for _, l := range p {
+		out = append(out, l.Dst)
+	}
+	return out
+}
+
+// String renders the path as "a->b->c".
+func (p Path) String() string {
+	ns := p.Nodes()
+	s := ""
+	for i, n := range ns {
+		if i > 0 {
+			s += "->"
+		}
+		s += string(n)
+	}
+	return s
+}
+
+// ErrNoPath is returned when no route satisfies the constraints.
+var ErrNoPath = errors.New("topo: no path")
+
+// ShortestPath returns the minimum-propagation-delay path from src to dst
+// (Dijkstra; ties broken deterministically by link ID).
+func (t *Topology) ShortestPath(src, dst NodeID) (Path, error) {
+	return t.ConstrainedShortestPath(src, dst, nil)
+}
+
+// ConstrainedShortestPath returns the minimum-delay path from src to dst
+// using only links for which usable returns true (usable == nil admits all
+// links). This is the primitive the OSCARS path computation element uses:
+// usable typically tests whether a link has enough unreserved bandwidth.
+func (t *Topology) ConstrainedShortestPath(src, dst NodeID, usable func(*Link) bool) (Path, error) {
+	if t.nodes[src] == nil || t.nodes[dst] == nil {
+		return nil, fmt.Errorf("topo: unknown endpoint %s or %s", src, dst)
+	}
+	dist := map[NodeID]float64{src: 0}
+	prev := map[NodeID]*Link{}
+	visited := map[NodeID]bool{}
+	for {
+		// Select the unvisited node with the smallest distance
+		// (deterministic tie-break on node ID).
+		var cur NodeID
+		best := math.Inf(1)
+		found := false
+		for id, d := range dist {
+			if visited[id] {
+				continue
+			}
+			if d < best || (d == best && (!found || id < cur)) {
+				best, cur, found = d, id, true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w from %s to %s", ErrNoPath, src, dst)
+		}
+		if cur == dst {
+			break
+		}
+		visited[cur] = true
+		// Deterministic edge order: adjacency lists are append-ordered by
+		// construction, which is stable for a fixed build sequence.
+		for _, l := range t.adj[cur] {
+			if usable != nil && !usable(l) {
+				continue
+			}
+			nd := best + l.DelaySec
+			if old, ok := dist[l.Dst]; !ok || nd < old {
+				dist[l.Dst] = nd
+				prev[l.Dst] = l
+			}
+		}
+	}
+	// Reconstruct.
+	var path Path
+	for at := dst; at != src; {
+		l := prev[at]
+		if l == nil {
+			return nil, fmt.Errorf("%w from %s to %s", ErrNoPath, src, dst)
+		}
+		path = append(path, l)
+		at = l.Src
+	}
+	// Reverse in place.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// ReversePath returns the link-by-link reverse of p, or an error if any
+// reverse link is missing from the topology.
+func (t *Topology) ReversePath(p Path) (Path, error) {
+	rev := make(Path, 0, len(p))
+	for i := len(p) - 1; i >= 0; i-- {
+		l := t.Link(p[i].Dst, p[i].Src)
+		if l == nil {
+			return nil, fmt.Errorf("topo: no reverse link for %s", p[i].ID)
+		}
+		rev = append(rev, l)
+	}
+	return rev, nil
+}

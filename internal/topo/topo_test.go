@@ -1,0 +1,237 @@
+package topo
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func buildDiamond(t *testing.T) *Topology {
+	t.Helper()
+	tp := New()
+	for _, id := range []NodeID{"a", "b", "c", "d"} {
+		if _, err := tp.AddNode(id, BackboneRouter); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a->b->d is low delay; a->c->d is high delay but higher capacity.
+	mustLink := func(src, dst NodeID, cap, delay float64) {
+		if _, err := tp.AddLink(src, dst, cap, delay); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLink("a", "b", 1e9, 0.001)
+	mustLink("b", "d", 1e9, 0.001)
+	mustLink("a", "c", 10e9, 0.005)
+	mustLink("c", "d", 10e9, 0.005)
+	return tp
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	tp := New()
+	if _, err := tp.AddNode("", Host); err == nil {
+		t.Error("empty id should fail")
+	}
+	if _, err := tp.AddNode("x", Host); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.AddNode("x", Host); err == nil {
+		t.Error("duplicate id should fail")
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	tp := New()
+	tp.AddNode("a", Host)
+	tp.AddNode("b", Host)
+	cases := []struct {
+		src, dst   NodeID
+		cap, delay float64
+	}{
+		{"a", "z", 1, 0},  // unknown dst
+		{"z", "a", 1, 0},  // unknown src
+		{"a", "a", 1, 0},  // self loop
+		{"a", "b", 0, 0},  // zero capacity
+		{"a", "b", 1, -1}, // negative delay
+	}
+	for i, c := range cases {
+		if _, err := tp.AddLink(c.src, c.dst, c.cap, c.delay); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := tp.AddLink("a", "b", 1e9, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.AddLink("a", "b", 1e9, 0.01); err == nil {
+		t.Error("duplicate link should fail")
+	}
+}
+
+func TestShortestPathPicksLowDelay(t *testing.T) {
+	tp := buildDiamond(t)
+	p, err := tp.ShortestPath("a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "a->b->d" {
+		t.Errorf("path = %s, want a->b->d", got)
+	}
+	if rtt := p.RTTSec(); math.Abs(rtt-0.004) > 1e-12 {
+		t.Errorf("RTT = %v, want 0.004", rtt)
+	}
+	if bw := p.BottleneckBps(); bw != 1e9 {
+		t.Errorf("bottleneck = %v, want 1e9", bw)
+	}
+}
+
+func TestConstrainedPathAvoidsFilteredLinks(t *testing.T) {
+	tp := buildDiamond(t)
+	// Exclude the low-delay a->b link; routing must take a->c->d.
+	p, err := tp.ConstrainedShortestPath("a", "d", func(l *Link) bool {
+		return l.ID != LinkIDFor("a", "b")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "a->c->d" {
+		t.Errorf("path = %s, want a->c->d", got)
+	}
+}
+
+func TestNoPath(t *testing.T) {
+	tp := New()
+	tp.AddNode("a", Host)
+	tp.AddNode("b", Host)
+	if _, err := tp.ShortestPath("a", "b"); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+	if _, err := tp.ShortestPath("a", "zzz"); err == nil {
+		t.Error("unknown endpoint should fail")
+	}
+}
+
+func TestPathNodesEmpty(t *testing.T) {
+	var p Path
+	if p.Nodes() != nil {
+		t.Error("empty path should have nil nodes")
+	}
+	if p.BottleneckBps() != 0 {
+		t.Error("empty path bottleneck should be 0")
+	}
+}
+
+func TestReversePath(t *testing.T) {
+	tp := New()
+	tp.AddNode("a", Host)
+	tp.AddNode("b", Host)
+	tp.AddNode("c", Host)
+	if err := tp.AddDuplex("a", "b", 1e9, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddDuplex("b", "c", 1e9, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := tp.ShortestPath("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := tp.ReversePath(fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rev.String(); got != "c->b->a" {
+		t.Errorf("reverse = %s, want c->b->a", got)
+	}
+}
+
+func TestReversePathMissingLink(t *testing.T) {
+	tp := New()
+	tp.AddNode("a", Host)
+	tp.AddNode("b", Host)
+	l, err := tp.AddLink("a", "b", 1e9, 0.001) // one-way only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.ReversePath(Path{l}); err == nil {
+		t.Error("reverse of one-way link should fail")
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	tp := New()
+	for _, id := range []NodeID{"z", "a", "m"} {
+		tp.AddNode(id, Host)
+	}
+	ids := tp.Nodes()
+	if ids[0] != "a" || ids[1] != "m" || ids[2] != "z" {
+		t.Errorf("Nodes() = %v, want sorted", ids)
+	}
+}
+
+func TestReferenceScenarios(t *testing.T) {
+	cases := []struct {
+		s       *Scenario
+		nCore   int
+		wantRTT float64
+	}{
+		{NERSCORNL(), 5, 0.065},
+		{NERSCANL(), 4, 0.055},
+		{NCARNICS(), 4, 0.040},
+		{SLACBNL(), 5, 0.080},
+	}
+	for _, c := range cases {
+		if len(c.s.CoreRouters) != c.nCore {
+			t.Errorf("%s: %d core routers, want %d", c.s.Name, len(c.s.CoreRouters), c.nCore)
+		}
+		p, err := c.s.ForwardPath()
+		if err != nil {
+			t.Fatalf("%s: %v", c.s.Name, err)
+		}
+		// host + pe + cores + pe + host hops
+		if len(p) != c.nCore+3 {
+			t.Errorf("%s: path has %d links, want %d", c.s.Name, len(p), c.nCore+3)
+		}
+		if math.Abs(p.RTTSec()-c.wantRTT) > 1e-9 {
+			t.Errorf("%s: RTT = %v, want %v", c.s.Name, p.RTTSec(), c.wantRTT)
+		}
+		if p.BottleneckBps() != 10*Gbps {
+			t.Errorf("%s: bottleneck = %v, want 10G", c.s.Name, p.BottleneckBps())
+		}
+		// The path must traverse every core router in order.
+		ns := p.Nodes()
+		idx := 0
+		for _, n := range ns {
+			if idx < len(c.s.CoreRouters) && n == c.s.CoreRouters[idx] {
+				idx++
+			}
+		}
+		if idx != len(c.s.CoreRouters) {
+			t.Errorf("%s: path %s does not traverse all core routers", c.s.Name, p)
+		}
+	}
+}
+
+func TestScenarioReverseRouting(t *testing.T) {
+	s := NERSCORNL()
+	fwd, err := s.ForwardPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := s.Topo.ReversePath(fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.RTTSec() != fwd.RTTSec() {
+		t.Errorf("asymmetric RTT: %v vs %v", rev.RTTSec(), fwd.RTTSec())
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if Host.String() != "host" || SiteRouter.String() != "site-router" ||
+		BackboneRouter.String() != "backbone-router" {
+		t.Error("NodeKind.String mismatch")
+	}
+	if NodeKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

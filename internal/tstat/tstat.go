@@ -1,0 +1,103 @@
+// Package tstat reports per-TCP-connection statistics from stochastic
+// transfer traces, in the spirit of the tstat tool the paper planned to
+// deploy: "We plan to test this hypothesis [that packet losses are rare]
+// using tstat, a tool that reports packet loss information on a per-TCP
+// connection basis."
+//
+// Feeding it traces from internal/tcpmodel's stochastic simulator closes
+// that loop inside the reproduction: in the loss-free regime every
+// connection reports zero retransmissions, which is the observation the
+// paper's Figure 3/4 equality predicts.
+package tstat
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"gftpvc/internal/tcpmodel"
+)
+
+// ConnectionReport is one connection's tstat-style log row.
+type ConnectionReport struct {
+	Stream      int
+	PacketsSent int
+	Retransmits int
+	LossRate    float64
+	// LossEpisodes counts RTTs in which at least one loss occurred (each
+	// costs a window halving).
+	LossEpisodes int
+	// MaxCwndBytes is the largest congestion window reached.
+	MaxCwndBytes float64
+	DurationSec  float64
+}
+
+// Report aggregates a transfer's connections.
+type Report struct {
+	Connections []ConnectionReport
+}
+
+// Analyze builds a report from per-connection traces.
+func Analyze(traces []tcpmodel.ConnTrace) (Report, error) {
+	if len(traces) == 0 {
+		return Report{}, errors.New("tstat: no traces")
+	}
+	rep := Report{}
+	for _, tr := range traces {
+		cr := ConnectionReport{
+			Stream:      tr.Stream,
+			PacketsSent: tr.PacketsSent,
+			Retransmits: tr.Retransmits,
+			LossRate:    tr.LossRate(),
+		}
+		for _, s := range tr.Samples {
+			if s.Losses > 0 {
+				cr.LossEpisodes++
+			}
+			if s.CwndBytes > cr.MaxCwndBytes {
+				cr.MaxCwndBytes = s.CwndBytes
+			}
+			cr.DurationSec = s.TimeSec
+		}
+		rep.Connections = append(rep.Connections, cr)
+	}
+	return rep, nil
+}
+
+// TotalLossRate returns retransmitted packets over all packets sent.
+func (r Report) TotalLossRate() float64 {
+	sent, retx := 0, 0
+	for _, c := range r.Connections {
+		sent += c.PacketsSent
+		retx += c.Retransmits
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(retx) / float64(sent)
+}
+
+// LossFree reports whether no connection saw a single retransmission.
+func (r Report) LossFree() bool {
+	for _, c := range r.Connections {
+		if c.Retransmits > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Render prints one tstat-like row per connection.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %10s %12s\n",
+		"conn", "pkts", "retx", "loss", "episodes", "max-cwnd")
+	for _, c := range r.Connections {
+		fmt.Fprintf(&b, "%-8d %10d %10d %9.4f%% %10d %12.0f\n",
+			c.Stream, c.PacketsSent, c.Retransmits, 100*c.LossRate,
+			c.LossEpisodes, c.MaxCwndBytes)
+	}
+	fmt.Fprintf(&b, "total loss rate: %.5f%%, loss-free: %v\n",
+		100*r.TotalLossRate(), r.LossFree())
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package tstat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gftpvc/internal/tcpmodel"
+)
+
+func traceFor(t *testing.T, lossRate float64, streams int) []tcpmodel.ConnTrace {
+	t.Helper()
+	cfg := tcpmodel.ESnetPath(0.08)
+	cfg.LossRate = lossRate
+	rng := rand.New(rand.NewSource(11))
+	_, traces, err := cfg.TransferStochastic(rng, 2e9, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return traces
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Error("no traces should fail")
+	}
+}
+
+func TestLossFreeRegimeReportsZeroRetransmits(t *testing.T) {
+	// The paper's hypothesis test: on a loss-free R&E path, tstat should
+	// report no per-connection losses.
+	rep, err := Analyze(traceFor(t, 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Connections) != 8 {
+		t.Fatalf("connections = %d, want 8", len(rep.Connections))
+	}
+	if !rep.LossFree() {
+		t.Error("loss-free regime reported retransmissions")
+	}
+	if rep.TotalLossRate() != 0 {
+		t.Errorf("total loss rate = %v, want 0", rep.TotalLossRate())
+	}
+	for _, c := range rep.Connections {
+		if c.PacketsSent == 0 {
+			t.Error("connection sent no packets")
+		}
+		if c.LossEpisodes != 0 {
+			t.Error("loss episodes in loss-free regime")
+		}
+	}
+}
+
+func TestLossyRegimeDetected(t *testing.T) {
+	rep, err := Analyze(traceFor(t, 1e-4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LossFree() {
+		t.Fatal("lossy regime reported as loss-free")
+	}
+	got := rep.TotalLossRate()
+	if got < 1e-5 || got > 1e-3 {
+		t.Errorf("total loss rate = %v, want near 1e-4", got)
+	}
+	episodes := 0
+	for _, c := range rep.Connections {
+		episodes += c.LossEpisodes
+	}
+	if episodes == 0 {
+		t.Error("no loss episodes recorded")
+	}
+}
+
+func TestRenderContainsRows(t *testing.T) {
+	rep, err := Analyze(traceFor(t, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rep.Render()
+	for _, want := range []string{"conn", "retx", "loss-free: true"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStochasticMatchesDeterministicWhenLossFree(t *testing.T) {
+	cfg := tcpmodel.ESnetPath(0.08)
+	det, err := cfg.Transfer(1e9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	sto, _, err := cfg.TransferStochastic(rng, 1e9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := sto.ThroughputBps / det.ThroughputBps
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("stochastic/deterministic throughput ratio = %v, want near 1", ratio)
+	}
+}
+
+func TestStochasticLossLowersThroughput(t *testing.T) {
+	cfg := tcpmodel.ESnetPath(0.08)
+	cfg.AggregateCapBps = 0 // isolate the TCP dynamics
+	rng := rand.New(rand.NewSource(3))
+	clean, _, err := cfg.TransferStochastic(rng, 2e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.LossRate = 3e-4
+	lossy, _, err := cfg.TransferStochastic(rng, 2e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.ThroughputBps >= clean.ThroughputBps {
+		t.Errorf("loss should reduce throughput: %v vs %v",
+			lossy.ThroughputBps, clean.ThroughputBps)
+	}
+}
+
+func TestStochasticValidation(t *testing.T) {
+	cfg := tcpmodel.ESnetPath(0.08)
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := cfg.TransferStochastic(nil, 1e6, 1); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, _, err := cfg.TransferStochastic(rng, 0, 1); err == nil {
+		t.Error("zero size should fail")
+	}
+	if _, _, err := cfg.TransferStochastic(rng, 1e6, 0); err == nil {
+		t.Error("zero streams should fail")
+	}
+	bad := cfg
+	bad.RTTSec = 0
+	if _, _, err := bad.TransferStochastic(rng, 1e6, 1); err == nil {
+		t.Error("invalid config should fail")
+	}
+}

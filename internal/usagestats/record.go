@@ -1,0 +1,215 @@
+// Package usagestats implements Globus-style GridFTP usage statistics: the
+// per-transfer record that GridFTP servers emit at the end of each
+// transfer, a text log format for local server logs, and the UDP
+// collection channel that ships records to a central collector (the paper
+// obtained its datasets from exactly these two sources).
+package usagestats
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TransferType is the direction of a transfer relative to the server.
+type TransferType string
+
+const (
+	// Store is a STOR: the file moved to the logging server.
+	Store TransferType = "STOR"
+	// Retrieve is a RETR: the file moved from the logging server.
+	Retrieve TransferType = "RETR"
+)
+
+// Record is one GridFTP transfer log entry. The fields mirror what the
+// Globus usage logger captures: transfer type, size in bytes, start time,
+// duration, server identity, parallel TCP streams, stripes, TCP buffer
+// size, and block size. RemoteHost is the other end of the transfer; the
+// central Globus collector omits it for privacy, and some sites (NERSC in
+// the paper) anonymize it even in local logs.
+type Record struct {
+	Type        TransferType
+	SizeBytes   int64
+	Start       time.Time
+	DurationSec float64
+	ServerHost  string
+	RemoteHost  string // empty when anonymized
+	Streams     int
+	Stripes     int
+	BufferBytes int64
+	BlockBytes  int64
+}
+
+// ThroughputBps returns the transfer's average throughput in bits/second,
+// or 0 when the duration is not positive.
+func (r Record) ThroughputBps() float64 {
+	if r.DurationSec <= 0 {
+		return 0
+	}
+	return float64(r.SizeBytes) * 8 / r.DurationSec
+}
+
+// ThroughputMbps returns the throughput in megabits/second.
+func (r Record) ThroughputMbps() float64 { return r.ThroughputBps() / 1e6 }
+
+// End returns the completion time of the transfer.
+func (r Record) End() time.Time {
+	return r.Start.Add(time.Duration(r.DurationSec * float64(time.Second)))
+}
+
+// Validate reports whether the record is well formed.
+func (r Record) Validate() error {
+	switch {
+	case r.Type != Store && r.Type != Retrieve:
+		return fmt.Errorf("usagestats: unknown transfer type %q", r.Type)
+	case r.SizeBytes <= 0:
+		return errors.New("usagestats: size must be positive")
+	case r.DurationSec <= 0:
+		return errors.New("usagestats: duration must be positive")
+	case r.Start.IsZero():
+		return errors.New("usagestats: start time unset")
+	case r.ServerHost == "":
+		return errors.New("usagestats: server host unset")
+	case r.Streams < 1:
+		return errors.New("usagestats: streams must be >= 1")
+	case r.Stripes < 1:
+		return errors.New("usagestats: stripes must be >= 1")
+	case r.BufferBytes < 0 || r.BlockBytes < 0:
+		return errors.New("usagestats: negative buffer or block size")
+	}
+	return nil
+}
+
+// Anonymize returns a copy of the record with the remote endpoint removed,
+// as the central collector and privacy-conscious sites do.
+func (r Record) Anonymize() Record {
+	r.RemoteHost = ""
+	return r
+}
+
+// timeLayout is the wall-clock format in logs (UTC, microseconds).
+const timeLayout = "2006-01-02T15:04:05.000000Z"
+
+// Marshal renders the record as one key=value log line, the wire format of
+// both the local server log and the UDP usage packet payload.
+func (r Record) Marshal() string {
+	kv := map[string]string{
+		"TYPE":     string(r.Type),
+		"NBYTES":   strconv.FormatInt(r.SizeBytes, 10),
+		"START":    r.Start.UTC().Format(timeLayout),
+		"DURATION": strconv.FormatFloat(r.DurationSec, 'f', 6, 64),
+		"HOST":     r.ServerHost,
+		"STREAMS":  strconv.Itoa(r.Streams),
+		"STRIPES":  strconv.Itoa(r.Stripes),
+		"BUFFER":   strconv.FormatInt(r.BufferBytes, 10),
+		"BLOCK":    strconv.FormatInt(r.BlockBytes, 10),
+	}
+	if r.RemoteHost != "" {
+		kv["DEST"] = r.RemoteHost
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+kv[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Unmarshal parses one log line produced by Marshal.
+func Unmarshal(line string) (Record, error) {
+	var r Record
+	for _, field := range strings.Fields(line) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return r, fmt.Errorf("usagestats: malformed field %q", field)
+		}
+		var err error
+		switch k {
+		case "TYPE":
+			r.Type = TransferType(v)
+		case "NBYTES":
+			r.SizeBytes, err = strconv.ParseInt(v, 10, 64)
+		case "START":
+			r.Start, err = time.Parse(timeLayout, v)
+		case "DURATION":
+			r.DurationSec, err = strconv.ParseFloat(v, 64)
+		case "HOST":
+			r.ServerHost = v
+		case "DEST":
+			r.RemoteHost = v
+		case "STREAMS":
+			r.Streams, err = strconv.Atoi(v)
+		case "STRIPES":
+			r.Stripes, err = strconv.Atoi(v)
+		case "BUFFER":
+			r.BufferBytes, err = strconv.ParseInt(v, 10, 64)
+		case "BLOCK":
+			r.BlockBytes, err = strconv.ParseInt(v, 10, 64)
+		default:
+			// Ignore unknown keys: newer servers add fields.
+		}
+		if err != nil {
+			return r, fmt.Errorf("usagestats: bad value for %s: %w", k, err)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// WriteLog writes records to w, one Marshal line each.
+func WriteLog(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(r.Marshal() + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLog parses a log stream written by WriteLog. Blank lines and lines
+// starting with '#' are skipped.
+func ReadLog(rd io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := Unmarshal(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SortByStart orders records by start time (stable), the order session
+// grouping requires.
+func SortByStart(records []Record) {
+	sort.SliceStable(records, func(i, j int) bool {
+		return records[i].Start.Before(records[j].Start)
+	})
+}

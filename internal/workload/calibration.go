@@ -1,0 +1,134 @@
+// Package workload generates the four synthetic GridFTP datasets the
+// reproduction analyzes in place of the paper's proprietary logs:
+// NCAR–NICS (2009–2011), SLAC–BNL (Feb–Apr 2012), the 145 32 GB
+// NERSC–ORNL test transfers (Sep 2010), and the 334 NERSC–ANL test
+// transfers in four endpoint categories (Mar–Apr 2012).
+//
+// Calibration: every quantity the paper tabulates is reproduced either
+// exactly (counts, category sizes, stream/stripe mixes) or
+// distributionally via stats.QuantileSampler fitted to the paper's
+// five-number summaries. Where the scanned paper's tables are partially
+// illegible, the values chosen here are consistent with every legible
+// number and with the narrative text; EXPERIMENTS.md records which anchors
+// are from the paper verbatim and which are interpolated.
+package workload
+
+import (
+	"gftpvc/internal/stats"
+)
+
+// Paper-reported summary statistics used as calibration anchors.
+// Units: session sizes MB, durations seconds, throughput Mbps.
+var (
+	// PaperNCARNICSSessionSizeMB anchors Table I's session-size row.
+	// Verbatim anchors: Min 8,793 bytes (≈0.0088 MB) and Max 2,873,868.5
+	// MB. The interior quartiles are pinned by Table IV: 56.87% of NCAR
+	// sessions exceed the 1-min/factor-10 threshold of ≈51 GB (so the
+	// median sits just above it), and 93% exceed the 50 ms threshold of
+	// ≈42 MB.
+	PaperNCARNICSSessionSizeMB = stats.Summary{
+		Min: 0.0088, Q1: 2400, Median: 65000, Mean: 152000, Q3: 230000, Max: 2873868.5,
+	}
+
+	// PaperNCARNICSSessionDurationSec anchors Table I's duration row.
+	// Verbatim anchors: Max 48,420 s; legible interior values 1,445 /
+	// 4,039 / 5,261 read as Median / Mean / Q3.
+	PaperNCARNICSSessionDurationSec = stats.Summary{
+		Min: 0.9, Q1: 102, Median: 1445, Mean: 4039, Q3: 5261, Max: 48420,
+	}
+
+	// PaperNCARNICSThroughputMbps anchors Table I's transfer-throughput
+	// row. Verbatim anchors: Min 2.1 bps, Q3 682.2 Mbps (quoted in §VI-A
+	// text), Max 4,227 Mbps (4.23 Gbps in text).
+	PaperNCARNICSThroughputMbps = stats.Summary{
+		Min: 2.1e-6, Q1: 196.9, Median: 392.8, Mean: 434.9, Q3: 682.2, Max: 4227,
+	}
+
+	// PaperSLACBNLSessionSizeMB anchors Table II's session-size row.
+	// Verbatim: Min 812 bytes, Q1 273 MB, Median 1,195 MB (text: ≈1.1 GB),
+	// Mean 24,045 MB (text: ≈24 GB), Q3 4,860 MB, Max 12,037,604 MB
+	// (the 12 TB session).
+	PaperSLACBNLSessionSizeMB = stats.Summary{
+		Min: 0.000812, Q1: 273, Median: 1195, Mean: 24045, Q3: 4860, Max: 12037604,
+	}
+
+	// PaperSLACBNLSessionDurationSec anchors Table II's duration row.
+	// Verbatim: Max 95,080 s (the 26h24m session). Interior values are
+	// consistent with the size row at typical throughputs.
+	PaperSLACBNLSessionDurationSec = stats.Summary{
+		Min: 0.2, Q1: 16, Median: 72, Mean: 1290, Q3: 329, Max: 95080,
+	}
+
+	// PaperSLACBNLThroughputMbps anchors Table II's transfer-throughput
+	// row. Verbatim: Q3 256.2 Mbps (§VI-A text), Max 2,560 Mbps (2.56
+	// Gbps, also Fig 2's peak).
+	PaperSLACBNLThroughputMbps = stats.Summary{
+		Min: 0.004, Q1: 45.4, Median: 109.6, Mean: 195.9, Q3: 256.2, Max: 2560,
+	}
+
+	// PaperNERSCORNLThroughputMbps anchors Table V. Verbatim (abstract +
+	// §VI-B): Min 758 Mbps, Max 3,640 Mbps, inter-quartile range 695
+	// Mbps. Q1/Median/Mean/Q3 are chosen to honor the IQR.
+	PaperNERSCORNLThroughputMbps = stats.Summary{
+		Min: 758, Q1: 1310, Median: 1640, Mean: 1702, Q3: 2005, Max: 3640,
+	}
+)
+
+// Paper-reported counts (Tables I–V and §V).
+const (
+	// PaperNCARNICSTransfers is the NCAR–NICS dataset size.
+	PaperNCARNICSTransfers = 52454
+	// PaperNCARNICSSessionsG1 is the session count at g = 1 min.
+	PaperNCARNICSSessionsG1 = 211
+	// PaperNCARNICSSingleG1 is the single-transfer session count at g=1min.
+	PaperNCARNICSSingleG1 = 94
+	// PaperNCARNICSMaxSessionTransfers is Table III's largest session.
+	PaperNCARNICSMaxSessionTransfers = 19951
+	// PaperNCARNICSSessionsOver100 is Table III's ≥100-transfer count.
+	PaperNCARNICSSessionsOver100 = 27
+
+	// PaperSLACBNLTransfers is the SLAC–BNL dataset size.
+	PaperSLACBNLTransfers = 1021999
+	// PaperSLACBNLSessionsG1 is the session count at g = 1 min.
+	PaperSLACBNLSessionsG1 = 10199
+	// PaperSLACBNLSingleG1 is the single-transfer session count at g=1min.
+	PaperSLACBNLSingleG1 = 779
+	// PaperSLACBNLMaxSessionTransfers is Table III's largest session.
+	PaperSLACBNLMaxSessionTransfers = 30153
+	// PaperSLACBNLSessionsOver100 is Table III's ≥100-transfer count.
+	PaperSLACBNLSessionsOver100 = 1412
+	// PaperSLACBNLMultiStreamShare is the fraction of transfers using
+	// more than one TCP stream (84.615% in §VII-B).
+	PaperSLACBNLMultiStreamShare = 0.84615
+
+	// PaperNERSCORNLTransfers is the 32 GB test-transfer count.
+	PaperNERSCORNLTransfers = 145
+	// PaperNERSCORNL32GBytes is each test transfer's size.
+	PaperNERSCORNL32GBytes = int64(32) << 30
+
+	// NERSC–ANL test transfer counts by category (§VI-B).
+	PaperNERSCANLMemMem   = 84
+	PaperNERSCANLMemDisk  = 78
+	PaperNERSCANLDiskMem  = 87
+	PaperNERSCANLDiskDisk = 85
+)
+
+// Distribution shapes (see stats.Shape). Head exponents keep the measured
+// minima (extreme outliers like the 2.1 bps transfer) without fabricating
+// a fat population of absurdly slow transfers; the SLAC P90 anchor pins
+// the 5–30 GB session range that Table IV's percentages depend on.
+var (
+	throughputShape  = stats.Shape{HeadGamma: 0.10}
+	slacSessionShape = stats.Shape{P90: 30000} // MB
+)
+
+// Host names used in the generated logs.
+const (
+	HostNCAR  = "gridftp.ncar.ucar.edu"
+	HostNICS  = "dtn.nics.tennessee.edu"
+	HostSLAC  = "dtn.slac.stanford.edu"
+	HostBNL   = "dtn.bnl.gov"
+	HostNERSC = "dtn01.nersc.gov"
+	HostORNL  = "dtn.ccs.ornl.gov"
+	HostANL   = "gridftp.anl.gov"
+)

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"gftpvc/internal/stats"
+	"gftpvc/internal/tcpmodel"
+	"gftpvc/internal/usagestats"
+)
+
+// SLAC–BNL special populations (§VII-B):
+//   - the night spike: 2,215 transfers exceeded 1.5 Gbps, 85.37% of them
+//     between 2–3 AM SLAC time on Apr 2 2012, all of size 355.5 MB;
+//   - the Fig 3 bin spike: 588 8-stream transfers of ≈302.5 MB at ≈400 Mbps;
+//   - the Fig 4 dip: 8-stream transfers of 2.2–3.1 GB see ~50% lower
+//     throughput (server-side contention the paper could not attribute).
+const (
+	slacNightSpikeCount = 1891 // 85.37% of 2215
+	slacBinSpikeCount   = 588
+	slacNightSpikeBytes = 355.5e6
+	slacBinSpikeBytes   = 302.5e6
+)
+
+// SLACBNL generates the SLAC–BNL dataset: 1,021,999 transfers in 10,199
+// sessions (g = 1 min) over Feb–Apr 2012. Transfer durations come from
+// the TCP model (internal/tcpmodel) with a per-transfer host-limited
+// steady rate drawn from the Table II throughput distribution, so the
+// stream-count effects of Figures 3–5 and the session statistics of
+// Tables II–IV arise from one dataset.
+func SLACBNL(opt Options) (*Dataset, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	spec := scaleSpec(PlanSpec{
+		Transfers:    PaperSLACBNLTransfers,
+		Sessions:     PaperSLACBNLSessionsG1,
+		Singles:      PaperSLACBNLSingleG1,
+		MaxTransfers: PaperSLACBNLMaxSessionTransfers,
+		Over100:      PaperSLACBNLSessionsOver100,
+		Reserved:     []int{slacNightSpikeCount, slacBinSpikeCount},
+	}, opt.Scale)
+	plan, spec, err := buildFeasible(spec)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	sizeSampler := stats.MustShapedSampler(PaperSLACBNLSessionSizeMB, slacSessionShape)
+	// Host-limited steady rate per transfer: the Table II throughput
+	// distribution, inflated slightly because slow-start ramping pulls
+	// realized throughput below the steady rate for small files.
+	rateSampler := stats.MustShapedSampler(PaperSLACBNLThroughputMbps, throughputShape)
+
+	counts := plan.Counts
+	sizesMB := pairSizesWithCounts(rng, sizeSampler, counts)
+	layout := &sessionLayout{
+		rng:            rng,
+		serverHost:     HostSLAC,
+		remoteHost:     HostBNL,
+		start:          time.Date(2012, 2, 1, 0, 0, 0, 0, time.UTC),
+		period:         85 * 24 * time.Hour,
+		maxLanes:       8,
+		smallGapMaxSec: 20,
+		overlapProb:    0.5,
+	}
+	// Locate the reserved special sessions within the plan (counts are
+	// unique enough to match the first occurrence).
+	nightIdx, binIdx := -1, -1
+	var nightCount, binCount int
+	if len(spec.Reserved) >= 1 {
+		nightCount = spec.Reserved[0]
+	}
+	if len(spec.Reserved) >= 2 {
+		binCount = spec.Reserved[1]
+	}
+	for i, c := range counts {
+		if nightIdx < 0 && c == nightCount && nightCount > 0 {
+			nightIdx = i
+			continue
+		}
+		if binIdx < 0 && c == binCount && binCount > 0 {
+			binIdx = i
+		}
+	}
+
+	records := make([]usagestats.Record, 0, spec.Transfers)
+	for si, count := range counts {
+		start := layout.place(si, len(counts))
+		var sizes []float64
+		switch {
+		case si == nightIdx:
+			// 2–3 AM SLAC time (UTC-7 in April) on Apr 2 2012.
+			start = time.Date(2012, 4, 2, 9, 0, 0, 0, time.UTC).
+				Add(time.Duration(rng.Float64() * float64(10*time.Minute)))
+			sizes = repeat(slacNightSpikeBytes, count)
+		case si == binIdx:
+			sizes = repeat(slacBinSpikeBytes, count)
+		default:
+			sizes = splitSession(rng, sizesMB[si]*1e6, count)
+		}
+		durations := make([]float64, count)
+		streams := make([]int, count)
+		buffers := make([]int64, count)
+		for i := range durations {
+			n := 1
+			if rng.Float64() < PaperSLACBNLMultiStreamShare {
+				n = 8
+			}
+			var rate float64 // bps
+			buf := int64(2 << 20)
+			warm := false
+			switch {
+			case si == nightIdx:
+				// Back-to-back 355.5 MB transfers reuse their data
+				// connections, so TCP windows stay warm — that is how a
+				// 355 MB transfer peaks at 2.56 Gbps despite slow start.
+				n = 8
+				rate = 1.55e9 + rng.Float64()*1.0e9
+				buf = 8 << 20
+				warm = true
+			case si == binIdx:
+				n = 8
+				rate = 4.0e8 + rng.NormFloat64()*3e7
+				warm = true
+			default:
+				// The 1.85 factor compensates for slow-start ramping,
+				// which pulls realized throughput below the host-limited
+				// steady rate for the (numerous) small files; it also
+				// puts the large-file host-rate median at ~200 Mbps, the
+				// level where Fig 3/4's two stream groups plateau
+				// together (host limit ≈ the 1-stream window limit).
+				rate = rateSampler.Sample(rng) * 1e6 * 1.85
+				if n == 8 && sizes[i] >= 2.2e9 && sizes[i] < 3.1e9 {
+					// The Fig 4 dip population.
+					rate *= 0.5
+				}
+			}
+			if rate < 4e3 {
+				rate = 4e3
+			}
+			// Bound each transfer to under two hours; the slowest
+			// observed rates belong to small files (see the NCAR note).
+			if min := sizes[i] * 8 / 6000; rate < min {
+				rate = min
+			}
+			durations[i] = slacTransferModel(sizes[i], n, rate, buf, warm)
+			streams[i] = n
+			buffers[i] = buf
+		}
+		records = layout.emitSession(records, start, sizes, durations, func(i int, r *usagestats.Record) {
+			r.Streams = streams[i]
+			r.BufferBytes = buffers[i]
+			r.BlockBytes = 256 << 10
+			if rng.Float64() < 0.5 {
+				r.Type = usagestats.Store
+			}
+		})
+	}
+	usagestats.SortByStart(records)
+	return &Dataset{Name: "slac-bnl", Records: records, Spec: spec}, nil
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// slacTransferModel returns the duration of one SLAC–BNL transfer from the
+// TCP model: 80 ms RTT path, per-stream socket buffer buf, host-limited
+// aggregate rate hostBps. warm starts the congestion window at the buffer
+// limit (reused data connections within a session).
+func slacTransferModel(sizeBytes float64, streams int, hostBps float64, buf int64, warm bool) float64 {
+	cfg := tcpmodel.ESnetPath(0.080)
+	cfg.AggregateCapBps = hostBps
+	cfg.StreamBufBytes = float64(buf)
+	if warm {
+		cfg.InitCwndSegments = cfg.StreamBufBytes / cfg.MSSBytes
+		cfg.SSThreshBytes = cfg.StreamBufBytes
+	}
+	res, err := cfg.Transfer(sizeBytes, streams)
+	if err != nil {
+		// Degenerate parameters (sub-MSS sizes); fall back to the plain
+		// rate division.
+		return math.Max(1e-3, sizeBytes*8/hostBps)
+	}
+	return res.DurationSec
+}

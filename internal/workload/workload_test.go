@@ -1,0 +1,331 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gftpvc/internal/sessions"
+	"gftpvc/internal/stats"
+)
+
+func TestBuildSessionPlanNCAR(t *testing.T) {
+	spec := PlanSpec{
+		Transfers:    PaperNCARNICSTransfers,
+		Sessions:     PaperNCARNICSSessionsG1,
+		Singles:      PaperNCARNICSSingleG1,
+		MaxTransfers: PaperNCARNICSMaxSessionTransfers,
+		Over100:      PaperNCARNICSSessionsOver100,
+	}
+	plan, err := BuildSessionPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSessionPlanSLAC(t *testing.T) {
+	spec := PlanSpec{
+		Transfers:    PaperSLACBNLTransfers,
+		Sessions:     PaperSLACBNLSessionsG1,
+		Singles:      PaperSLACBNLSingleG1,
+		MaxTransfers: PaperSLACBNLMaxSessionTransfers,
+		Over100:      PaperSLACBNLSessionsOver100,
+		Reserved:     []int{slacNightSpikeCount, slacBinSpikeCount},
+	}
+	plan, err := BuildSessionPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Both reserved sessions must be present.
+	found := map[int]bool{}
+	for _, c := range plan.Counts {
+		found[c] = true
+	}
+	if !found[slacNightSpikeCount] || !found[slacBinSpikeCount] {
+		t.Error("reserved sessions missing from plan")
+	}
+}
+
+func TestBuildSessionPlanValidation(t *testing.T) {
+	bad := []PlanSpec{
+		{Transfers: 0, Sessions: 1, Over100: 1, MaxTransfers: 100},
+		{Transfers: 10, Sessions: 2, Singles: 3, Over100: 1, MaxTransfers: 100},
+		{Transfers: 1000, Sessions: 5, Singles: 1, Over100: 9, MaxTransfers: 100},
+		{Transfers: 1000, Sessions: 5, Singles: 1, Over100: 1, MaxTransfers: 50},
+		{Transfers: 200, Sessions: 3, Singles: 1, Over100: 1, MaxTransfers: 150,
+			Reserved: []int{120}}, // too many reserved for Over100=1
+	}
+	for i, spec := range bad {
+		if _, err := BuildSessionPlan(spec); err == nil {
+			t.Errorf("case %d should fail: %+v", i, spec)
+		}
+	}
+}
+
+func TestNCARNICSScaledShape(t *testing.T) {
+	ds, err := NCARNICS(Options{Seed: 1, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != ds.Spec.Transfers {
+		t.Fatalf("records = %d, spec = %d", len(ds.Records), ds.Spec.Transfers)
+	}
+	// Group back at g=1min and recover the planned session structure.
+	ss, err := sessions.Group(ds.Records, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != ds.Spec.Sessions {
+		t.Errorf("regrouped %d sessions, plan had %d", len(ss), ds.Spec.Sessions)
+	}
+	st := sessions.Summarize(ss)
+	if st.SingleTransfer != ds.Spec.Singles {
+		t.Errorf("singles = %d, want %d", st.SingleTransfer, ds.Spec.Singles)
+	}
+	if st.MaxTransfers != ds.Spec.MaxTransfers {
+		t.Errorf("max fan-out = %d, want %d", st.MaxTransfers, ds.Spec.MaxTransfers)
+	}
+}
+
+func TestNCARNICSDeterministic(t *testing.T) {
+	a, err := NCARNICS(Options{Seed: 7, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NCARNICS(Options{Seed: 7, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("nondeterministic record count")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+}
+
+func TestNCARNICSGZeroShatters(t *testing.T) {
+	ds, err := NCARNICS(Options{Seed: 2, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, err := sessions.Group(ds.Records, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := sessions.Group(ds.Records, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table III: g = 0 produces far more sessions (tens of thousands of
+	// singletons in the full dataset).
+	if len(g0) < 5*len(g1) {
+		t.Errorf("g=0 sessions = %d, g=1min = %d; want strong shattering", len(g0), len(g1))
+	}
+}
+
+func TestSLACBNLScaledShape(t *testing.T) {
+	ds, err := SLACBNL(Options{Seed: 1, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != ds.Spec.Transfers {
+		t.Fatalf("records = %d, spec = %d", len(ds.Records), ds.Spec.Transfers)
+	}
+	ss, err := sessions.Group(ds.Records, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != ds.Spec.Sessions {
+		t.Errorf("regrouped %d sessions, plan had %d", len(ss), ds.Spec.Sessions)
+	}
+	// Stream mix near the paper's 84.6% multi-stream share.
+	multi := 0
+	for _, r := range ds.Records {
+		if r.Streams > 1 {
+			multi++
+		}
+	}
+	share := float64(multi) / float64(len(ds.Records))
+	if math.Abs(share-PaperSLACBNLMultiStreamShare) > 0.08 {
+		t.Errorf("multi-stream share = %v, want ~%v", share, PaperSLACBNLMultiStreamShare)
+	}
+}
+
+func TestSLACBNLThroughputBounded(t *testing.T) {
+	ds, err := SLACBNL(Options{Seed: 3, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ds.Records {
+		thr := r.ThroughputMbps()
+		if thr <= 0 || thr > 2700 {
+			t.Fatalf("throughput %v Mbps out of range for record %+v", thr, r)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := NCARNICS(Options{Scale: -1}); err == nil {
+		t.Error("negative scale should fail")
+	}
+	if _, err := SLACBNL(Options{Scale: 2}); err == nil {
+		t.Error("scale > 1 should fail")
+	}
+}
+
+func TestNERSCORNL32G(t *testing.T) {
+	records := NERSCORNL32G(5)
+	if len(records) != PaperNERSCORNLTransfers {
+		t.Fatalf("records = %d, want %d", len(records), PaperNERSCORNLTransfers)
+	}
+	var ths []float64
+	sawVariation := false
+	for _, r := range records {
+		if d := math.Abs(float64(r.SizeBytes-PaperNERSCORNL32GBytes)) / float64(PaperNERSCORNL32GBytes); d > 0.25 {
+			t.Fatalf("size = %d, want within 25%% of 32 GB", r.SizeBytes)
+		}
+		if r.SizeBytes != PaperNERSCORNL32GBytes {
+			sawVariation = true
+		}
+		if r.RemoteHost != "" {
+			t.Fatal("NERSC records must be anonymized")
+		}
+		if r.Streams != 8 || r.Stripes != 1 {
+			t.Fatalf("streams/stripes = %d/%d, want 8/1", r.Streams, r.Stripes)
+		}
+		h := r.Start.Hour()
+		if h != 2 && h != 8 {
+			t.Fatalf("start hour = %d, want 2 or 8", h)
+		}
+		ths = append(ths, r.ThroughputMbps())
+	}
+	s := stats.MustSummarize(ths)
+	if s.Min < 700 || s.Max > 3700 {
+		t.Errorf("throughput range [%v, %v] outside Table V bounds", s.Min, s.Max)
+	}
+	iqr := s.IQR()
+	if iqr < 400 || iqr > 1000 {
+		t.Errorf("IQR = %v, want near the paper's 695 Mbps", iqr)
+	}
+	if !sawVariation {
+		t.Error("sizes should vary slightly (Table XI correlations need variance)")
+	}
+}
+
+func TestNERSCANL(t *testing.T) {
+	ts, err := NERSCANL(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PaperNERSCANLMemMem + PaperNERSCANLMemDisk + PaperNERSCANLDiskMem + PaperNERSCANLDiskDisk
+	if len(ts) != want {
+		t.Fatalf("transfers = %d, want %d", len(ts), want)
+	}
+	cats := ANLCategoryThroughputs(ts)
+	if len(cats) != 4 {
+		t.Fatalf("categories = %d, want 4", len(cats))
+	}
+	med := func(name string) float64 {
+		m, err := stats.Median(cats[name])
+		if err != nil {
+			t.Fatalf("median %s: %v", name, err)
+		}
+		return m
+	}
+	// Fig 1's ordering: the NERSC disk-write side is the bottleneck, so
+	// *-disk categories have lower medians than *-mem.
+	if !(med("mem-disk") < med("mem-mem") && med("disk-disk") < med("disk-mem")) {
+		t.Errorf("disk-write bottleneck ordering violated: mm=%v md=%v dm=%v dd=%v",
+			med("mem-mem"), med("mem-disk"), med("disk-mem"), med("disk-disk"))
+	}
+	// Table VI CVs are ~31-36%; accept a generous band.
+	for name, ths := range cats {
+		s := stats.MustSummarize(ths)
+		if cv := s.CV(); cv < 0.12 || cv > 0.7 {
+			t.Errorf("%s CV = %v, want within (0.12, 0.7)", name, cv)
+		}
+	}
+	// Concurrency traces exist (Fig 7 needs them).
+	sawConcurrency := false
+	for _, tr := range ts {
+		if tr.Sim == nil || len(tr.Sim.Intervals) == 0 {
+			t.Fatal("missing simulation trace")
+		}
+		for _, iv := range tr.Sim.Intervals {
+			if iv.Concurrent > 1 {
+				sawConcurrency = true
+			}
+		}
+	}
+	if !sawConcurrency {
+		t.Error("no concurrent intervals; Fig 7/8 need overlap")
+	}
+	if n := len(ANLMemToMem(ts)); n != PaperNERSCANLMemMem {
+		t.Errorf("mem-mem subset = %d, want %d", n, PaperNERSCANLMemMem)
+	}
+}
+
+func TestNCARLargeTransfers(t *testing.T) {
+	t16, t4 := NCARLargeTransfers(11)
+	if len(t16) != 1000 || len(t4) != 1280 {
+		t.Fatalf("counts = %d/%d, want 1000/1280", len(t16), len(t4))
+	}
+	for _, tr := range t16 {
+		if tr.SizeBytes < 16e9 || tr.SizeBytes >= 17e9 {
+			t.Fatalf("16G size out of range: %v", tr.SizeBytes)
+		}
+	}
+	// Table IX's shape: median throughput increases with stripe count.
+	byStripes := map[int][]float64{}
+	for _, tr := range append(t16, t4...) {
+		byStripes[tr.Stripes] = append(byStripes[tr.Stripes], tr.ThroughputMbps)
+	}
+	m1, _ := stats.Median(byStripes[1])
+	m2, _ := stats.Median(byStripes[2])
+	m3, _ := stats.Median(byStripes[3])
+	if !(m1 < m2 && m2 < m3) {
+		t.Errorf("stripe medians not increasing: %v, %v, %v", m1, m2, m3)
+	}
+	// Table VIII's shape: years with more servers (2009) beat later years.
+	y2009 := ThroughputsOf(FilterLarge(t16, func(l LargeTransfer) bool { return l.Year == 2009 }))
+	y2011 := ThroughputsOf(FilterLarge(t16, func(l LargeTransfer) bool { return l.Year == 2011 }))
+	med09, _ := stats.Median(y2009)
+	med11, _ := stats.Median(y2011)
+	if med09 <= med11 {
+		t.Errorf("2009 median %v should exceed 2011 median %v", med09, med11)
+	}
+}
+
+func TestFullScalePlansFeasible(t *testing.T) {
+	// The full-size plans must build without growing MaxTransfers.
+	for _, spec := range []PlanSpec{
+		{
+			Transfers: PaperNCARNICSTransfers, Sessions: PaperNCARNICSSessionsG1,
+			Singles: PaperNCARNICSSingleG1, MaxTransfers: PaperNCARNICSMaxSessionTransfers,
+			Over100: PaperNCARNICSSessionsOver100,
+		},
+		{
+			Transfers: PaperSLACBNLTransfers, Sessions: PaperSLACBNLSessionsG1,
+			Singles: PaperSLACBNLSingleG1, MaxTransfers: PaperSLACBNLMaxSessionTransfers,
+			Over100:  PaperSLACBNLSessionsOver100,
+			Reserved: []int{slacNightSpikeCount, slacBinSpikeCount},
+		},
+	} {
+		plan, err := BuildSessionPlan(spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if err := plan.Verify(spec); err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package xferman is a managed-transfer service in the mould of Globus
+// Online, which the paper names as the future source of its datasets: it
+// queues third-party GridFTP transfer jobs, executes them on a worker
+// pool, retries failures with fresh control channels, and verifies
+// integrity with the CKSM checksum command — the "secure and reliable
+// data transfers" feature set §II attributes to GridFTP, operated as a
+// service.
+package xferman
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gftpvc/internal/gridftp"
+)
+
+// Endpoint identifies one GridFTP server and the credentials to use.
+type Endpoint struct {
+	Addr string
+	User string
+	Pass string
+}
+
+// Job is one requested transfer: move SrcName on Src to DstName on Dst.
+type Job struct {
+	Src, Dst Endpoint
+	SrcName  string
+	DstName  string
+	// MaxAttempts bounds retries (default 3).
+	MaxAttempts int
+	// Verify compares src/dst CRC32 checksums after the transfer.
+	Verify bool
+}
+
+func (j *Job) normalize() error {
+	if j.Src.Addr == "" || j.Dst.Addr == "" {
+		return errors.New("xferman: endpoints required")
+	}
+	if j.SrcName == "" || j.DstName == "" {
+		return errors.New("xferman: object names required")
+	}
+	if j.MaxAttempts == 0 {
+		j.MaxAttempts = 3
+	}
+	if j.MaxAttempts < 1 {
+		return errors.New("xferman: MaxAttempts must be >= 1")
+	}
+	return nil
+}
+
+// Status is a job's lifecycle state.
+type Status int
+
+const (
+	// Queued: accepted, not yet picked up by a worker.
+	Queued Status = iota
+	// Running: a worker is executing the transfer.
+	Running
+	// Succeeded: transferred (and verified, when requested).
+	Succeeded
+	// Failed: all attempts exhausted.
+	Failed
+)
+
+func (s Status) String() string {
+	switch s {
+	case Queued:
+		return "QUEUED"
+	case Running:
+		return "RUNNING"
+	case Succeeded:
+		return "SUCCEEDED"
+	case Failed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// JobID identifies a submitted job.
+type JobID int64
+
+// Result is a job's current state.
+type Result struct {
+	ID       JobID
+	Job      Job
+	Status   Status
+	Attempts int
+	// Err holds the final failure (or the last retried one on success).
+	Err string
+	// Checksum is the verified CRC32 when Verify was requested.
+	Checksum string
+	Duration time.Duration
+}
+
+type tracked struct {
+	result Result
+	done   chan struct{}
+}
+
+// Manager executes jobs on a bounded worker pool.
+type Manager struct {
+	queue chan JobID
+
+	mu     sync.Mutex
+	jobs   map[JobID]*tracked
+	nextID JobID
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New starts a manager with the given number of workers.
+func New(workers int) (*Manager, error) {
+	if workers < 1 {
+		return nil, errors.New("xferman: need at least one worker")
+	}
+	m := &Manager{
+		queue: make(chan JobID, 1024),
+		jobs:  make(map[JobID]*tracked),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Submit queues a job and returns its ID.
+func (m *Manager) Submit(job Job) (JobID, error) {
+	if err := job.normalize(); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return 0, errors.New("xferman: manager closed")
+	}
+	m.nextID++
+	id := m.nextID
+	m.jobs[id] = &tracked{
+		result: Result{ID: id, Job: job, Status: Queued},
+		done:   make(chan struct{}),
+	}
+	m.mu.Unlock()
+	m.queue <- id
+	return id, nil
+}
+
+// Wait blocks until the job finishes and returns its result.
+func (m *Manager) Wait(id JobID) (Result, error) {
+	m.mu.Lock()
+	tr := m.jobs[id]
+	m.mu.Unlock()
+	if tr == nil {
+		return Result{}, fmt.Errorf("xferman: unknown job %d", id)
+	}
+	<-tr.done
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return tr.result, nil
+}
+
+// Result returns a job's current state without blocking.
+func (m *Manager) Result(id JobID) (Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tr := m.jobs[id]
+	if tr == nil {
+		return Result{}, fmt.Errorf("xferman: unknown job %d", id)
+	}
+	return tr.result, nil
+}
+
+// SubmitAll lists the source endpoint's objects under prefix (NLST) and
+// submits one job per object, preserving names at the destination. tmpl
+// provides MaxAttempts/Verify; its endpoints and names are overwritten.
+func (m *Manager) SubmitAll(src, dst Endpoint, prefix string, tmpl Job) ([]JobID, error) {
+	c, err := gridftp.Dial(src.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("xferman: dial src: %w", err)
+	}
+	defer c.Close()
+	if err := c.Login(src.User, src.Pass); err != nil {
+		return nil, fmt.Errorf("xferman: login src: %w", err)
+	}
+	names, err := c.List(prefix)
+	if err != nil {
+		return nil, fmt.Errorf("xferman: list: %w", err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("xferman: no objects under %q", prefix)
+	}
+	ids := make([]JobID, 0, len(names))
+	for _, name := range names {
+		job := tmpl
+		job.Src, job.Dst = src, dst
+		job.SrcName, job.DstName = name, name
+		id, err := m.Submit(job)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Close stops accepting jobs and waits for in-flight work to finish.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.queue)
+	m.wg.Wait()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for id := range m.queue {
+		m.mu.Lock()
+		tr := m.jobs[id]
+		tr.result.Status = Running
+		job := tr.result.Job
+		m.mu.Unlock()
+
+		start := time.Now()
+		checksum, attempts, err := m.execute(job)
+		m.mu.Lock()
+		tr.result.Attempts = attempts
+		tr.result.Duration = time.Since(start)
+		tr.result.Checksum = checksum
+		if err != nil {
+			tr.result.Status = Failed
+			tr.result.Err = err.Error()
+		} else {
+			tr.result.Status = Succeeded
+		}
+		m.mu.Unlock()
+		close(tr.done)
+	}
+}
+
+// execute runs one job with retries; every attempt uses fresh control
+// channels (a failed transfer may have poisoned the old ones).
+func (m *Manager) execute(job Job) (checksum string, attempts int, err error) {
+	for attempts = 1; attempts <= job.MaxAttempts; attempts++ {
+		checksum, err = attempt(job)
+		if err == nil {
+			return checksum, attempts, nil
+		}
+	}
+	return "", attempts - 1, err
+}
+
+func attempt(job Job) (string, error) {
+	src, err := gridftp.Dial(job.Src.Addr)
+	if err != nil {
+		return "", fmt.Errorf("dial src: %w", err)
+	}
+	defer src.Close()
+	if err := src.Login(job.Src.User, job.Src.Pass); err != nil {
+		return "", fmt.Errorf("login src: %w", err)
+	}
+	dst, err := gridftp.Dial(job.Dst.Addr)
+	if err != nil {
+		return "", fmt.Errorf("dial dst: %w", err)
+	}
+	defer dst.Close()
+	if err := dst.Login(job.Dst.User, job.Dst.Pass); err != nil {
+		return "", fmt.Errorf("login dst: %w", err)
+	}
+	if err := gridftp.ThirdParty(src, dst, job.SrcName, job.DstName); err != nil {
+		return "", fmt.Errorf("transfer: %w", err)
+	}
+	if !job.Verify {
+		return "", nil
+	}
+	want, err := src.Checksum(job.SrcName)
+	if err != nil {
+		return "", fmt.Errorf("src checksum: %w", err)
+	}
+	got, err := dst.Checksum(job.DstName)
+	if err != nil {
+		return "", fmt.Errorf("dst checksum: %w", err)
+	}
+	if want != got {
+		return "", fmt.Errorf("checksum mismatch: src %s, dst %s", want, got)
+	}
+	return got, nil
+}

@@ -1,0 +1,302 @@
+package xferman
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"gftpvc/internal/gridftp"
+)
+
+// flakyStore fails the first N Gets, then delegates — simulating the
+// transient server-side failures a transfer manager retries through.
+type flakyStore struct {
+	gridftp.Store
+	mu       sync.Mutex
+	failures int
+}
+
+func (f *flakyStore) Get(name string) ([]byte, error) {
+	f.mu.Lock()
+	if f.failures > 0 {
+		f.failures--
+		f.mu.Unlock()
+		return nil, gridftp.ErrNotFound
+	}
+	f.mu.Unlock()
+	return f.Store.Get(name)
+}
+
+func payload(n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(3)).Read(b)
+	return b
+}
+
+func serve(t *testing.T, store gridftp.Store) *gridftp.Server {
+	t.Helper()
+	s, err := gridftp.Serve(gridftp.Config{
+		Addr:  "127.0.0.1:0",
+		Store: store,
+		// A failed third-party leg leaves the receiver waiting for a
+		// data connection that never comes; keep that timeout short so
+		// retry tests run quickly.
+		AcceptTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func ep(s *gridftp.Server) Endpoint {
+	return Endpoint{Addr: s.Addr(), User: "u", Pass: "p"}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero workers should fail")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	bad := []Job{
+		{},
+		{Src: Endpoint{Addr: "x"}, Dst: Endpoint{Addr: "y"}},
+		{Src: Endpoint{Addr: "x"}, Dst: Endpoint{Addr: "y"},
+			SrcName: "a", DstName: "b", MaxAttempts: -1},
+	}
+	for i, j := range bad {
+		if _, err := m.Submit(j); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := m.Wait(999); err == nil {
+		t.Error("unknown job should fail")
+	}
+}
+
+func TestSuccessfulVerifiedTransfer(t *testing.T) {
+	srcStore := gridftp.NewMemStore()
+	want := payload(1 << 20)
+	srcStore.Put("data.bin", want)
+	dstStore := gridftp.NewMemStore()
+	src := serve(t, srcStore)
+	dst := serve(t, dstStore)
+
+	m, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	id, err := m.Submit(Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "data.bin", DstName: "copy.bin", Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Succeeded {
+		t.Fatalf("status = %v, err = %s", res.Status, res.Err)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", res.Attempts)
+	}
+	if res.Checksum == "" {
+		t.Error("verified job should carry a checksum")
+	}
+	got, err := dstStore.Get("copy.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestRetryRecoversFromTransientFailure(t *testing.T) {
+	inner := gridftp.NewMemStore()
+	want := payload(256 << 10)
+	inner.Put("data.bin", want)
+	flaky := &flakyStore{Store: inner, failures: 2}
+	src := serve(t, flaky)
+	dst := serve(t, gridftp.NewMemStore())
+
+	m, _ := New(1)
+	defer m.Close()
+	id, err := m.Submit(Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "data.bin", DstName: "copy.bin",
+		MaxAttempts: 4, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := m.Wait(id)
+	if res.Status != Succeeded {
+		t.Fatalf("status = %v, err = %s", res.Status, res.Err)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (two failures, then success)", res.Attempts)
+	}
+}
+
+func TestExhaustedRetriesFail(t *testing.T) {
+	src := serve(t, gridftp.NewMemStore()) // object never exists
+	dst := serve(t, gridftp.NewMemStore())
+	m, _ := New(1)
+	defer m.Close()
+	id, err := m.Submit(Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "missing.bin", DstName: "copy.bin", MaxAttempts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := m.Wait(id)
+	if res.Status != Failed || res.Err == "" {
+		t.Fatalf("result = %+v, want failure with error", res)
+	}
+	if res.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", res.Attempts)
+	}
+}
+
+func TestBatchOfJobsAcrossWorkers(t *testing.T) {
+	srcStore := gridftp.NewMemStore()
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for _, n := range names {
+		srcStore.Put(n, payload(64<<10))
+	}
+	dstStore := gridftp.NewMemStore()
+	src := serve(t, srcStore)
+	dst := serve(t, dstStore)
+	m, _ := New(3)
+	defer m.Close()
+	var ids []JobID
+	for _, n := range names {
+		id, err := m.Submit(Job{
+			Src: ep(src), Dst: ep(dst),
+			SrcName: n, DstName: n + ".copy", Verify: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		res, err := m.Wait(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Succeeded {
+			t.Fatalf("job %d: %v (%s)", id, res.Status, res.Err)
+		}
+	}
+	for _, n := range names {
+		if _, err := dstStore.Get(n + ".copy"); err != nil {
+			t.Errorf("missing copy of %s", n)
+		}
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	m, _ := New(1)
+	m.Close()
+	m.Close() // idempotent
+	if _, err := m.Submit(Job{
+		Src: Endpoint{Addr: "x"}, Dst: Endpoint{Addr: "y"},
+		SrcName: "a", DstName: "b",
+	}); err == nil {
+		t.Error("submit after close should fail")
+	}
+}
+
+func TestResultNonBlocking(t *testing.T) {
+	m, _ := New(1)
+	defer m.Close()
+	if _, err := m.Result(42); err == nil {
+		t.Error("unknown job should fail")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Queued: "QUEUED", Running: "RUNNING", Succeeded: "SUCCEEDED", Failed: "FAILED",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %s", s, s.String())
+		}
+	}
+}
+
+func TestChecksumCommandDirect(t *testing.T) {
+	store := gridftp.NewMemStore()
+	store.Put("x", []byte("hello world"))
+	s := serve(t, store)
+	c, err := gridftp.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Login("u", "p"); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Checksum("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// crc32.ChecksumIEEE("hello world") = 0x0d4a1185
+	if sum != "0d4a1185" {
+		t.Errorf("checksum = %s, want 0d4a1185", sum)
+	}
+	if _, err := c.Checksum("missing"); err == nil {
+		t.Error("missing object checksum should fail")
+	}
+}
+
+func TestSubmitAll(t *testing.T) {
+	srcStore := gridftp.NewMemStore()
+	for _, n := range []string{"run1/a", "run1/b", "other/c"} {
+		srcStore.Put(n, payload(32<<10))
+	}
+	dstStore := gridftp.NewMemStore()
+	src := serve(t, srcStore)
+	dst := serve(t, dstStore)
+	m, _ := New(2)
+	defer m.Close()
+	ids, err := m.SubmitAll(ep(src), ep(dst), "run1/", Job{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("submitted %d jobs, want 2", len(ids))
+	}
+	for _, id := range ids {
+		res, err := m.Wait(id)
+		if err != nil || res.Status != Succeeded {
+			t.Fatalf("job %d: %+v, %v", id, res, err)
+		}
+	}
+	if _, err := dstStore.Get("run1/a"); err != nil {
+		t.Error("run1/a not copied")
+	}
+	if _, err := dstStore.Get("other/c"); err == nil {
+		t.Error("other/c should not have been copied")
+	}
+	if _, err := m.SubmitAll(ep(src), ep(dst), "missing/", Job{}); err == nil {
+		t.Error("empty prefix listing should fail")
+	}
+}
