@@ -1,0 +1,25 @@
+GO ?= go
+
+# Packages exercised by the concurrency-sensitive paths (parallel exhibit
+# runner, memoized workloads, allocator scratch state).
+RACE_PKGS = ./internal/netsim ./internal/experiments ./internal/sessions
+
+.PHONY: check vet race bench all
+
+all: check vet
+
+# Tier-1 verify: the whole module must build and every test pass.
+check:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# One iteration of every root benchmark, machine-readable, for
+# before/after comparisons across PRs.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -json . | tee BENCH_1.json

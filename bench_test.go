@@ -12,6 +12,7 @@ package gftpvc_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -103,6 +104,18 @@ func BenchmarkFigure5(b *testing.B)   { benchExhibit(b, "fig5") }
 func BenchmarkFigure6(b *testing.B)   { benchExhibit(b, "fig6") }
 func BenchmarkFigure7(b *testing.B)   { benchExhibit(b, "fig7") }
 func BenchmarkFigure8(b *testing.B)   { benchExhibit(b, "fig8") }
+
+// BenchmarkAllExhibitsParallel regenerates the whole exhibit suite on the
+// worker pool that backs `paperrepro -parallel` (cached datasets are
+// shared across exhibits, so iterations measure the parallel analysis).
+func BenchmarkAllExhibitsParallel(b *testing.B) {
+	ids := experiments.IDs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(ids, 42, runtime.GOMAXPROCS(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // Ablation benchmarks for the design choices DESIGN.md calls out.
 
@@ -378,6 +391,7 @@ func BenchmarkSessionGroupingSLAC(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ss, err := sessions.Group(ds.Records, time.Minute)

@@ -4,16 +4,21 @@
 //
 // Usage:
 //
-//	paperrepro -exp all          # every exhibit
-//	paperrepro -exp table4       # one exhibit
-//	paperrepro -list             # list exhibit IDs
-//	paperrepro -exp fig3 -seed 7 # different workload seed
+//	paperrepro -exp all            # every exhibit
+//	paperrepro -exp table4         # one exhibit
+//	paperrepro -list               # list exhibit IDs
+//	paperrepro -exp fig3 -seed 7   # different workload seed
+//	paperrepro -exp all -parallel 4 # bound exhibit concurrency
+//
+// Exhibits run concurrently on a worker pool (-parallel, default
+// GOMAXPROCS); output order and content are identical to a serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"gftpvc/internal/experiments"
@@ -21,9 +26,10 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "exhibit ID (table1..table13, fig1..fig8) or 'all'")
-		seed = flag.Int64("seed", 42, "workload generation seed")
-		list = flag.Bool("list", false, "list exhibit IDs and exit")
+		exp      = flag.String("exp", "all", "exhibit ID (table1..table13, fig1..fig8) or 'all'")
+		seed     = flag.Int64("seed", 42, "workload generation seed")
+		list     = flag.Bool("list", false, "list exhibit IDs and exit")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for running exhibits (1 = serial)")
 	)
 	flag.Parse()
 	if *list {
@@ -33,13 +39,16 @@ func main() {
 	ids := experiments.IDs()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
-	}
-	for _, id := range ids {
-		res, err := experiments.Run(strings.TrimSpace(id), *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
-			os.Exit(1)
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
 		}
+	}
+	results, err := experiments.RunAll(ids, *seed, *parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+		os.Exit(1)
+	}
+	for _, res := range results {
 		fmt.Println("================================================================================")
 		fmt.Println(res.Render())
 	}

@@ -6,13 +6,11 @@ import (
 	"math"
 	"math/rand"
 	"strings"
-	"sync"
 
 	"gftpvc/internal/netsim"
 	"gftpvc/internal/simclock"
 	"gftpvc/internal/snmp"
 	"gftpvc/internal/topo"
-	"gftpvc/internal/workload"
 )
 
 func init() {
@@ -34,18 +32,22 @@ type ornlCampaign struct {
 	obs      []snmp.TransferObs
 }
 
-var (
-	campMu    sync.Mutex
-	campCache = map[int64]*ornlCampaign{}
-)
+// campCache keeps at most the two most recent seeds' campaigns: a full
+// campaign holds five 30-second SNMP counters plus 145 observations, and
+// an unbounded per-seed map grows without limit under seed sweeps.
+var campCache = newBoundedMemo[int64, *ornlCampaign](2)
 
 func runORNLCampaign(seed int64) (*ornlCampaign, error) {
-	campMu.Lock()
-	defer campMu.Unlock()
-	if c, ok := campCache[seed]; ok {
-		return c, nil
+	return campCache.get(seed, func() (*ornlCampaign, error) {
+		return buildORNLCampaign(seed)
+	})
+}
+
+func buildORNLCampaign(seed int64) (*ornlCampaign, error) {
+	records, err := ornlRecords(seed)
+	if err != nil {
+		return nil, err
 	}
-	records := workload.NERSCORNL32G(seed)
 	scenario := topo.NERSCORNL()
 	eng := simclock.New()
 	nw := netsim.New(eng, scenario.Topo)
@@ -139,7 +141,6 @@ func runORNLCampaign(seed int64) (*ornlCampaign, error) {
 	for _, id := range egress {
 		camp.counters[id] = poller.Counter(id)
 	}
-	campCache[seed] = camp
 	return camp, nil
 }
 

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"sync"
 	"time"
 
 	"gftpvc/internal/sessions"
@@ -11,31 +10,18 @@ import (
 
 // Dataset generation at full scale is the dominant cost when regenerating
 // every exhibit (the SLAC–BNL log has 1,021,999 records), so generated
-// datasets and their groupings are memoized per seed.
+// datasets and their groupings are memoized per seed through bounded LRU
+// caches (see memo.go) — seed sweeps cannot grow memory without limit.
 
 type datasetKey struct {
 	name string
 	seed int64
 }
 
-var (
-	dsMu    sync.Mutex
-	dsCache = map[datasetKey]*workload.Dataset{}
-)
+var dsCache = newBoundedMemo[datasetKey, *workload.Dataset](4)
 
 func cachedDataset(name string, seed int64, gen func() (*workload.Dataset, error)) (*workload.Dataset, error) {
-	key := datasetKey{name, seed}
-	dsMu.Lock()
-	defer dsMu.Unlock()
-	if ds, ok := dsCache[key]; ok {
-		return ds, nil
-	}
-	ds, err := gen()
-	if err != nil {
-		return nil, err
-	}
-	dsCache[key] = ds
-	return ds, nil
+	return dsCache.get(datasetKey{name, seed}, gen)
 }
 
 func ncarDataset(seed int64) (*workload.Dataset, error) {
@@ -55,22 +41,12 @@ type groupKey struct {
 	g time.Duration
 }
 
-var (
-	grMu    sync.Mutex
-	grCache = map[groupKey][]*sessions.Session{}
-)
+// The full exhibit suite touches six (dataset, gap) groupings per seed;
+// twelve covers two seeds side by side without thrash.
+var grCache = newBoundedMemo[groupKey, []*sessions.Session](12)
 
 func groupedSessions(name string, seed int64, records []usagestats.Record, g time.Duration) ([]*sessions.Session, error) {
-	key := groupKey{datasetKey{name, seed}, g}
-	grMu.Lock()
-	defer grMu.Unlock()
-	if ss, ok := grCache[key]; ok {
-		return ss, nil
-	}
-	ss, err := sessions.Group(records, g)
-	if err != nil {
-		return nil, err
-	}
-	grCache[key] = ss
-	return ss, nil
+	return grCache.get(groupKey{datasetKey{name, seed}, g}, func() ([]*sessions.Session, error) {
+		return sessions.Group(records, g)
+	})
 }

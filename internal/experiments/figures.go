@@ -52,7 +52,7 @@ func init() {
 // figure1 reproduces Fig 1: box plots of ANL→NERSC throughput for the four
 // endpoint categories, showing the NERSC disk-write bottleneck.
 func figure1(seed int64) (Result, error) {
-	ts, err := workload.NERSCANL(seed)
+	ts, err := anlTransfers(seed)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +304,10 @@ func figure5(seed int64) (Result, error) {
 // figure6 reproduces Fig 6: throughput of the 32 GB NERSC–ORNL transfers
 // by time of day (all started at 2 AM or 8 AM).
 func figure6(seed int64) (Result, error) {
-	records := workload.NERSCORNL32G(seed)
+	records, err := ornlRecords(seed)
+	if err != nil {
+		return nil, err
+	}
 	byHour := map[int][]float64{}
 	for _, r := range records {
 		byHour[r.Start.Hour()] = append(byHour[r.Start.Hour()], r.ThroughputMbps())
@@ -323,7 +326,7 @@ func figure6(seed int64) (Result, error) {
 // figure7 reproduces Fig 7: the concurrency intervals within one ANL→NERSC
 // transfer (number of concurrent transfers vs time).
 func figure7(seed int64) (Result, error) {
-	ts, err := workload.NERSCANL(seed)
+	ts, err := anlTransfers(seed)
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +359,7 @@ func figure7(seed int64) (Result, error) {
 // figure8 reproduces Fig 8: Eq. 2 predicted vs actual throughput for the
 // memory-to-memory transfers, with R at the 90th percentile.
 func figure8(seed int64) (Result, error) {
-	ts, err := workload.NERSCANL(seed)
+	ts, err := anlTransfers(seed)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"sync"
+
+	"gftpvc/internal/usagestats"
+	"gftpvc/internal/workload"
+)
+
+// boundedMemo is a small LRU-bounded memoization cache. Each key is
+// generated at most once (concurrent callers for the same key block on a
+// per-entry sync.Once while callers for other keys proceed), failed
+// generations are not cached, and when the population exceeds limit the
+// least-recently-used entry is evicted.
+type boundedMemo[K comparable, V any] struct {
+	mu    sync.Mutex
+	limit int
+	m     map[K]*memoEntry[V]
+	order []K // ascending recency; order[0] is evicted first
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+func newBoundedMemo[K comparable, V any](limit int) *boundedMemo[K, V] {
+	if limit < 1 {
+		limit = 1
+	}
+	return &boundedMemo[K, V]{limit: limit, m: make(map[K]*memoEntry[V])}
+}
+
+func (c *boundedMemo[K, V]) get(key K, gen func() (V, error)) (V, error) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if ok {
+		c.touchLocked(key)
+	} else {
+		e = &memoEntry[V]{}
+		c.m[key] = e
+		c.order = append(c.order, key)
+		for len(c.order) > c.limit {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.m, evict)
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = gen() })
+	if e.err != nil {
+		// Do not cache failures; a later call may succeed. Only drop the
+		// mapping if it still points at this entry (it may have been
+		// evicted, or replaced after an earlier removal).
+		c.mu.Lock()
+		if c.m[key] == e {
+			delete(c.m, key)
+			c.dropOrderLocked(key)
+		}
+		c.mu.Unlock()
+	}
+	return e.val, e.err
+}
+
+func (c *boundedMemo[K, V]) touchLocked(key K) {
+	c.dropOrderLocked(key)
+	c.order = append(c.order, key)
+}
+
+func (c *boundedMemo[K, V]) dropOrderLocked(key K) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// size reports the current number of cached entries (for tests).
+func (c *boundedMemo[K, V]) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Memoized workload synthesis. Concurrent exhibits share generated inputs
+// instead of regenerating them; caches are bounded so seed sweeps cannot
+// grow memory without limit. The raw generators return fresh slices per
+// call, so sharing is safe only because no exhibit mutates these inputs.
+
+type ncarLargeSet struct {
+	t16, t4 []workload.LargeTransfer
+}
+
+var (
+	anlCache       = newBoundedMemo[int64, []workload.ANLTransfer](4)
+	ornlRecCache   = newBoundedMemo[int64, []usagestats.Record](4)
+	ncarLargeCache = newBoundedMemo[int64, ncarLargeSet](4)
+)
+
+func anlTransfers(seed int64) ([]workload.ANLTransfer, error) {
+	return anlCache.get(seed, func() ([]workload.ANLTransfer, error) {
+		return workload.NERSCANL(seed)
+	})
+}
+
+func ornlRecords(seed int64) ([]usagestats.Record, error) {
+	return ornlRecCache.get(seed, func() ([]usagestats.Record, error) {
+		return workload.NERSCORNL32G(seed), nil
+	})
+}
+
+func ncarLarge(seed int64) (ncarLargeSet, error) {
+	return ncarLargeCache.get(seed, func() (ncarLargeSet, error) {
+		t16, t4 := workload.NCARLargeTransfers(seed)
+		return ncarLargeSet{t16: t16, t4: t4}, nil
+	})
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBoundedMemoCachesAndEvicts(t *testing.T) {
+	c := newBoundedMemo[int, int](2)
+	calls := 0
+	gen := func(k int) func() (int, error) {
+		return func() (int, error) { calls++; return k * 10, nil }
+	}
+	for _, k := range []int{1, 2, 1, 2} {
+		v, err := c.get(k, gen(k))
+		if err != nil || v != k*10 {
+			t.Fatalf("get(%d) = %d, %v", k, v, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("generator ran %d times, want 2 (cache hits expected)", calls)
+	}
+	// Inserting a third key evicts the least recently used (key 1, since 2
+	// was touched last).
+	if _, err := c.get(3, gen(3)); err != nil {
+		t.Fatal(err)
+	}
+	if c.size() != 2 {
+		t.Fatalf("size = %d, want 2 after eviction", c.size())
+	}
+	if _, err := c.get(2, gen(2)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("generator ran %d times, want 3 (key 2 should still be cached)", calls)
+	}
+	if _, err := c.get(1, gen(1)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Fatalf("generator ran %d times, want 4 (key 1 should have been evicted)", calls)
+	}
+}
+
+func TestBoundedMemoLRUTouchOnHit(t *testing.T) {
+	c := newBoundedMemo[int, int](2)
+	calls := map[int]int{}
+	gen := func(k int) func() (int, error) {
+		return func() (int, error) { calls[k]++; return k, nil }
+	}
+	c.get(1, gen(1))
+	c.get(2, gen(2))
+	c.get(1, gen(1)) // touch 1; now 2 is LRU
+	c.get(3, gen(3)) // evicts 2
+	c.get(1, gen(1))
+	if calls[1] != 1 {
+		t.Errorf("key 1 generated %d times, want 1 (touched on hit, never evicted)", calls[1])
+	}
+	c.get(2, gen(2))
+	if calls[2] != 2 {
+		t.Errorf("key 2 generated %d times, want 2 (evicted as LRU)", calls[2])
+	}
+}
+
+func TestBoundedMemoErrorNotCached(t *testing.T) {
+	c := newBoundedMemo[int, int](2)
+	calls := 0
+	fail := errors.New("generation failed")
+	g := func() (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, fail
+		}
+		return 42, nil
+	}
+	if _, err := c.get(1, g); !errors.Is(err, fail) {
+		t.Fatalf("first get err = %v, want generation failure", err)
+	}
+	if c.size() != 0 {
+		t.Fatalf("size = %d after failure, want 0 (failures must not be cached)", c.size())
+	}
+	v, err := c.get(1, g)
+	if err != nil || v != 42 {
+		t.Fatalf("second get = %d, %v; want 42, nil", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("generator ran %d times, want 2", calls)
+	}
+}
+
+func TestBoundedMemoSingleFlight(t *testing.T) {
+	c := newBoundedMemo[int, int](4)
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.get(7, func() (int, error) {
+				calls.Add(1)
+				return 77, nil
+			})
+			if err != nil || v != 77 {
+				t.Errorf("get = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("generator ran %d times under concurrency, want 1", calls.Load())
+	}
+}
+
+// TestBoundedMemoKeysGenerateConcurrently checks that a slow generation for
+// one key does not serialize generation of a different key.
+func TestBoundedMemoKeysGenerateConcurrently(t *testing.T) {
+	c := newBoundedMemo[int, int](4)
+	slowEntered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		c.get(1, func() (int, error) {
+			close(slowEntered)
+			<-release
+			return 1, nil
+		})
+		close(done)
+	}()
+	<-slowEntered
+	// Key 2 must complete while key 1's generator is still blocked.
+	v, err := c.get(2, func() (int, error) { return 2, nil })
+	if err != nil || v != 2 {
+		t.Fatalf("get(2) = %d, %v while other key in flight", v, err)
+	}
+	close(release)
+	<-done
+}
+
+// TestCampaignCacheBounded exercises the ORNL campaign memoization: repeat
+// seeds hit the cache (same pointer back) and the population never exceeds
+// the configured bound even across a seed sweep.
+func TestCampaignCacheBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SNMP campaigns are slow")
+	}
+	c1, err := runORNLCampaign(301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1b, err := runORNLCampaign(301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c1b {
+		t.Error("repeat seed did not hit the campaign cache")
+	}
+	for _, seed := range []int64{302, 303, 304} {
+		if _, err := runORNLCampaign(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := campCache.size(); got > 2 {
+		t.Errorf("campCache holds %d campaigns, want <= 2", got)
+	}
+}

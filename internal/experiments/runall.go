@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RunAll regenerates the given exhibits on a worker pool of the given
+// parallelism and returns the results in the order of ids — output is
+// deterministic regardless of worker scheduling. If any exhibit fails,
+// the error returned is the failure of the earliest id in ids (again
+// independent of scheduling) and the results slice still carries every
+// exhibit that succeeded. Parallelism is clamped to [1, len(ids)];
+// RunAll(ids, seed, 1) is equivalent to a serial loop.
+func RunAll(ids []string, seed int64, parallelism int) ([]Result, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism > len(ids) {
+		parallelism = len(ids)
+	}
+	results := make([]Result, len(ids))
+	errs := make([]error, len(ids))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				results[i], errs[i] = Run(ids[i], seed)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -144,7 +144,7 @@ type Eq2Shape struct {
 
 // Eq2ShapeData computes the Fig 8 correlation.
 func Eq2ShapeData(seed int64) (Eq2Shape, error) {
-	ts, err := workload.NERSCANL(seed)
+	ts, err := anlTransfers(seed)
 	if err != nil {
 		return Eq2Shape{}, err
 	}

@@ -176,7 +176,10 @@ func tableIV(seed int64) (Result, error) {
 // tableV reproduces Table V: duration and throughput of the 145 32 GB
 // NERSC–ORNL test transfers.
 func tableV(seed int64) (Result, error) {
-	records := workload.NERSCORNL32G(seed)
+	records, err := ornlRecords(seed)
+	if err != nil {
+		return nil, err
+	}
 	var durs, thrs []float64
 	for _, r := range records {
 		durs = append(durs, r.DurationSec)
@@ -203,7 +206,7 @@ var paperTableVI = map[string]float64{
 // tableVI reproduces Table VI: ANL→NERSC transfer throughput by endpoint
 // category, with coefficients of variation.
 func tableVI(seed int64) (Result, error) {
-	ts, err := workload.NERSCANL(seed)
+	ts, err := anlTransfers(seed)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +227,11 @@ func tableVI(seed int64) (Result, error) {
 // tableVII reproduces Table VII: throughput variance of the 16 GB and 4 GB
 // NCAR transfer subsets.
 func tableVII(seed int64) (Result, error) {
-	t16, t4 := workload.NCARLargeTransfers(seed)
+	nl, err := ncarLarge(seed)
+	if err != nil {
+		return nil, err
+	}
+	t16, t4 := nl.t16, nl.t4
 	s16 := stats.MustSummarize(workload.ThroughputsOf(t16))
 	s4 := stats.MustSummarize(workload.ThroughputsOf(t4))
 	var b strings.Builder
@@ -259,7 +266,11 @@ func groupedThroughputTable(title string, groups map[string][]float64, order []s
 // NCAR subsets (the frost cluster shrank from 3 servers to 1 over
 // 2009–2011).
 func tableVIII(seed int64) (Result, error) {
-	t16, t4 := workload.NCARLargeTransfers(seed)
+	nl, err := ncarLarge(seed)
+	if err != nil {
+		return nil, err
+	}
+	t16, t4 := nl.t16, nl.t4
 	groups := map[string][]float64{}
 	var order []string
 	for _, set := range []struct {
@@ -283,7 +294,11 @@ func tableVIII(seed int64) (Result, error) {
 // tableIX reproduces Table IX: stripes-based throughput of the same
 // subsets; the median rises with the stripe count.
 func tableIX(seed int64) (Result, error) {
-	t16, t4 := workload.NCARLargeTransfers(seed)
+	nl, err := ncarLarge(seed)
+	if err != nil {
+		return nil, err
+	}
+	t16, t4 := nl.t16, nl.t4
 	groups := map[string][]float64{}
 	var order []string
 	for _, set := range []struct {

@@ -11,6 +11,17 @@
 // throughput, link utilization and byte counts — which is all the paper's
 // analyses consume. Packet losses in these networks are rare (one of the
 // paper's findings), so the fluid approximation is faithful.
+//
+// The allocator is the hot path of every paper exhibit (reallocate runs on
+// each flow arrival, departure, cap change and guarantee change), so it is
+// engineered to be allocation-free in steady state: links live in dense
+// slices indexed by a per-network link index, the active flows form a
+// persistent registry sorted by flow ID, and all per-reallocation working
+// state (residual capacities, per-link flow counts, frozen flags, cap
+// remainders) is kept in scratch buffers on the Network that are resized
+// only when the live population grows. Projected completion times live in
+// a min-heap with lazy invalidation instead of being rescanned and
+// re-armed on every event.
 package netsim
 
 import (
@@ -42,11 +53,22 @@ type Flow struct {
 	// guaranteedBps is the VC reservation; 0 for best-effort flows.
 	guaranteedBps float64
 
-	rate       float64 // current allocated rate
-	start      simclock.Time
-	lastUpdate simclock.Time
-	end        simclock.Time
-	done       bool
+	rate  float64 // current allocated rate
+	start simclock.Time
+	end   simclock.Time
+	done  bool
+
+	// links[i] is the dense index of Path[i] in the owning Network,
+	// resolved once at StartFlow so the allocator never touches the
+	// map[topo.LinkID] during reallocation.
+	links []int
+
+	// projSeq/projAt implement lazy invalidation of completion-heap
+	// entries: an entry is live only while its seq matches projSeq and
+	// the flow is still registered.
+	projSeq   uint64
+	projAt    simclock.Time
+	projValid bool
 
 	onDone func(*Flow, simclock.Time)
 }
@@ -99,10 +121,19 @@ type FlowOptions struct {
 	OnDone func(*Flow, simclock.Time)
 }
 
+// linkState is the per-link simulation state, stored densely and indexed
+// by the network's link index.
 type linkState struct {
 	link       *topo.Link
 	bytesTotal float64 // cumulative bytes carried (all flows)
-	flows      map[FlowID]*Flow
+	flows      []*Flow // active flows crossing, ascending flow ID
+}
+
+// completion is one entry of the projected-completion min-heap.
+type completion struct {
+	at  simclock.Time
+	f   *Flow
+	seq uint64
 }
 
 // Network simulates flows over a topology. All methods must be called from
@@ -112,22 +143,58 @@ type Network struct {
 	eng    *simclock.Engine
 	topo   *topo.Topology
 	flows  map[FlowID]*Flow
-	links  map[topo.LinkID]*linkState
 	nextID FlowID
 
-	recalcGen uint64 // invalidates stale completion events
+	// Dense link state: links[i] holds the link whose ID sorts i-th;
+	// linkIndex resolves a LinkID to its dense index.
+	links     []linkState
+	linkIndex map[topo.LinkID]int
+
+	// flowList is the persistent flow registry, sorted ascending by ID
+	// (IDs are monotonic, so StartFlow appends and remove splices).
+	flowList []*Flow
+
+	// settledAt is the instant up to which all in-flight flows have been
+	// integrated. Every active flow is settled at the same instant, so a
+	// single network-level timestamp replaces per-flow bookkeeping.
+	settledAt simclock.Time
+
+	// Scratch buffers reused across reallocations; they grow to the peak
+	// live population and are never shrunk.
+	residual   []float64 // per link: unallocated capacity
+	linkCount  []int     // per link: unfrozen best-effort flows crossing
+	bestEffort []*Flow
+	frozen     []bool
+	capRem     []float64
+	finished   []*Flow
+
+	// Projected-completion min-heap with lazy invalidation, plus the
+	// state of the single armed engine event. projCount tracks flows with
+	// a live projection so the heap can be compacted when superseded
+	// entries dominate it.
+	compHeap  []completion
+	projCount int
+	armed     bool
+	armedAt   simclock.Time
+	armedGen  uint64
 }
 
 // New creates a network simulator over the given topology and engine.
 func New(eng *simclock.Engine, tp *topo.Topology) *Network {
+	links := tp.Links()
 	n := &Network{
-		eng:   eng,
-		topo:  tp,
-		flows: make(map[FlowID]*Flow),
-		links: make(map[topo.LinkID]*linkState),
+		eng:       eng,
+		topo:      tp,
+		flows:     make(map[FlowID]*Flow),
+		links:     make([]linkState, len(links)),
+		linkIndex: make(map[topo.LinkID]int, len(links)),
+		residual:  make([]float64, len(links)),
+		linkCount: make([]int, len(links)),
+		settledAt: eng.Now(),
 	}
-	for _, l := range tp.Links() {
-		n.links[l.ID] = &linkState{link: l, flows: make(map[FlowID]*Flow)}
+	for i, l := range links {
+		n.links[i] = linkState{link: l}
+		n.linkIndex[l.ID] = i
 	}
 	return n
 }
@@ -141,14 +208,16 @@ func (n *Network) Topology() *topo.Topology { return n.topo }
 // LinkBytes returns the cumulative bytes carried by the directed link, as
 // of the current virtual time (integrating in-flight flows up to now).
 func (n *Network) LinkBytes(id topo.LinkID) (float64, error) {
-	ls := n.links[id]
-	if ls == nil {
+	li, ok := n.linkIndex[id]
+	if !ok {
 		return 0, fmt.Errorf("netsim: unknown link %s", id)
 	}
+	ls := &n.links[li]
 	total := ls.bytesTotal
-	now := n.eng.Now()
-	for _, f := range ls.flows {
-		total += f.rate / 8 * float64(now.Sub(f.lastUpdate))
+	if dt := float64(n.eng.Now().Sub(n.settledAt)); dt > 0 {
+		for _, f := range ls.flows {
+			total += f.rate / 8 * dt
+		}
 	}
 	return total, nil
 }
@@ -169,10 +238,13 @@ func (n *Network) StartFlow(path topo.Path, sizeBytes float64, opts FlowOptions)
 	if opts.RateCapBps < 0 || opts.GuaranteedBps < 0 {
 		return nil, errors.New("netsim: negative rate")
 	}
-	for _, l := range path {
-		if n.links[l.ID] == nil {
+	links := make([]int, len(path))
+	for i, l := range path {
+		li, ok := n.linkIndex[l.ID]
+		if !ok {
 			return nil, fmt.Errorf("netsim: path link %s not in network", l.ID)
 		}
+		links[i] = li
 	}
 	n.settle()
 	n.nextID++
@@ -184,12 +256,13 @@ func (n *Network) StartFlow(path topo.Path, sizeBytes float64, opts FlowOptions)
 		rateCapBps:     opts.RateCapBps,
 		guaranteedBps:  opts.GuaranteedBps,
 		start:          n.eng.Now(),
-		lastUpdate:     n.eng.Now(),
+		links:          links,
 		onDone:         opts.OnDone,
 	}
 	n.flows[f.ID] = f
-	for _, l := range path {
-		n.links[l.ID].flows[f.ID] = f
+	n.flowList = append(n.flowList, f) // IDs are monotonic: stays sorted
+	for _, li := range links {
+		n.links[li].flows = append(n.links[li].flows, f)
 	}
 	n.reallocate()
 	return f, nil
@@ -242,13 +315,19 @@ func (n *Network) SetGuarantee(f *Flow, guaranteedBps float64) error {
 }
 
 // settle integrates all in-flight flows up to the current instant,
-// crediting link byte counters and decrementing remaining sizes.
+// crediting link byte counters and decrementing remaining sizes. All
+// flows share the settlement timestamp, so a repeated settle at the same
+// instant (arrival bursts, cap re-draws) returns immediately, and flows
+// allocated a zero rate are skipped entirely.
 func (n *Network) settle() {
 	now := n.eng.Now()
-	for _, f := range n.flows {
-		dt := float64(now.Sub(f.lastUpdate))
-		if dt <= 0 {
-			f.lastUpdate = now
+	dt := float64(now.Sub(n.settledAt))
+	if dt <= 0 {
+		n.settledAt = now
+		return
+	}
+	for _, f := range n.flowList {
+		if f.rate == 0 {
 			continue
 		}
 		moved := f.rate / 8 * dt
@@ -258,19 +337,37 @@ func (n *Network) settle() {
 			}
 			f.remainingBytes -= moved
 		}
-		for _, l := range f.Path {
-			n.links[l.ID].bytesTotal += moved
+		for _, li := range f.links {
+			n.links[li].bytesTotal += moved
 		}
-		f.lastUpdate = now
 	}
+	n.settledAt = now
 }
 
-// remove detaches a flow from the network and its links.
+// remove detaches a flow from the network, its registry slot, and its
+// links, and invalidates any completion-heap entries it owns.
 func (n *Network) remove(f *Flow) {
 	delete(n.flows, f.ID)
-	for _, l := range f.Path {
-		delete(n.links[l.ID].flows, f.ID)
+	n.flowList = spliceOut(n.flowList, f)
+	for _, li := range f.links {
+		n.links[li].flows = spliceOut(n.links[li].flows, f)
 	}
+	if f.projValid {
+		f.projValid = false
+		n.projCount--
+	}
+	f.projSeq++
+}
+
+// spliceOut removes f from an ID-sorted flow slice, preserving order.
+func spliceOut(list []*Flow, f *Flow) []*Flow {
+	i := sort.Search(len(list), func(i int) bool { return list[i].ID >= f.ID })
+	if i >= len(list) || list[i] != f {
+		return list
+	}
+	copy(list[i:], list[i+1:])
+	list[len(list)-1] = nil
+	return list[:len(list)-1]
 }
 
 const eps = 1e-6
@@ -282,84 +379,81 @@ const eps = 1e-6
 // then best-effort flows share the residual capacity max–min fairly, with
 // each flow's source cap modelled as a private virtual link.
 func (n *Network) reallocate() {
-	residual := make(map[topo.LinkID]float64, len(n.links))
-	for id, ls := range n.links {
-		residual[id] = ls.link.CapacityBps
+	for i := range n.links {
+		n.residual[i] = n.links[i].link.CapacityBps
 	}
-
-	// Deterministic iteration order.
-	ids := make([]FlowID, 0, len(n.flows))
-	for id := range n.flows {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
-	var bestEffort []*Flow
-	for _, id := range ids {
-		f := n.flows[id]
+	be := n.bestEffort[:0]
+	for _, f := range n.flowList { // ascending ID: deterministic
 		if f.guaranteedBps > 0 {
 			r := f.guaranteedBps
 			if f.rateCapBps > 0 && f.rateCapBps < r {
 				r = f.rateCapBps
 			}
 			// A guarantee can never exceed the line rate of any hop.
-			for _, l := range f.Path {
-				if avail := residual[l.ID]; r > avail {
+			for _, li := range f.links {
+				if avail := n.residual[li]; r > avail {
 					r = avail
 				}
 			}
 			f.rate = r
-			for _, l := range f.Path {
-				residual[l.ID] -= r
+			for _, li := range f.links {
+				n.residual[li] -= r
 			}
 		} else {
 			f.rate = 0
-			bestEffort = append(bestEffort, f)
+			be = append(be, f)
 		}
 	}
-
-	n.maxMin(bestEffort, residual)
+	n.bestEffort = be
+	n.maxMin(be)
 	n.scheduleCompletion()
 }
 
 // maxMin runs progressive filling over the best-effort flows given the
-// residual link capacities. Each capped flow contributes a virtual
-// single-flow link of capacity equal to its cap.
-func (n *Network) maxMin(flows []*Flow, residual map[topo.LinkID]float64) {
+// residual link capacities in n.residual. Each capped flow contributes a
+// virtual single-flow link of capacity equal to its cap. All working
+// state lives in scratch buffers on the Network.
+func (n *Network) maxMin(flows []*Flow) {
 	if len(flows) == 0 {
 		return
 	}
-	frozen := make([]bool, len(flows))
-	// count of unfrozen flows per link
-	count := make(map[topo.LinkID]int)
-	for _, f := range flows {
-		for _, l := range f.Path {
-			count[l.ID]++
-		}
+	if cap(n.frozen) < len(flows) {
+		n.frozen = make([]bool, len(flows))
+		n.capRem = make([]float64, len(flows))
 	}
-	capRemaining := make([]float64, len(flows))
+	frozen := n.frozen[:len(flows)]
+	capRem := n.capRem[:len(flows)]
+	// count of unfrozen flows per link
+	count := n.linkCount
+	for i := range count {
+		count[i] = 0
+	}
 	for i, f := range flows {
+		for _, li := range f.links {
+			count[li]++
+		}
+		frozen[i] = false
 		if f.rateCapBps > 0 {
-			capRemaining[i] = f.rateCapBps
+			capRem[i] = f.rateCapBps
 		} else {
-			capRemaining[i] = math.Inf(1)
+			capRem[i] = math.Inf(1)
 		}
 	}
 	unfrozen := len(flows)
 	for unfrozen > 0 {
 		// Bottleneck share: min over real links and per-flow caps.
 		share := math.Inf(1)
-		for id, c := range count {
+		for li, c := range count {
 			if c <= 0 {
 				continue
 			}
-			if s := residual[id] / float64(c); s < share {
+			if s := n.residual[li] / float64(c); s < share {
 				share = s
 			}
 		}
 		for i := range flows {
-			if !frozen[i] && capRemaining[i] < share {
-				share = capRemaining[i]
+			if !frozen[i] && capRem[i] < share {
+				share = capRem[i]
 			}
 		}
 		if math.IsInf(share, 1) || share < 0 {
@@ -371,9 +465,9 @@ func (n *Network) maxMin(flows []*Flow, residual map[topo.LinkID]float64) {
 				continue
 			}
 			f.rate += share
-			capRemaining[i] -= share
-			for _, l := range f.Path {
-				residual[l.ID] -= share
+			capRem[i] -= share
+			for _, li := range f.links {
+				n.residual[li] -= share
 			}
 		}
 		// Freeze flows that hit their cap or cross a saturated link.
@@ -381,10 +475,10 @@ func (n *Network) maxMin(flows []*Flow, residual map[topo.LinkID]float64) {
 			if frozen[i] {
 				continue
 			}
-			saturated := capRemaining[i] <= eps
+			saturated := capRem[i] <= eps
 			if !saturated {
-				for _, l := range f.Path {
-					if residual[l.ID] <= eps*f.rate+eps {
+				for _, li := range f.links {
+					if n.residual[li] <= eps*f.rate+eps {
 						saturated = true
 						break
 					}
@@ -393,8 +487,8 @@ func (n *Network) maxMin(flows []*Flow, residual map[topo.LinkID]float64) {
 			if saturated {
 				frozen[i] = true
 				unfrozen--
-				for _, l := range f.Path {
-					count[l.ID]--
+				for _, li := range f.links {
+					count[li]--
 				}
 			}
 		}
@@ -411,29 +505,89 @@ func (n *Network) maxMin(flows []*Flow, residual map[topo.LinkID]float64) {
 	}
 }
 
-// scheduleCompletion arms a single event at the earliest finite completion
-// time among active flows. The generation counter invalidates events armed
-// before the most recent reallocation.
+// scheduleCompletion refreshes the projected completion time of every
+// flow whose projection moved, then arms (at most) one engine event at
+// the earliest live projection. Superseded heap entries are not removed
+// eagerly; they are skipped when they surface at the top (lazy
+// invalidation via the per-flow projection sequence number).
 func (n *Network) scheduleCompletion() {
-	n.recalcGen++
-	gen := n.recalcGen
-	soonest := math.Inf(1)
-	for _, f := range n.flows {
+	now := n.eng.Now()
+	for _, f := range n.flowList {
 		if f.rate <= 0 || math.IsInf(f.remainingBytes, 1) {
+			if f.projValid {
+				f.projValid = false
+				f.projSeq++
+				n.projCount--
+			}
 			continue
 		}
-		t := f.remainingBytes * 8 / f.rate
-		if t < soonest {
-			soonest = t
+		at := now.Add(simclock.Duration(f.remainingBytes * 8 / f.rate))
+		if f.projValid && f.projAt == at {
+			continue // the live heap entry is still correct
+		}
+		if !f.projValid {
+			f.projValid = true
+			n.projCount++
+		}
+		f.projSeq++
+		f.projAt = at
+		n.heapPush(completion{at: at, f: f, seq: f.projSeq})
+	}
+	if len(n.compHeap) > 2*n.projCount+64 {
+		n.compactHeap()
+	}
+	n.armNext()
+}
+
+// compactHeap drops every superseded entry in place and re-heapifies,
+// bounding the heap at roughly twice the live projection count.
+func (n *Network) compactHeap() {
+	live := n.compHeap[:0]
+	for _, c := range n.compHeap {
+		if c.f.projValid && c.seq == c.f.projSeq {
+			live = append(live, c)
 		}
 	}
-	if math.IsInf(soonest, 1) {
+	for i := len(live); i < len(n.compHeap); i++ {
+		n.compHeap[i] = completion{}
+	}
+	n.compHeap = live
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		n.siftDown(i)
+	}
+}
+
+// armNext pops dead heap entries and arms a single engine event at the
+// earliest live projection, unless one is already armed for that instant.
+func (n *Network) armNext() {
+	for len(n.compHeap) > 0 {
+		top := n.compHeap[0]
+		if !top.f.projValid || top.seq != top.f.projSeq {
+			n.heapPop()
+			continue
+		}
+		break
+	}
+	if len(n.compHeap) == 0 {
+		if n.armed { // pending event is for a dead projection
+			n.armed = false
+			n.armedGen++
+		}
 		return
 	}
-	n.eng.MustAfter(simclock.Duration(soonest), func() {
-		if gen != n.recalcGen {
+	at := n.compHeap[0].at
+	if n.armed && n.armedAt == at {
+		return // the pending event already covers this instant
+	}
+	n.armedGen++
+	gen := n.armedGen
+	n.armed = true
+	n.armedAt = at
+	n.eng.MustAt(at, func() {
+		if !n.armed || gen != n.armedGen {
 			return
 		}
+		n.armed = false
 		n.completeFinished()
 	})
 }
@@ -443,23 +597,65 @@ func (n *Network) scheduleCompletion() {
 func (n *Network) completeFinished() {
 	n.settle()
 	now := n.eng.Now()
-	var finished []*Flow
-	for _, f := range n.flows {
+	finished := n.finished[:0]
+	for _, f := range n.flowList { // ascending ID: deterministic
 		if f.remainingBytes <= 0.5 { // sub-byte residue from float rounding
 			finished = append(finished, f)
 		}
 	}
-	sort.Slice(finished, func(i, j int) bool { return finished[i].ID < finished[j].ID })
 	for _, f := range finished {
 		f.remainingBytes = 0
 		f.done = true
 		f.end = now
 		n.remove(f)
 	}
+	n.finished = finished
 	n.reallocate()
 	for _, f := range finished {
 		if f.onDone != nil {
 			f.onDone(f, now)
 		}
+	}
+}
+
+// heapPush inserts a completion entry, ordered by time.
+func (n *Network) heapPush(c completion) {
+	n.compHeap = append(n.compHeap, c)
+	i := len(n.compHeap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if n.compHeap[i].at >= n.compHeap[parent].at {
+			break
+		}
+		n.compHeap[i], n.compHeap[parent] = n.compHeap[parent], n.compHeap[i]
+		i = parent
+	}
+}
+
+// heapPop removes the earliest completion entry.
+func (n *Network) heapPop() {
+	last := len(n.compHeap) - 1
+	n.compHeap[0] = n.compHeap[last]
+	n.compHeap[last] = completion{}
+	n.compHeap = n.compHeap[:last]
+	n.siftDown(0)
+}
+
+// siftDown restores the heap invariant below index i.
+func (n *Network) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(n.compHeap) && n.compHeap[l].at < n.compHeap[smallest].at {
+			smallest = l
+		}
+		if r < len(n.compHeap) && n.compHeap[r].at < n.compHeap[smallest].at {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		n.compHeap[i], n.compHeap[smallest] = n.compHeap[smallest], n.compHeap[i]
+		i = smallest
 	}
 }

@@ -82,20 +82,27 @@ func Group(records []usagestats.Record, g time.Duration) ([]*Session, error) {
 	if g < 0 {
 		return nil, errors.New("sessions: negative gap")
 	}
-	byPair := make(map[string][]usagestats.Record)
+	type hostPair struct {
+		server, remote string
+	}
+	byPair := make(map[hostPair][]usagestats.Record)
 	for i, r := range records {
 		if r.RemoteHost == "" {
 			return nil, fmt.Errorf("%w (record %d)", ErrNoRemote, i)
 		}
-		key := r.ServerHost + "\x00" + r.RemoteHost
-		byPair[key] = append(byPair[key], r)
+		byPair[hostPair{r.ServerHost, r.RemoteHost}] = append(byPair[hostPair{r.ServerHost, r.RemoteHost}], r)
 	}
-	keys := make([]string, 0, len(byPair))
+	keys := make([]hostPair, 0, len(byPair))
 	for k := range byPair {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
-	var out []*Session
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].server != keys[j].server {
+			return keys[i].server < keys[j].server
+		}
+		return keys[i].remote < keys[j].remote
+	})
+	out := make([]*Session, 0, len(byPair))
 	for _, k := range keys {
 		rs := byPair[k]
 		usagestats.SortByStart(rs)
