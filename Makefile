@@ -1,17 +1,24 @@
 GO ?= go
 
 # Packages exercised by the concurrency-sensitive paths (parallel exhibit
-# runner, memoized workloads, allocator scratch state).
-RACE_PKGS = ./internal/netsim ./internal/experiments ./internal/sessions
+# runner, memoized workloads, allocator scratch state) plus the live
+# transfer engine and its fault-injection harness, whose tests spin up
+# real goroutine-per-connection servers.
+RACE_PKGS = ./internal/netsim ./internal/experiments ./internal/sessions \
+	./internal/gridftp/... ./internal/faultnet/...
 
 .PHONY: check vet race bench all
 
-all: check vet
+all: check
 
-# Tier-1 verify: the whole module must build and every test pass.
+# Tier-1 verify: the whole module must build, every test pass, vet stay
+# clean, and the transfer engine's fault matrix run under the race
+# detector.
 check:
 	$(GO) build ./...
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race -count=1 ./internal/gridftp/... ./internal/faultnet/...
 
 vet:
 	$(GO) vet ./...

@@ -25,13 +25,17 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:2811", "control-channel listen address")
-		root    = flag.String("root", ".", "directory to serve")
-		stripes = flag.Int("stripes", 1, "number of stripe data movers")
-		block   = flag.Int("block", 256<<10, "MODE E block size in bytes")
-		usage   = flag.String("usage", "", "UDP usage-stats collector address (optional)")
-		host    = flag.String("host", "", "server identity in usage logs (default: listen address)")
-		auth    = flag.String("auth", "", "require this user:pass (default: accept all)")
+		addr     = flag.String("addr", "127.0.0.1:2811", "control-channel listen address")
+		root     = flag.String("root", ".", "directory to serve")
+		stripes  = flag.Int("stripes", 1, "number of stripe data movers")
+		block    = flag.Int("block", 256<<10, "MODE E block size in bytes")
+		usage    = flag.String("usage", "", "UDP usage-stats collector address (optional)")
+		host     = flag.String("host", "", "server identity in usage logs (default: listen address)")
+		auth     = flag.String("auth", "", "require this user:pass (default: accept all)")
+		idle     = flag.Duration("idle", 0, "control-channel idle timeout (0: default 5m, negative: none)")
+		dataTO   = flag.Duration("data-timeout", 0, "per-operation data I/O deadline (0: default 30s, negative: none)")
+		acceptTO = flag.Duration("accept-timeout", 0, "data-connection accept deadline (0: default 10s)")
+		maxObj   = flag.Int64("max-object", 0, "largest object accepted by STOR in bytes (0: default 4GiB)")
 	)
 	flag.Parse()
 	store, err := gridftp.NewDirStore(*root)
@@ -40,13 +44,17 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := gridftp.Config{
-		Addr:       *addr,
-		Store:      store,
-		Stripes:    *stripes,
-		BlockSize:  *block,
-		ServerHost: *host,
-		UsageAddr:  *usage,
-		LogWriter:  os.Stdout,
+		Addr:          *addr,
+		Store:         store,
+		Stripes:       *stripes,
+		BlockSize:     *block,
+		ServerHost:    *host,
+		UsageAddr:     *usage,
+		LogWriter:     os.Stdout,
+		IdleTimeout:   *idle,
+		DataTimeout:   *dataTO,
+		AcceptTimeout: *acceptTO,
+		MaxObjectSize: *maxObj,
 	}
 	if *auth != "" {
 		user, pass, ok := strings.Cut(*auth, ":")

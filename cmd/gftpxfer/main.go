@@ -29,6 +29,7 @@ func main() {
 		verify   = flag.Bool("verify", true, "verify CRC32 checksums after each transfer")
 		user     = flag.String("user", "anonymous", "username for both servers")
 		pass     = flag.String("pass", "gftpxfer@", "password for both servers")
+		timeout  = flag.Duration("timeout", 0, "per-operation control/data I/O deadline (0: gridftp default, 30s)")
 	)
 	flag.Parse()
 	if *srcAddr == "" || *dstAddr == "" || (*files == "" && *all == "") {
@@ -43,7 +44,7 @@ func main() {
 	defer m.Close()
 	srcEP := xferman.Endpoint{Addr: *srcAddr, User: *user, Pass: *pass}
 	dstEP := xferman.Endpoint{Addr: *dstAddr, User: *user, Pass: *pass}
-	tmpl := xferman.Job{MaxAttempts: *attempts, Verify: *verify}
+	tmpl := xferman.Job{MaxAttempts: *attempts, Verify: *verify, Timeout: *timeout}
 	var ids []xferman.JobID
 	if *all != "" {
 		listPrefix := *all

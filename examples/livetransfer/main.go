@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"gftpvc/internal/faultnet"
 	"gftpvc/internal/gridftp"
 	"gftpvc/internal/usagestats"
 )
@@ -93,6 +94,35 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("third-party transfer: dataset.bin -> dst:copy.bin done")
+
+	// Failure drill: a circuit that stalls after setup (the paper's §IV
+	// scenario of VC setup delay and path outages) must surface as a
+	// prompt, bounded error instead of a hung transfer. The proxy
+	// blackholes the control channel mid-session; the client's deadlines
+	// turn the stall into a timeout in well under a second.
+	proxy, err := faultnet.NewProxy(src.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer proxy.Close()
+	cStall, err := gridftp.Dial(proxy.Addr(),
+		gridftp.WithControlTimeout(500*time.Millisecond),
+		gridftp.WithDataTimeout(500*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cStall.Login("anonymous", "demo@"); err != nil {
+		log.Fatal(err)
+	}
+	proxy.Stall()
+	start := time.Now()
+	_, _, err = cStall.Retr("dataset.bin")
+	if err == nil {
+		log.Fatal("transfer over a stalled path should have failed")
+	}
+	fmt.Printf("stalled-path RETR failed fast as intended: %v after %v\n",
+		err, time.Since(start).Round(time.Millisecond))
+	proxy.Resume()
 
 	// The usage packets arrive over UDP like Globus' collection channel.
 	deadline := time.Now().Add(2 * time.Second)

@@ -1,0 +1,138 @@
+package faultnet
+
+import (
+	"net"
+	"sync"
+)
+
+// Proxy is a TCP fault-injection proxy for control channels: it
+// forwards byte streams between clients and a target address until told
+// to stall (silently blackhole traffic in both directions, leaving the
+// connections open) or to reset every connection. A stalled control
+// channel is the failure GridFTP clients historically hung on — the
+// peer process is alive at the TCP level but will never reply.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu      sync.Mutex
+	conns   map[net.Conn]bool
+	stalled bool
+	closed  bool
+}
+
+// NewProxy starts a proxy on an ephemeral loopback port forwarding to
+// target. Callers must Close it.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, conns: make(map[net.Conn]bool)}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address; dial this instead of the
+// target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stall makes the proxy silently drop all traffic from now on; both
+// sides see an open but mute peer.
+func (p *Proxy) Stall() {
+	p.mu.Lock()
+	p.stalled = true
+	p.mu.Unlock()
+}
+
+// Resume lifts a Stall; bytes read while stalled were dropped, not
+// queued.
+func (p *Proxy) Resume() {
+	p.mu.Lock()
+	p.stalled = false
+	p.mu.Unlock()
+}
+
+// Reset tears down every proxied connection with an RST.
+func (p *Proxy) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		if tc, ok := c.(interface{ SetLinger(int) error }); ok {
+			tc.SetLinger(0)
+		}
+		c.Close()
+		delete(p.conns, c)
+	}
+}
+
+// Close stops the proxy and closes all proxied connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+		delete(p.conns, c)
+	}
+	p.mu.Unlock()
+	return p.ln.Close()
+}
+
+func (p *Proxy) isStalled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stalled
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		upstream, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			upstream.Close()
+			return
+		}
+		p.conns[client] = true
+		p.conns[upstream] = true
+		p.mu.Unlock()
+		go p.pipe(upstream, client)
+		go p.pipe(client, upstream)
+	}
+}
+
+func (p *Proxy) pipe(dst, src net.Conn) {
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, src)
+		delete(p.conns, dst)
+		p.mu.Unlock()
+		src.Close()
+		dst.Close()
+	}()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 && !p.isStalled() {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

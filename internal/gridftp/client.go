@@ -11,9 +11,26 @@ import (
 	"time"
 )
 
+// Deadline defaults applied by Dial; see WithControlTimeout and
+// WithDataTimeout.
+const (
+	DefaultControlTimeout = 30 * time.Second
+	DefaultDataTimeout    = 30 * time.Second
+	defaultDialTimeout    = 10 * time.Second
+)
+
+// ErrDesynced reports a control channel whose pending transfer status
+// could not be drained after a failure: replies on it no longer match
+// commands, so the client refuses further use. Open a fresh connection.
+var ErrDesynced = errors.New("gridftp: control channel desynced by earlier failure; reconnect")
+
 // Client drives a GridFTP server over a control connection. It supports
 // parallel-stream and striped retrievals and stores, and third-party
 // transfers between two servers.
+//
+// Every operation is deadline-bounded: control-channel commands by the
+// control timeout and each data-connection read/write by the data
+// timeout, so no method blocks indefinitely on a dead or stalled peer.
 //
 // A Client is not safe for concurrent use; GridFTP multiplexes one
 // transfer at a time per control channel.
@@ -21,7 +38,37 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 
-	parallelism int
+	parallelism    int
+	controlTimeout time.Duration
+	dataTimeout    time.Duration
+	dialFunc       func(network, addr string) (net.Conn, error)
+	desynced       bool
+}
+
+// Option configures a Client at Dial time.
+type Option func(*Client)
+
+// WithControlTimeout bounds every control-channel command write and
+// reply read (default DefaultControlTimeout; <= 0 disables). When a
+// transfer's error path must drain a pending status reply, the drain
+// waits up to this long — keep it above the server's accept timeout or
+// a rejected transfer may leave the channel desynced (the client then
+// fails fast with ErrDesynced rather than corrupting replies).
+func WithControlTimeout(d time.Duration) Option {
+	return func(c *Client) { c.controlTimeout = d }
+}
+
+// WithDataTimeout bounds each read or write on a data connection
+// (default DefaultDataTimeout; <= 0 disables): a stalled sender or
+// receiver surfaces as a timeout error instead of hanging the transfer.
+func WithDataTimeout(d time.Duration) Option {
+	return func(c *Client) { c.dataTimeout = d }
+}
+
+// WithDialFunc replaces the dialer used for the control and data
+// connections; fault-injection tests use it to wrap connections.
+func WithDialFunc(dial func(network, addr string) (net.Conn, error)) Option {
+	return func(c *Client) { c.dialFunc = dial }
 }
 
 // Reply is a control-channel response.
@@ -42,17 +89,44 @@ func (e *ProtocolError) Error() string {
 }
 
 // Dial connects to a server's control channel and consumes the greeting.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+// The default deadlines (DefaultControlTimeout, DefaultDataTimeout)
+// apply unless overridden by options.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	c := &Client{
+		parallelism:    1,
+		controlTimeout: DefaultControlTimeout,
+		dataTimeout:    DefaultDataTimeout,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	conn, err := c.dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, r: bufio.NewReader(conn), parallelism: 1}
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
 	if _, err := c.expect("greeting", 220); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	return c, nil
+}
+
+func (c *Client) dial(addr string) (net.Conn, error) {
+	if c.dialFunc != nil {
+		return c.dialFunc("tcp", addr)
+	}
+	return net.DialTimeout("tcp", addr, defaultDialTimeout)
+}
+
+// dataConn dials one data endpoint and applies the data timeout.
+func (c *Client) dataConn(addr string) (net.Conn, error) {
+	conn, err := c.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return withIdleTimeout(conn, c.dataTimeout), nil
 }
 
 // Close terminates the session with QUIT.
@@ -63,16 +137,27 @@ func (c *Client) Close() error {
 
 // cmd sends one command and reads its reply.
 func (c *Client) cmd(line string) (Reply, error) {
+	if c.desynced {
+		return Reply{}, ErrDesynced
+	}
+	if c.controlTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.controlTimeout))
+	}
 	if _, err := fmt.Fprintf(c.conn, "%s\r\n", line); err != nil {
 		return Reply{}, err
 	}
 	return c.readReply()
 }
 
-// readReply parses a single- or multi-line FTP reply.
+// readReply parses a single- or multi-line FTP reply. Each line read is
+// bounded by the control timeout so a mute server cannot hang the
+// client.
 func (c *Client) readReply() (Reply, error) {
 	var rep Reply
 	for {
+		if c.controlTimeout > 0 {
+			c.conn.SetReadDeadline(time.Now().Add(c.controlTimeout))
+		}
 		line, err := c.r.ReadString('\n')
 		if err != nil {
 			return rep, err
@@ -108,6 +193,23 @@ func (c *Client) expect(verb string, want int) (Reply, error) {
 		return rep, &ProtocolError{Verb: verb, Reply: rep}
 	}
 	return rep, nil
+}
+
+// drainReply consumes the transfer-status reply (226/425/426) still
+// owed on the control channel after a failed data phase, so the session
+// stays in sync for the next command. The drain is always bounded —
+// even with deadlines disabled — because this is exactly the path a
+// dead server used to hang forever. If the reply never arrives the
+// client is marked desynced and every later command fails fast with
+// ErrDesynced instead of reading mismatched replies.
+func (c *Client) drainReply() {
+	if c.controlTimeout <= 0 {
+		c.conn.SetReadDeadline(time.Now().Add(DefaultControlTimeout))
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
+	if _, err := c.readReply(); err != nil {
+		c.desynced = true
+	}
 }
 
 // do sends a command and requires the given reply code.
@@ -341,7 +443,7 @@ func (c *Client) retr(name string, striped bool, offset, length int64, restart b
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+			conn, err := c.dataConn(addr)
 			if err != nil {
 				errs[i] = err
 				return
@@ -353,7 +455,7 @@ func (c *Client) retr(name string, striped bool, offset, length int64, restart b
 	wg.Wait()
 	for _, e := range errs {
 		if e != nil {
-			c.readReply() // drain the 226/426
+			c.drainReply() // the pending 226/426, deadline-bounded
 			return nil, TransferStats{}, e
 		}
 	}
@@ -403,7 +505,7 @@ func (c *Client) stor(name string, data []byte, addrs []string, striped bool) (T
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+			conn, err := c.dataConn(addr)
 			if err != nil {
 				errs[i] = err
 				return
@@ -420,7 +522,7 @@ func (c *Client) stor(name string, data []byte, addrs []string, striped bool) (T
 	wg.Wait()
 	for _, e := range errs {
 		if e != nil {
-			c.readReply()
+			c.drainReply()
 			return TransferStats{}, e
 		}
 	}
@@ -448,6 +550,12 @@ func (c *Client) stats(size int64, start time.Time, conns int, striped bool) Tra
 // straight into dst's data port while this client drives both control
 // channels — GridFTP's third-party transfer, which is how the scripts
 // behind the paper's sessions move directory trees between DTNs.
+//
+// If the transfer fails after dst accepted its STOR, dst still owes a
+// completion reply (a 425/426 once its data accept times out or its
+// peer vanishes); ThirdParty drains it, bounded by dst's control
+// timeout, so both clients remain usable — a failed transfer must not
+// poison the sessions that retry managers like xferman reuse.
 func ThirdParty(src, dst *Client, srcName, dstName string) error {
 	// dst opens a passive data port; src connects to it actively.
 	addr, err := dst.passive()
@@ -471,10 +579,15 @@ func ThirdParty(src, dst *Client, srcName, dstName string) error {
 	if _, err := dst.do("STOR", "STOR "+dstName, 150); err != nil {
 		return err
 	}
+	// From here dst is mid-transfer and owes a completion reply; every
+	// early exit must drain it or the next command on dst would read a
+	// stale 425/426 as its own reply.
 	if _, err := src.do("RETR", "RETR "+srcName, 150); err != nil {
+		dst.drainReply()
 		return err
 	}
 	if _, err := src.expect("RETR-complete", 226); err != nil {
+		dst.drainReply()
 		return err
 	}
 	_, err = dst.expect("STOR-complete", 226)

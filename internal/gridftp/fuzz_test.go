@@ -2,9 +2,25 @@ package gridftp
 
 import (
 	"bytes"
+	"encoding/binary"
 
 	"testing"
 )
+
+// frameHeader builds a bare MODE E header announcing count payload bytes
+// at offset, without any payload following it.
+func frameHeader(count, offset uint64) []byte {
+	hdr := make([]byte, modeEHeaderLen)
+	binary.BigEndian.PutUint64(hdr[1:9], count)
+	binary.BigEndian.PutUint64(hdr[9:17], offset)
+	return hdr
+}
+
+// truncatedFrame is the truncated-EOF-frame fault from the matrix tests:
+// a header promising count bytes with only delivered of them present.
+func truncatedFrame(count, delivered uint64) []byte {
+	return append(frameHeader(count, 0), make([]byte, delivered)...)
+}
 
 // FuzzReadBlock hardens the MODE E frame parser against arbitrary peer
 // bytes: it must never panic or allocate absurdly, and any frame it
@@ -18,9 +34,15 @@ func FuzzReadBlock(f *testing.F) {
 	seed(Block{Offset: 0, Data: []byte("hello")})
 	seed(Block{Desc: DescEOD})
 	seed(Block{Desc: DescEOF, Offset: 1 << 40})
+	seed(Block{Desc: DescEODC, Offset: 2}) // EODC: conn count in offset
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF})
 	f.Add(bytes.Repeat([]byte{0xFF}, 17))
+	// Fault-matrix corpus: the truncated-EOF-frame injection delivers a
+	// header promising bytes that never arrive, and the oversize-STOR
+	// test sends counts past maxBlock.
+	f.Add(truncatedFrame(64<<10, 1000))
+	f.Add(frameHeader(maxBlock+1, 0))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := ReadBlock(bytes.NewReader(data))
 		if err != nil {
@@ -95,6 +117,20 @@ func FuzzDrainConn(f *testing.F) {
 	WriteBlock(&good, Block{Desc: DescEOD})
 	f.Add(good.Bytes())
 	f.Add([]byte("garbage stream"))
+	// Fault-matrix corpus: a healthy block followed by a peer reset
+	// mid-frame (truncated header, then truncated payload), and a block
+	// whose offset lands far outside any sane region.
+	var cut bytes.Buffer
+	WriteBlock(&cut, Block{Offset: 0, Data: []byte("abc")})
+	cut.Write(truncatedFrame(4<<10, 1000))
+	f.Add(cut.Bytes())
+	var short bytes.Buffer
+	WriteBlock(&short, Block{Offset: 0, Data: []byte("abc")})
+	short.Write(frameHeader(4<<10, 0)[:9]) // reset mid-header
+	f.Add(short.Bytes())
+	var huge bytes.Buffer
+	WriteBlock(&huge, Block{Offset: 1 << 40, Data: []byte("boom")})
+	f.Add(huge.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		asm, err := NewAssembler(1 << 16)
 		if err != nil {

@@ -68,24 +68,38 @@ func WriteBlock(w io.Writer, b Block) error {
 // block sizes of 64 KiB–4 MiB, so anything larger indicates corruption.
 const maxBlock = 64 << 20
 
-// ReadBlock reads one MODE E frame from r.
+// ReadBlock reads one MODE E frame from r. The returned Data is freshly
+// allocated and owned by the caller.
 func ReadBlock(r io.Reader) (Block, error) {
+	b, _, err := ReadBlockInto(r, nil)
+	return b, err
+}
+
+// ReadBlockInto reads one MODE E frame using scratch as the payload
+// buffer, growing it as needed; the returned Block's Data aliases the
+// returned scratch and is valid only until the next call. Receivers
+// that copy payloads out immediately (the server's STOR reassembly)
+// use it to avoid a per-frame allocation.
+func ReadBlockInto(r io.Reader, scratch []byte) (Block, []byte, error) {
 	var hdr [modeEHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Block{}, err
+		return Block{}, scratch, err
 	}
 	count := binary.BigEndian.Uint64(hdr[1:9])
 	if count > maxBlock {
-		return Block{}, fmt.Errorf("%w: block of %d bytes", ErrDataProtocol, count)
+		return Block{}, scratch, fmt.Errorf("%w: block of %d bytes", ErrDataProtocol, count)
 	}
 	b := Block{Desc: hdr[0], Offset: binary.BigEndian.Uint64(hdr[9:17])}
 	if count > 0 {
-		b.Data = make([]byte, count)
+		if uint64(cap(scratch)) < count {
+			scratch = make([]byte, count)
+		}
+		b.Data = scratch[:count]
 		if _, err := io.ReadFull(r, b.Data); err != nil {
-			return Block{}, err
+			return Block{}, scratch, err
 		}
 	}
-	return b, nil
+	return b, scratch, nil
 }
 
 // SendFile writes data over w as MODE E blocks of blockSize starting at

@@ -1,0 +1,43 @@
+package gridftp
+
+import (
+	"net"
+	"time"
+)
+
+// idleConn arms a fresh deadline before every Read and Write so a
+// stalled peer surfaces as a timeout instead of blocking a transfer
+// goroutine forever. Both the client and the server wrap their data
+// connections with it; the deadline is per I/O operation, so a healthy
+// transfer of any length is never cut off.
+type idleConn struct {
+	net.Conn
+	idle time.Duration
+}
+
+// withIdleTimeout wraps c with a per-operation deadline; d <= 0 returns
+// c unchanged.
+func withIdleTimeout(c net.Conn, d time.Duration) net.Conn {
+	if d <= 0 {
+		return c
+	}
+	return &idleConn{Conn: c, idle: d}
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	c.Conn.SetReadDeadline(time.Now().Add(c.idle))
+	return c.Conn.Read(p)
+}
+
+func (c *idleConn) Write(p []byte) (int, error) {
+	c.Conn.SetWriteDeadline(time.Now().Add(c.idle))
+	return c.Conn.Write(p)
+}
+
+// setListenerDeadline arms an accept deadline when the listener
+// supports one (listeners from a custom DataListen hook may not).
+func setListenerDeadline(ln net.Listener, t time.Time) {
+	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(t)
+	}
+}

@@ -40,6 +40,21 @@ type Config struct {
 	// AcceptTimeout bounds how long a transfer waits for the client's
 	// data connections (default 10s).
 	AcceptTimeout time.Duration
+	// DataTimeout bounds each read or write on a data connection
+	// (default 30s; negative disables): a stalled peer surfaces as a
+	// 426 instead of pinning a transfer goroutine forever.
+	DataTimeout time.Duration
+	// IdleTimeout bounds how long a session may sit between
+	// control-channel commands before the server hangs up (default 5m;
+	// negative disables).
+	IdleTimeout time.Duration
+	// MaxObjectSize caps the size of an object STOR will assemble
+	// (default 4 GiB). MODE E frames carry 64-bit offsets, so without a
+	// cap a single malicious frame could demand an arbitrary allocation.
+	MaxObjectSize int64
+	// DataListen opens the passive data listeners (default net.Listen).
+	// Fault-injection and listener-leak tests substitute wrappers here.
+	DataListen func(network, addr string) (net.Listener, error)
 }
 
 // Server is a GridFTP server.
@@ -74,6 +89,27 @@ func Serve(cfg Config) (*Server, error) {
 	}
 	if cfg.AcceptTimeout == 0 {
 		cfg.AcceptTimeout = 10 * time.Second
+	}
+	switch {
+	case cfg.DataTimeout == 0:
+		cfg.DataTimeout = 30 * time.Second
+	case cfg.DataTimeout < 0:
+		cfg.DataTimeout = 0
+	}
+	switch {
+	case cfg.IdleTimeout == 0:
+		cfg.IdleTimeout = 5 * time.Minute
+	case cfg.IdleTimeout < 0:
+		cfg.IdleTimeout = 0
+	}
+	if cfg.MaxObjectSize == 0 {
+		cfg.MaxObjectSize = 4 << 30
+	}
+	if cfg.MaxObjectSize < 0 {
+		return nil, errors.New("gridftp: max object size must be positive")
+	}
+	if cfg.DataListen == nil {
+		cfg.DataListen = net.Listen
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -192,6 +228,9 @@ func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	sess.reply(220, "gftpvc GridFTP server ready")
 	for {
+		if idle := s.cfg.IdleTimeout; idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		line, err := sess.r.ReadString('\n')
 		if err != nil {
 			return
@@ -205,12 +244,22 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// armWrite bounds control-channel writes so a client that stops reading
+// cannot pin the session goroutine.
+func (sess *session) armWrite() {
+	if idle := sess.srv.cfg.IdleTimeout; idle > 0 {
+		sess.conn.SetWriteDeadline(time.Now().Add(idle))
+	}
+}
+
 func (sess *session) reply(code int, text string) {
+	sess.armWrite()
 	fmt.Fprintf(sess.w, "%d %s\r\n", code, text)
 	sess.w.Flush()
 }
 
 func (sess *session) replyLines(code int, lines []string, last string) {
+	sess.armWrite()
 	for _, l := range lines {
 		fmt.Fprintf(sess.w, "%d-%s\r\n", code, l)
 	}
@@ -364,7 +413,7 @@ func (sess *session) cmdPassive(n int) {
 	sess.activeAddr = ""
 	host := sess.conn.LocalAddr().(*net.TCPAddr).IP
 	for i := 0; i < n; i++ {
-		ln, err := net.Listen("tcp", net.JoinHostPort(host.String(), "0"))
+		ln, err := sess.srv.cfg.DataListen("tcp", net.JoinHostPort(host.String(), "0"))
 		if err != nil {
 			sess.closePassive()
 			sess.reply(425, "cannot open data listener")
@@ -429,12 +478,13 @@ func parseHostPort(s string) (string, error) {
 // on the passive listeners (parallelism conns on PASV's single listener,
 // or one per SPAS stripe listener) or by dialing the PORT target.
 func (sess *session) dataConns() ([]net.Conn, error) {
+	dataTimeout := sess.srv.cfg.DataTimeout
 	if sess.activeAddr != "" {
 		c, err := net.DialTimeout("tcp", sess.activeAddr, sess.srv.cfg.AcceptTimeout)
 		if err != nil {
 			return nil, err
 		}
-		return []net.Conn{c}, nil
+		return []net.Conn{withIdleTimeout(c, dataTimeout)}, nil
 	}
 	if len(sess.passive) == 0 {
 		return nil, errors.New("no PASV/SPAS/PORT before transfer")
@@ -446,26 +496,27 @@ func (sess *session) dataConns() ([]net.Conn, error) {
 		}
 		return nil, err
 	}
+	accept := func(ln net.Listener) error {
+		setListenerDeadline(ln, time.Now().Add(sess.srv.cfg.AcceptTimeout))
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		conns = append(conns, withIdleTimeout(c, dataTimeout))
+		return nil
+	}
 	if len(sess.passive) == 1 {
-		ln := sess.passive[0].(*net.TCPListener)
 		for i := 0; i < sess.parallelism; i++ {
-			ln.SetDeadline(time.Now().Add(sess.srv.cfg.AcceptTimeout))
-			c, err := ln.Accept()
-			if err != nil {
+			if err := accept(sess.passive[0]); err != nil {
 				return fail(err)
 			}
-			conns = append(conns, c)
 		}
 		return conns, nil
 	}
-	for _, l := range sess.passive {
-		ln := l.(*net.TCPListener)
-		ln.SetDeadline(time.Now().Add(sess.srv.cfg.AcceptTimeout))
-		c, err := ln.Accept()
-		if err != nil {
+	for _, ln := range sess.passive {
+		if err := accept(ln); err != nil {
 			return fail(err)
 		}
-		conns = append(conns, c)
 	}
 	return conns, nil
 }
@@ -475,6 +526,15 @@ func (sess *session) closePassive() {
 		ln.Close()
 	}
 	sess.passive = nil
+}
+
+// endTransfer releases a transfer's data targets: every passive
+// listener is closed — win or lose, so a session looping transfers does
+// not accumulate open sockets — and the PORT target is cleared. Both
+// are valid for exactly one transfer attempt.
+func (sess *session) endTransfer() {
+	sess.closePassive()
+	sess.activeAddr = ""
 }
 
 // checkTransferPreconditions enforces TYPE I + MODE E before data moves.
@@ -524,12 +584,14 @@ func (sess *session) cmdCksm(arg string) {
 func (sess *session) cmdEret(arg string) {
 	fields := strings.Fields(arg)
 	if len(fields) != 4 || !strings.EqualFold(fields[0], "P") {
+		sess.endTransfer()
 		sess.reply(501, "syntax: ERET P <offset> <length> <name>")
 		return
 	}
 	offset, err1 := strconv.ParseInt(fields[1], 10, 64)
 	length, err2 := strconv.ParseInt(fields[2], 10, 64)
 	if err1 != nil || err2 != nil || offset < 0 || length <= 0 {
+		sess.endTransfer()
 		sess.reply(501, "bad partial region")
 		return
 	}
@@ -541,6 +603,9 @@ func (sess *session) cmdEret(arg string) {
 // sends blocks i, i+n, i+2n, ...). offset > 0 serves a restarted or
 // partial transfer; length < 0 means to the end of the object.
 func (sess *session) cmdRetr(name string, offset, length int64) {
+	// Rejections (504/550/551), aborts (425/426) and completed transfers
+	// alike must release the data listeners; they are per-transfer.
+	defer sess.endTransfer()
 	if !sess.checkTransferPreconditions() {
 		return
 	}
@@ -592,8 +657,27 @@ func (sess *session) cmdRetr(name string, offset, length int64) {
 	sess.reply(226, "transfer complete")
 }
 
+// growBuffer extends buf so it covers [0, end), doubling the capacity
+// when a reallocation is needed to keep the copy cost amortized.
+func growBuffer(buf []byte, end uint64) []byte {
+	if end <= uint64(len(buf)) {
+		return buf
+	}
+	if end <= uint64(cap(buf)) {
+		return buf[:end]
+	}
+	newCap := uint64(cap(buf)) * 2
+	if newCap < end {
+		newCap = end
+	}
+	grown := make([]byte, end, newCap)
+	copy(grown, buf)
+	return grown
+}
+
 // cmdStor receives an object from the client over the data connections.
 func (sess *session) cmdStor(name string) {
+	defer sess.endTransfer()
 	if !sess.checkTransferPreconditions() {
 		return
 	}
@@ -605,12 +689,14 @@ func (sess *session) cmdStor(name string) {
 		return
 	}
 	// MODE E frames carry explicit offsets, so the receiver needs no
-	// advance size: it drains every connection until EOD and sizes the
-	// object from the highest offset seen.
+	// advance size. Each connection reads into a reusable scratch frame
+	// and copies straight into the shared object buffer under a lock:
+	// no per-block allocation, no retained block list, and peak memory
+	// is the object itself rather than twice it.
+	maxSize := uint64(sess.srv.cfg.MaxObjectSize)
 	var (
-		mu    sync.Mutex
-		high  uint64
-		parts []Block
+		mu  sync.Mutex
+		buf []byte
 	)
 	var wg sync.WaitGroup
 	errs := make([]error, len(conns))
@@ -620,18 +706,25 @@ func (sess *session) cmdStor(name string) {
 			defer wg.Done()
 			defer c.Close()
 			br := bufio.NewReaderSize(c, 64<<10)
+			var scratch []byte
 			for {
-				b, err := ReadBlock(br)
+				var b Block
+				var err error
+				b, scratch, err = ReadBlockInto(br, scratch)
 				if err != nil {
 					errs[i] = err
 					return
 				}
 				if len(b.Data) > 0 {
-					mu.Lock()
-					parts = append(parts, b)
-					if end := b.Offset + uint64(len(b.Data)); end > high {
-						high = end
+					if b.Offset > maxSize || uint64(len(b.Data)) > maxSize-b.Offset {
+						errs[i] = fmt.Errorf("%w: block at offset %d exceeds the %d-byte object limit",
+							ErrDataProtocol, b.Offset, maxSize)
+						return
 					}
+					end := b.Offset + uint64(len(b.Data))
+					mu.Lock()
+					buf = growBuffer(buf, end)
+					copy(buf[b.Offset:end], b.Data)
 					mu.Unlock()
 				}
 				if b.Desc&DescEOD != 0 {
@@ -647,15 +740,11 @@ func (sess *session) cmdStor(name string) {
 			return
 		}
 	}
-	buf := make([]byte, high)
-	for _, b := range parts {
-		copy(buf[b.Offset:], b.Data)
-	}
 	if err := sess.srv.cfg.Store.Put(name, buf); err != nil {
 		sess.reply(552, "store failed: "+err.Error())
 		return
 	}
-	sess.logTransfer(usagestats.Store, int64(high), start, len(conns))
+	sess.logTransfer(usagestats.Store, int64(len(buf)), start, len(conns))
 	sess.reply(226, "transfer complete")
 }
 

@@ -32,6 +32,11 @@ type Job struct {
 	MaxAttempts int
 	// Verify compares src/dst CRC32 checksums after the transfer.
 	Verify bool
+	// Timeout bounds every control and data I/O on both endpoints'
+	// connections. Zero uses the gridftp client defaults (30s); it is a
+	// per-operation deadline, not a whole-job budget, so arbitrarily
+	// large transfers still complete as long as bytes keep moving.
+	Timeout time.Duration
 }
 
 func (j *Job) normalize() error {
@@ -47,7 +52,21 @@ func (j *Job) normalize() error {
 	if j.MaxAttempts < 1 {
 		return errors.New("xferman: MaxAttempts must be >= 1")
 	}
+	if j.Timeout < 0 {
+		return errors.New("xferman: Timeout must be >= 0")
+	}
 	return nil
+}
+
+// dialOpts translates the job's Timeout into gridftp client options.
+func (j *Job) dialOpts() []gridftp.Option {
+	if j.Timeout <= 0 {
+		return nil
+	}
+	return []gridftp.Option{
+		gridftp.WithControlTimeout(j.Timeout),
+		gridftp.WithDataTimeout(j.Timeout),
+	}
 }
 
 // Status is a job's lifecycle state.
@@ -178,7 +197,7 @@ func (m *Manager) Result(id JobID) (Result, error) {
 // submits one job per object, preserving names at the destination. tmpl
 // provides MaxAttempts/Verify; its endpoints and names are overwritten.
 func (m *Manager) SubmitAll(src, dst Endpoint, prefix string, tmpl Job) ([]JobID, error) {
-	c, err := gridftp.Dial(src.Addr)
+	c, err := gridftp.Dial(src.Addr, tmpl.dialOpts()...)
 	if err != nil {
 		return nil, fmt.Errorf("xferman: dial src: %w", err)
 	}
@@ -259,7 +278,8 @@ func (m *Manager) execute(job Job) (checksum string, attempts int, err error) {
 }
 
 func attempt(job Job) (string, error) {
-	src, err := gridftp.Dial(job.Src.Addr)
+	opts := job.dialOpts()
+	src, err := gridftp.Dial(job.Src.Addr, opts...)
 	if err != nil {
 		return "", fmt.Errorf("dial src: %w", err)
 	}
@@ -267,7 +287,7 @@ func attempt(job Job) (string, error) {
 	if err := src.Login(job.Src.User, job.Src.Pass); err != nil {
 		return "", fmt.Errorf("login src: %w", err)
 	}
-	dst, err := gridftp.Dial(job.Dst.Addr)
+	dst, err := gridftp.Dial(job.Dst.Addr, opts...)
 	if err != nil {
 		return "", fmt.Errorf("dial dst: %w", err)
 	}

@@ -2,7 +2,10 @@ package xferman
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -298,5 +301,62 @@ func TestSubmitAll(t *testing.T) {
 	}
 	if _, err := m.SubmitAll(ep(src), ep(dst), "missing/", Job{}); err == nil {
 		t.Error("empty prefix listing should fail")
+	}
+}
+
+// TestJobTimeoutBoundsSilentEndpoint: a job whose source greets and then
+// never replies must burn through its attempts within the configured
+// per-operation deadline, not hang a worker forever.
+func TestJobTimeoutBoundsSilentEndpoint(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				fmt.Fprintf(conn, "220 silent\r\n")
+				io.Copy(io.Discard, conn)
+				conn.Close()
+			}(conn)
+		}
+	}()
+	dstStore := gridftp.NewMemStore()
+	dst := serve(t, dstStore)
+	m, _ := New(1)
+	defer m.Close()
+	const d = 300 * time.Millisecond
+	id, err := m.Submit(Job{
+		Src:     Endpoint{Addr: ln.Addr().String()},
+		Dst:     Endpoint{Addr: dst.Addr()},
+		SrcName: "x", DstName: "x",
+		MaxAttempts: 2,
+		Timeout:     d,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := m.Wait(id)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Failed {
+		t.Fatalf("status = %v, want Failed", res.Status)
+	}
+	// Two attempts, each bounded by roughly one control deadline (the
+	// greeting arrives; the USER reply never does), plus slack.
+	if limit := 2*2*d + 500*time.Millisecond; elapsed > limit {
+		t.Fatalf("job took %v, want < %v", elapsed, limit)
+	}
+	if _, err := m.Submit(Job{Src: Endpoint{Addr: "a"}, Dst: Endpoint{Addr: "b"},
+		SrcName: "x", DstName: "x", Timeout: -time.Second}); err == nil {
+		t.Error("negative Timeout accepted")
 	}
 }
