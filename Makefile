@@ -2,23 +2,23 @@ GO ?= go
 
 # Packages exercised by the concurrency-sensitive paths (parallel exhibit
 # runner, memoized workloads, allocator scratch state) plus the live
-# transfer engine and its fault-injection harness, whose tests spin up
-# real goroutine-per-connection servers.
+# transfer engine, its fault-injection harness, and the telemetry layer,
+# whose tests scrape the registry while the data path mutates it.
 RACE_PKGS = ./internal/netsim ./internal/experiments ./internal/sessions \
-	./internal/gridftp/... ./internal/faultnet/...
+	./internal/gridftp/... ./internal/faultnet/... ./internal/telemetry
 
 .PHONY: check vet race bench all
 
 all: check
 
 # Tier-1 verify: the whole module must build, every test pass, vet stay
-# clean, and the transfer engine's fault matrix run under the race
-# detector.
+# clean, and the transfer engine's fault matrix plus the telemetry
+# registry run under the race detector.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race -count=1 ./internal/gridftp/... ./internal/faultnet/...
+	$(GO) test -race -count=1 ./internal/gridftp/... ./internal/faultnet/... ./internal/telemetry
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,8 @@ race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
 
 # One iteration of every root benchmark, machine-readable, for
-# before/after comparisons across PRs.
+# before/after comparisons across PRs. Override BENCH_OUT to record a
+# new snapshot (e.g. make bench BENCH_OUT=BENCH_4.json).
+BENCH_OUT ?= BENCH_3.json
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -json . | tee BENCH_1.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -json . | tee $(BENCH_OUT)

@@ -48,16 +48,33 @@ func run(in string, g, setup time.Duration, factor float64, sweep bool) error {
 		defer f.Close()
 		r = f
 	}
-	records, err := usagestats.ReadLog(r)
+	all, err := usagestats.ReadLog(r)
 	if err != nil {
 		return err
 	}
+	// Servers now log failed and aborted transfers too (CODE >= 400 with
+	// the partial byte count). The throughput and session analyses model
+	// completed transfers, as the paper's datasets do, so failures are
+	// set aside and reported.
+	records := all[:0:0]
+	failed := 0
+	for _, rec := range all {
+		if rec.Failed() {
+			failed++
+			continue
+		}
+		records = append(records, rec)
+	}
 	if len(records) == 0 {
-		return errors.New("no records in input")
+		return errors.New("no completed transfers in input")
 	}
 	ths := sessions.TransferThroughputsMbps(records)
 	thr := stats.MustSummarize(ths)
-	fmt.Printf("%d transfers\n", len(records))
+	fmt.Printf("%d transfers", len(records))
+	if failed > 0 {
+		fmt.Printf(" (+%d failed, excluded)", failed)
+	}
+	fmt.Println()
 	printSummary("transfer throughput (Mbps)", thr)
 
 	ss, err := sessions.Group(records, g)

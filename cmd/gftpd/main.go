@@ -21,11 +21,13 @@ import (
 	"strings"
 
 	"gftpvc/internal/gridftp"
+	"gftpvc/internal/telemetry"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:2811", "control-channel listen address")
+		metrics  = flag.String("metrics-addr", "", "telemetry HTTP listen address serving /metrics, /spans, /counters, /healthz (optional)")
 		root     = flag.String("root", ".", "directory to serve")
 		stripes  = flag.Int("stripes", 1, "number of stripe data movers")
 		block    = flag.Int("block", 256<<10, "MODE E block size in bytes")
@@ -55,6 +57,17 @@ func main() {
 		DataTimeout:   *dataTO,
 		AcceptTimeout: *acceptTO,
 		MaxObjectSize: *maxObj,
+	}
+	if *metrics != "" {
+		hub := telemetry.NewHub()
+		ms, err := hub.ListenAndServe(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gftpd: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		cfg.Telemetry = hub
+		fmt.Fprintf(os.Stderr, "gftpd: telemetry on http://%s/metrics\n", ms.Addr())
 	}
 	if *auth != "" {
 		user, pass, ok := strings.Cut(*auth, ":")

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"gftpvc/internal/telemetry"
 	"gftpvc/internal/xferman"
 )
 
@@ -30,13 +31,26 @@ func main() {
 		user     = flag.String("user", "anonymous", "username for both servers")
 		pass     = flag.String("pass", "gftpxfer@", "password for both servers")
 		timeout  = flag.Duration("timeout", 0, "per-operation control/data I/O deadline (0: gridftp default, 30s)")
+		metrics  = flag.String("metrics-addr", "", "telemetry HTTP listen address serving /metrics, /spans, /counters, /healthz (optional)")
 	)
 	flag.Parse()
 	if *srcAddr == "" || *dstAddr == "" || (*files == "" && *all == "") {
 		fmt.Fprintln(os.Stderr, "gftpxfer: -src, -dst and one of -files/-all are required")
 		os.Exit(2)
 	}
-	m, err := xferman.New(*workers)
+	var opts []xferman.Option
+	if *metrics != "" {
+		hub := telemetry.NewHub()
+		ms, err := hub.ListenAndServe(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gftpxfer: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		opts = append(opts, xferman.WithTelemetry(hub))
+		fmt.Fprintf(os.Stderr, "gftpxfer: telemetry on http://%s/metrics\n", ms.Addr())
+	}
+	m, err := xferman.New(*workers, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gftpxfer: %v\n", err)
 		os.Exit(1)

@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"gftpvc/internal/oscarsd"
+	"gftpvc/internal/telemetry"
 )
 
 func main() {
@@ -32,13 +33,26 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:7654", "listen address")
 		scenario   = flag.String("scenario", "nersc-ornl", "topology: nersc-ornl | nersc-anl | ncar-nics | slac-bnl")
 		reservable = flag.Float64("reservable", 0.8, "fraction of link capacity reservable for circuits")
+		metrics    = flag.String("metrics-addr", "", "telemetry HTTP listen address serving /metrics and /healthz (optional)")
 	)
 	flag.Parse()
-	srv, err := oscarsd.Start(oscarsd.Config{
+	cfg := oscarsd.Config{
 		Addr:               *addr,
 		Scenario:           *scenario,
 		ReservableFraction: *reservable,
-	})
+	}
+	if *metrics != "" {
+		hub := telemetry.NewHub()
+		ms, err := hub.ListenAndServe(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oscarsd: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer ms.Close()
+		cfg.Telemetry = hub
+		fmt.Fprintf(os.Stderr, "oscarsd: telemetry on http://%s/metrics\n", ms.Addr())
+	}
+	srv, err := oscarsd.Start(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oscarsd: %v\n", err)
 		os.Exit(1)

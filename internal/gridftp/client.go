@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"gftpvc/internal/telemetry"
 )
 
 // Deadline defaults applied by Dial; see WithControlTimeout and
@@ -43,6 +45,10 @@ type Client struct {
 	dataTimeout    time.Duration
 	dialFunc       func(network, addr string) (net.Conn, error)
 	desynced       bool
+
+	hub  *telemetry.Hub
+	met  *cliMetrics
+	sess *telemetry.Span // session-scoped span: control_dial, auth, idle, teardown
 }
 
 // Option configures a Client at Dial time.
@@ -69,6 +75,15 @@ func WithDataTimeout(d time.Duration) Option {
 // connections; fault-injection tests use it to wrap connections.
 func WithDialFunc(dial func(network, addr string) (net.Conn, error)) Option {
 	return func(c *Client) { c.dialFunc = dial }
+}
+
+// WithTelemetry attaches a telemetry hub: the client then records
+// dial/transfer metrics, a session span (control_dial, auth, idle,
+// teardown — the control-channel half of the paper's phase breakdown),
+// and one span per transfer (data_setup, stream, teardown) with its
+// wire byte count.
+func WithTelemetry(hub *telemetry.Hub) Option {
+	return func(c *Client) { c.hub = hub }
 }
 
 // Reply is a control-channel response.
@@ -100,16 +115,24 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	for _, o := range opts {
 		o(c)
 	}
+	c.met = newCliMetrics(c.hub)
+	c.sess = c.hub.Span("session", addr, telemetry.PhaseControlDial)
 	conn, err := c.dial(addr)
 	if err != nil {
+		c.met.dialDone(err)
+		c.sess.End(err)
 		return nil, err
 	}
 	c.conn = conn
 	c.r = bufio.NewReader(conn)
 	if _, err := c.expect("greeting", 220); err != nil {
 		conn.Close()
+		c.met.dialDone(err)
+		c.sess.End(err)
 		return nil, err
 	}
+	c.met.dialDone(nil)
+	c.sess.Phase(telemetry.PhaseIdle)
 	return c, nil
 }
 
@@ -120,19 +143,23 @@ func (c *Client) dial(addr string) (net.Conn, error) {
 	return net.DialTimeout("tcp", addr, defaultDialTimeout)
 }
 
-// dataConn dials one data endpoint and applies the data timeout.
-func (c *Client) dataConn(addr string) (net.Conn, error) {
+// dataConn dials one data endpoint, applies the data timeout, and
+// counts wire bytes into the transfer span (a nil span counts nothing).
+func (c *Client) dataConn(addr string, sp *telemetry.Span) (net.Conn, error) {
 	conn, err := c.dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	return withIdleTimeout(conn, c.dataTimeout), nil
+	return &countingConn{Conn: withIdleTimeout(conn, c.dataTimeout), span: sp}, nil
 }
 
 // Close terminates the session with QUIT.
 func (c *Client) Close() error {
+	c.sess.Phase(telemetry.PhaseTeardown)
 	_, _ = c.cmd("QUIT")
-	return c.conn.Close()
+	err := c.conn.Close()
+	c.sess.End(nil)
+	return err
 }
 
 // cmd sends one command and reads its reply.
@@ -227,6 +254,8 @@ func (c *Client) do(verb, line string, want int) (Reply, error) {
 // Login authenticates and establishes binary MODE E, the GridFTP
 // transfer preconditions.
 func (c *Client) Login(user, pass string) error {
+	c.sess.Phase(telemetry.PhaseAuth)
+	defer c.sess.Phase(telemetry.PhaseIdle)
 	if _, err := c.do("USER", "USER "+user, 331); err != nil {
 		return err
 	}
@@ -387,7 +416,28 @@ func (c *Client) RetrFrom(name string, offset int64) ([]byte, TransferStats, err
 	return c.retr(name, false, offset, -1, true)
 }
 
+// retr wraps retrInner with per-transfer instrumentation: a span
+// tracing data_setup -> stream -> teardown and the client transfer
+// metrics.
 func (c *Client) retr(name string, striped bool, offset, length int64, restart bool) ([]byte, TransferStats, error) {
+	op := "retr"
+	switch {
+	case striped:
+		op = "retr_striped"
+	case length >= 0:
+		op = "eret"
+	case restart:
+		op = "rest_retr"
+	}
+	sp := c.hub.Span(op, name, telemetry.PhaseSetup)
+	start := time.Now()
+	data, stats, err := c.retrInner(name, striped, offset, length, restart, sp)
+	c.met.transferDone(op, err, sp.Bytes(), time.Since(start).Seconds())
+	sp.End(err)
+	return data, stats, err
+}
+
+func (c *Client) retrInner(name string, striped bool, offset, length int64, restart bool, sp *telemetry.Span) ([]byte, TransferStats, error) {
 	size, err := c.Size(name)
 	if err != nil {
 		return nil, TransferStats{}, err
@@ -437,13 +487,15 @@ func (c *Client) retr(name string, striped bool, offset, length int64, restart b
 	if err != nil {
 		return nil, TransferStats{}, err
 	}
+	sp.SetStreams(len(addrs))
+	sp.Phase(telemetry.PhaseStream)
 	var wg sync.WaitGroup
 	errs := make([]error, len(addrs))
 	for i, addr := range addrs {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			conn, err := c.dataConn(addr)
+			conn, err := c.dataConn(addr, sp)
 			if err != nil {
 				errs[i] = err
 				return
@@ -453,6 +505,7 @@ func (c *Client) retr(name string, striped bool, offset, length int64, restart b
 		}(i, addr)
 	}
 	wg.Wait()
+	sp.Phase(telemetry.PhaseTeardown)
 	for _, e := range errs {
 		if e != nil {
 			c.drainReply() // the pending 226/426, deadline-bounded
@@ -492,12 +545,29 @@ func (c *Client) StorStriped(name string, data []byte) (TransferStats, error) {
 	return c.stor(name, data, addrs, true)
 }
 
+// stor wraps storInner with the same per-transfer instrumentation as
+// retr.
 func (c *Client) stor(name string, data []byte, addrs []string, striped bool) (TransferStats, error) {
+	op := "stor"
+	if striped {
+		op = "stor_striped"
+	}
+	sp := c.hub.Span(op, name, telemetry.PhaseSetup)
+	start := time.Now()
+	stats, err := c.storInner(name, data, addrs, striped, sp)
+	c.met.transferDone(op, err, sp.Bytes(), time.Since(start).Seconds())
+	sp.End(err)
+	return stats, err
+}
+
+func (c *Client) storInner(name string, data []byte, addrs []string, striped bool, sp *telemetry.Span) (TransferStats, error) {
 	start := time.Now()
 	if _, err := c.do("STOR", "STOR "+name, 150); err != nil {
 		return TransferStats{}, err
 	}
 	n := len(addrs)
+	sp.SetStreams(n)
+	sp.Phase(telemetry.PhaseStream)
 	const blockSize = 256 << 10
 	var wg sync.WaitGroup
 	errs := make([]error, n)
@@ -505,7 +575,7 @@ func (c *Client) stor(name string, data []byte, addrs []string, striped bool) (T
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			conn, err := c.dataConn(addr)
+			conn, err := c.dataConn(addr, sp)
 			if err != nil {
 				errs[i] = err
 				return
@@ -520,6 +590,7 @@ func (c *Client) stor(name string, data []byte, addrs []string, striped bool) (T
 		}(i, addr)
 	}
 	wg.Wait()
+	sp.Phase(telemetry.PhaseTeardown)
 	for _, e := range errs {
 		if e != nil {
 			c.drainReply()

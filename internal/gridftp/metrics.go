@@ -1,0 +1,189 @@
+package gridftp
+
+import (
+	"net"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gftpvc/internal/telemetry"
+	"gftpvc/internal/usagestats"
+)
+
+// srvMetrics resolves the server's registry instruments once at Serve
+// time. With a nil hub every instrument is nil and each call degrades
+// to a couple of nil checks, so the data path pays nothing when
+// telemetry is off.
+type srvMetrics struct {
+	hub *telemetry.Hub
+
+	sessionsActive *telemetry.Gauge
+	sessionsTotal  *telemetry.Counter
+	listenersOpen  *telemetry.Gauge
+	dataConns      *telemetry.Counter
+	acceptErrors   *telemetry.Counter
+	durations      *telemetry.Histogram
+	sizes          *telemetry.Histogram
+	usageRecords   *telemetry.Counter
+}
+
+func newSrvMetrics(hub *telemetry.Hub) *srvMetrics {
+	m := &srvMetrics{hub: hub}
+	if hub == nil {
+		return m
+	}
+	m.sessionsActive = hub.Gauge("gridftp_server_sessions_active",
+		"Control-channel sessions currently open.")
+	m.sessionsTotal = hub.Counter("gridftp_server_sessions_total",
+		"Control-channel sessions accepted.")
+	m.listenersOpen = hub.Gauge("gridftp_server_passive_listeners_open",
+		"Passive data listeners currently open.")
+	m.dataConns = hub.Counter("gridftp_server_data_connections_total",
+		"Data connections established for transfers.")
+	m.acceptErrors = hub.Counter("gridftp_server_data_accept_errors_total",
+		"Failed data-connection setups (accept timeouts, dial errors).")
+	m.durations = hub.Histogram("gridftp_server_transfer_duration_seconds",
+		"Wall time of transfers, success and failure alike.", telemetry.DurationBuckets)
+	m.sizes = hub.Histogram("gridftp_server_transfer_size_bytes",
+		"Bytes moved per transfer (partial count on failure).", telemetry.SizeBuckets)
+	m.usageRecords = hub.Counter("gridftp_server_usage_records_total",
+		"Usage records emitted, success and failure alike.")
+	return m
+}
+
+// knownVerbs bounds the verb label: unknown client input lands on
+// "other" instead of minting one series per typo.
+var knownVerbs = map[string]bool{
+	"USER": true, "PASS": true, "QUIT": true, "NOOP": true, "SYST": true,
+	"FEAT": true, "TYPE": true, "MODE": true, "SBUF": true, "OPTS": true,
+	"PASV": true, "SPAS": true, "PORT": true, "SIZE": true, "CKSM": true,
+	"NLST": true, "REST": true, "RETR": true, "ERET": true, "STOR": true,
+}
+
+// command counts one dispatched control-channel command.
+func (m *srvMetrics) command(verb string) {
+	if m.hub == nil {
+		return
+	}
+	label := "other"
+	if knownVerbs[verb] {
+		label = strings.ToLower(verb)
+	}
+	m.hub.Counter("gridftp_server_commands_total",
+		"Control-channel commands dispatched, by verb.",
+		telemetry.L("verb", label)).Inc()
+}
+
+// transferDone records one finished transfer attempt: result-split
+// counters, byte totals, and the duration/size distributions.
+func (m *srvMetrics) transferDone(op string, code int, bytes int64, seconds float64) {
+	if m.hub == nil {
+		return
+	}
+	result := "ok"
+	if code >= 400 {
+		result = "error"
+	}
+	m.hub.Counter("gridftp_server_transfers_total",
+		"Transfers by operation and result.",
+		telemetry.L("op", op), telemetry.L("result", result)).Inc()
+	m.hub.Counter("gridftp_server_transfer_bytes_total",
+		"Wire bytes moved on data channels, by operation.",
+		telemetry.L("op", op)).Add(bytes)
+	m.durations.Observe(seconds)
+	m.sizes.Observe(float64(bytes))
+}
+
+// cliMetrics is the client-side instrument set, resolved at Dial.
+type cliMetrics struct {
+	hub *telemetry.Hub
+
+	durations *telemetry.Histogram
+}
+
+func newCliMetrics(hub *telemetry.Hub) *cliMetrics {
+	m := &cliMetrics{hub: hub}
+	if hub == nil {
+		return m
+	}
+	m.durations = hub.Histogram("gridftp_client_transfer_duration_seconds",
+		"Wall time of client-driven transfers.", telemetry.DurationBuckets)
+	return m
+}
+
+// dialDone counts a control-channel dial attempt.
+func (m *cliMetrics) dialDone(err error) {
+	if m.hub == nil {
+		return
+	}
+	m.hub.Counter("gridftp_client_dials_total",
+		"Control-channel dials, by result.",
+		telemetry.L("result", resultLabel(err))).Inc()
+}
+
+// transferDone records one finished client transfer attempt.
+func (m *cliMetrics) transferDone(op string, err error, bytes int64, seconds float64) {
+	if m.hub == nil {
+		return
+	}
+	m.hub.Counter("gridftp_client_transfers_total",
+		"Client transfers by operation and result.",
+		telemetry.L("op", op), telemetry.L("result", resultLabel(err))).Inc()
+	m.hub.Counter("gridftp_client_transfer_bytes_total",
+		"Wire bytes moved on client data channels, by operation.",
+		telemetry.L("op", op)).Add(bytes)
+	m.durations.Observe(seconds)
+}
+
+func resultLabel(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}
+
+// transferCtx carries one transfer attempt's instrumentation: its span,
+// the wall-clock start, and the wire-byte tally the failure path
+// reports as the partial byte count.
+type transferCtx struct {
+	op    string
+	typ   usagestats.TransferType
+	start time.Time
+	span  *telemetry.Span
+	wire  atomic.Int64
+	conns int
+}
+
+// countingConn counts wire bytes crossing a data connection into the
+// transfer tally and, when telemetry is on, the per-stripe live bins
+// and the transfer span. The nil-safety of LiveCounter/Span keeps the
+// uninstrumented path to two pointer tests per I/O.
+type countingConn struct {
+	net.Conn
+	wire *atomic.Int64
+	live *telemetry.LiveCounter
+	span *telemetry.Span
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.count(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.count(int64(n))
+	return n, err
+}
+
+func (c *countingConn) count(n int64) {
+	if n <= 0 {
+		return
+	}
+	if c.wire != nil {
+		c.wire.Add(n)
+	}
+	c.live.Add(n)
+	c.span.AddBytes(n)
+}

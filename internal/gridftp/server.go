@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"gftpvc/internal/telemetry"
 	"gftpvc/internal/usagestats"
 )
 
@@ -55,6 +56,10 @@ type Config struct {
 	// DataListen opens the passive data listeners (default net.Listen).
 	// Fault-injection and listener-leak tests substitute wrappers here.
 	DataListen func(network, addr string) (net.Listener, error)
+	// Telemetry, when set, receives the server's live instrument
+	// streams: registry metrics, per-transfer phase spans, and the
+	// 30-second per-stripe byte counters. Nil disables instrumentation.
+	Telemetry *telemetry.Hub
 }
 
 // Server is a GridFTP server.
@@ -62,6 +67,7 @@ type Server struct {
 	cfg    Config
 	ln     net.Listener
 	sender *usagestats.Sender
+	met    *srvMetrics
 
 	wg     sync.WaitGroup
 	mu     sync.Mutex
@@ -118,7 +124,7 @@ func Serve(cfg Config) (*Server, error) {
 	if cfg.ServerHost == "" {
 		cfg.ServerHost = ln.Addr().String()
 	}
-	s := &Server{cfg: cfg, ln: ln, conns: make(map[net.Conn]bool)}
+	s := &Server{cfg: cfg, ln: ln, conns: make(map[net.Conn]bool), met: newSrvMetrics(cfg.Telemetry)}
 	if cfg.UsageAddr != "" {
 		snd, err := usagestats.NewSender(cfg.UsageAddr)
 		if err != nil {
@@ -224,6 +230,9 @@ func (s *Server) handle(conn net.Conn) {
 		w:           bufio.NewWriter(conn),
 		parallelism: 1,
 	}
+	s.met.sessionsTotal.Inc()
+	s.met.sessionsActive.Inc()
+	defer s.met.sessionsActive.Dec()
 	defer sess.closePassive()
 	defer conn.Close()
 	sess.reply(220, "gftpvc GridFTP server ready")
@@ -269,6 +278,7 @@ func (sess *session) replyLines(code int, lines []string, last string) {
 
 // dispatch executes one command; it returns true when the session ends.
 func (sess *session) dispatch(verb, arg string) bool {
+	sess.srv.met.command(verb)
 	// Commands allowed before authentication.
 	switch verb {
 	case "USER":
@@ -420,6 +430,7 @@ func (sess *session) cmdPassive(n int) {
 			return
 		}
 		sess.passive = append(sess.passive, ln)
+		sess.srv.met.listenersOpen.Inc()
 	}
 	if n == 1 {
 		sess.reply(227, "entering passive mode ("+hostPortString(sess.passive[0].Addr())+")")
@@ -476,45 +487,59 @@ func parseHostPort(s string) (string, error) {
 
 // dataConns establishes the data connections for a transfer: by accepting
 // on the passive listeners (parallelism conns on PASV's single listener,
-// or one per SPAS stripe listener) or by dialing the PORT target.
-func (sess *session) dataConns() ([]net.Conn, error) {
+// or one per SPAS stripe listener) or by dialing the PORT target. Every
+// connection is wrapped to count wire bytes into the transfer context,
+// the span, and the per-stripe live byte counters.
+func (sess *session) dataConns(tx *transferCtx) ([]net.Conn, error) {
+	met := sess.srv.met
 	dataTimeout := sess.srv.cfg.DataTimeout
+	wrap := func(c net.Conn, stripe string) net.Conn {
+		met.dataConns.Inc()
+		return &countingConn{
+			Conn: withIdleTimeout(c, dataTimeout),
+			wire: &tx.wire,
+			live: met.hub.LiveCounter(stripe),
+			span: tx.span,
+		}
+	}
 	if sess.activeAddr != "" {
 		c, err := net.DialTimeout("tcp", sess.activeAddr, sess.srv.cfg.AcceptTimeout)
 		if err != nil {
+			met.acceptErrors.Inc()
 			return nil, err
 		}
-		return []net.Conn{withIdleTimeout(c, dataTimeout)}, nil
+		return []net.Conn{wrap(c, "active")}, nil
 	}
 	if len(sess.passive) == 0 {
 		return nil, errors.New("no PASV/SPAS/PORT before transfer")
 	}
 	var conns []net.Conn
 	fail := func(err error) ([]net.Conn, error) {
+		met.acceptErrors.Inc()
 		for _, c := range conns {
 			c.Close()
 		}
 		return nil, err
 	}
-	accept := func(ln net.Listener) error {
+	accept := func(ln net.Listener, stripe string) error {
 		setListenerDeadline(ln, time.Now().Add(sess.srv.cfg.AcceptTimeout))
 		c, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		conns = append(conns, withIdleTimeout(c, dataTimeout))
+		conns = append(conns, wrap(c, stripe))
 		return nil
 	}
 	if len(sess.passive) == 1 {
 		for i := 0; i < sess.parallelism; i++ {
-			if err := accept(sess.passive[0]); err != nil {
+			if err := accept(sess.passive[0], "stripe0"); err != nil {
 				return fail(err)
 			}
 		}
 		return conns, nil
 	}
-	for _, ln := range sess.passive {
-		if err := accept(ln); err != nil {
+	for i, ln := range sess.passive {
+		if err := accept(ln, fmt.Sprintf("stripe%d", i)); err != nil {
 			return fail(err)
 		}
 	}
@@ -525,6 +550,7 @@ func (sess *session) closePassive() {
 	for _, ln := range sess.passive {
 		ln.Close()
 	}
+	sess.srv.met.listenersOpen.Add(-int64(len(sess.passive)))
 	sess.passive = nil
 }
 
@@ -537,10 +563,44 @@ func (sess *session) endTransfer() {
 	sess.activeAddr = ""
 }
 
+// beginTransfer opens one transfer attempt's instrumentation: the
+// phase span (data_setup -> stream -> teardown) and the wire-byte
+// tally the failure path reports as the partial count. With telemetry
+// off the span is nil and every operation on it is a no-op.
+func (sess *session) beginTransfer(op string, typ usagestats.TransferType, target string) *transferCtx {
+	return &transferCtx{
+		op:    op,
+		typ:   typ,
+		start: time.Now(),
+		span:  sess.srv.met.hub.Span(op, target, telemetry.PhaseSetup),
+	}
+}
+
+// failTransfer replies with the failure code and — unlike success-only
+// Globus loggers — still emits a usage record carrying the error code
+// and the partial byte count, ends the span with an error phase, and
+// records the result metrics, so live failure rates are observable.
+func (sess *session) failTransfer(tx *transferCtx, code int, msg string) {
+	sess.reply(code, msg)
+	partial := tx.wire.Load()
+	sess.srv.met.transferDone(tx.op, code, partial, time.Since(tx.start).Seconds())
+	tx.span.End(fmt.Errorf("%d %s", code, msg))
+	sess.logTransfer(tx.typ, partial, tx.start, tx.conns, code)
+}
+
+// finishTransfer logs the completed transfer, replies 226, and closes
+// the instrumentation.
+func (sess *session) finishTransfer(tx *transferCtx, size int64) {
+	sess.logTransfer(tx.typ, size, tx.start, tx.conns, 0)
+	sess.reply(226, "transfer complete")
+	sess.srv.met.transferDone(tx.op, 226, tx.wire.Load(), time.Since(tx.start).Seconds())
+	tx.span.End(nil)
+}
+
 // checkTransferPreconditions enforces TYPE I + MODE E before data moves.
-func (sess *session) checkTransferPreconditions() bool {
+func (sess *session) checkTransferPreconditions(tx *transferCtx) bool {
 	if !sess.binary || !sess.modeE {
-		sess.reply(504, "set TYPE I and MODE E first")
+		sess.failTransfer(tx, 504, "set TYPE I and MODE E first")
 		return false
 	}
 	return true
@@ -603,19 +663,24 @@ func (sess *session) cmdEret(arg string) {
 // sends blocks i, i+n, i+2n, ...). offset > 0 serves a restarted or
 // partial transfer; length < 0 means to the end of the object.
 func (sess *session) cmdRetr(name string, offset, length int64) {
+	op := "retr"
+	if length >= 0 {
+		op = "eret"
+	}
+	tx := sess.beginTransfer(op, usagestats.Retrieve, name)
 	// Rejections (504/550/551), aborts (425/426) and completed transfers
 	// alike must release the data listeners; they are per-transfer.
 	defer sess.endTransfer()
-	if !sess.checkTransferPreconditions() {
+	if !sess.checkTransferPreconditions(tx) {
 		return
 	}
 	data, err := sess.srv.cfg.Store.Get(name)
 	if err != nil {
-		sess.reply(550, err.Error())
+		sess.failTransfer(tx, 550, err.Error())
 		return
 	}
 	if offset > int64(len(data)) {
-		sess.reply(551, "offset beyond object size")
+		sess.failTransfer(tx, 551, "offset beyond object size")
 		return
 	}
 	end := int64(len(data))
@@ -624,12 +689,14 @@ func (sess *session) cmdRetr(name string, offset, length int64) {
 	}
 	region := data[offset:end]
 	sess.reply(150, "opening data connection")
-	start := time.Now()
-	conns, err := sess.dataConns()
+	conns, err := sess.dataConns(tx)
 	if err != nil {
-		sess.reply(425, "data connection failed: "+err.Error())
+		sess.failTransfer(tx, 425, "data connection failed: "+err.Error())
 		return
 	}
+	tx.conns = len(conns)
+	tx.span.SetStreams(len(conns))
+	tx.span.Phase(telemetry.PhaseStream)
 	bs := sess.srv.cfg.BlockSize
 	var wg sync.WaitGroup
 	errs := make([]error, len(conns))
@@ -647,14 +714,14 @@ func (sess *session) cmdRetr(name string, offset, length int64) {
 		}(i, c)
 	}
 	wg.Wait()
+	tx.span.Phase(telemetry.PhaseTeardown)
 	for _, e := range errs {
 		if e != nil {
-			sess.reply(426, "transfer aborted: "+e.Error())
+			sess.failTransfer(tx, 426, "transfer aborted: "+e.Error())
 			return
 		}
 	}
-	sess.logTransfer(usagestats.Retrieve, int64(len(region)), start, len(conns))
-	sess.reply(226, "transfer complete")
+	sess.finishTransfer(tx, int64(len(region)))
 }
 
 // growBuffer extends buf so it covers [0, end), doubling the capacity
@@ -677,17 +744,20 @@ func growBuffer(buf []byte, end uint64) []byte {
 
 // cmdStor receives an object from the client over the data connections.
 func (sess *session) cmdStor(name string) {
+	tx := sess.beginTransfer("stor", usagestats.Store, name)
 	defer sess.endTransfer()
-	if !sess.checkTransferPreconditions() {
+	if !sess.checkTransferPreconditions(tx) {
 		return
 	}
 	sess.reply(150, "opening data connection")
-	start := time.Now()
-	conns, err := sess.dataConns()
+	conns, err := sess.dataConns(tx)
 	if err != nil {
-		sess.reply(425, "data connection failed: "+err.Error())
+		sess.failTransfer(tx, 425, "data connection failed: "+err.Error())
 		return
 	}
+	tx.conns = len(conns)
+	tx.span.SetStreams(len(conns))
+	tx.span.Phase(telemetry.PhaseStream)
 	// MODE E frames carry explicit offsets, so the receiver needs no
 	// advance size. Each connection reads into a reusable scratch frame
 	// and copies straight into the shared object buffer under a lock:
@@ -734,27 +804,34 @@ func (sess *session) cmdStor(name string) {
 		}(i, c)
 	}
 	wg.Wait()
+	tx.span.Phase(telemetry.PhaseTeardown)
 	for _, e := range errs {
 		if e != nil {
-			sess.reply(426, "transfer aborted: "+e.Error())
+			sess.failTransfer(tx, 426, "transfer aborted: "+e.Error())
 			return
 		}
 	}
 	if err := sess.srv.cfg.Store.Put(name, buf); err != nil {
-		sess.reply(552, "store failed: "+err.Error())
+		sess.failTransfer(tx, 552, "store failed: "+err.Error())
 		return
 	}
-	sess.logTransfer(usagestats.Store, int64(len(buf)), start, len(conns))
-	sess.reply(226, "transfer complete")
+	sess.finishTransfer(tx, int64(len(buf)))
 }
 
-// logTransfer appends a usage record to the local log and ships it to the
-// usage collector, as Globus servers do at the end of each transfer.
-func (sess *session) logTransfer(t usagestats.TransferType, size int64, start time.Time, conns int) {
+// logTransfer appends a usage record to the local log and ships it to
+// the usage collector, as Globus servers do at the end of each
+// transfer. Unlike Globus loggers it also records failed and aborted
+// transfers: code >= 400 marks the record failed and size carries the
+// partial byte count.
+func (sess *session) logTransfer(t usagestats.TransferType, size int64, start time.Time, conns int, code int) {
 	streams := conns
 	stripes := 1
 	if len(sess.passive) > 1 {
 		stripes = len(sess.passive)
+		streams = 1
+	}
+	if streams < 1 {
+		// Transfers rejected before data-channel setup still log.
 		streams = 1
 	}
 	remote, _, _ := net.SplitHostPort(sess.conn.RemoteAddr().String())
@@ -769,11 +846,13 @@ func (sess *session) logTransfer(t usagestats.TransferType, size int64, start ti
 		Stripes:     stripes,
 		BufferBytes: sess.bufferBytes,
 		BlockBytes:  int64(sess.srv.cfg.BlockSize),
+		Code:        code,
 	}
 	if rec.DurationSec <= 0 {
 		rec.DurationSec = 1e-6
 	}
 	srv := sess.srv
+	srv.met.usageRecords.Inc()
 	srv.mu.Lock()
 	srv.logs = append(srv.logs, rec)
 	srv.mu.Unlock()

@@ -16,6 +16,7 @@ import (
 
 	"gftpvc/internal/oscars"
 	"gftpvc/internal/simclock"
+	"gftpvc/internal/telemetry"
 	"gftpvc/internal/topo"
 )
 
@@ -29,6 +30,9 @@ type Config struct {
 	// ReservableFraction is the share of each link's capacity circuits
 	// may book.
 	ReservableFraction float64
+	// Telemetry, when set, publishes admission-control metrics on the hub
+	// (requests by op, admit/reject/cancel counts, open connections).
+	Telemetry *telemetry.Hub
 }
 
 // Request is one protocol message.
@@ -68,6 +72,49 @@ type Server struct {
 	wg     sync.WaitGroup
 	conns  map[net.Conn]bool
 	closed bool
+
+	hub *telemetry.Hub
+	met odMetrics
+}
+
+// odMetrics is the daemon's instrument set; nil instruments (no hub)
+// make every call a no-op.
+type odMetrics struct {
+	admitted    *telemetry.Counter
+	rejected    *telemetry.Counter
+	cancelled   *telemetry.Counter
+	connsActive *telemetry.Gauge
+}
+
+// countOp counts one dispatched protocol request by operation. The op
+// label is bounded by the dispatch switch: unknown input lands on
+// "other".
+func (s *Server) countOp(op string) {
+	if s.hub == nil {
+		return
+	}
+	switch op {
+	case "reserve", "cancel", "modify", "available", "topology":
+	default:
+		op = "other"
+	}
+	s.hub.Counter("oscarsd_requests_total",
+		"Protocol requests dispatched, by operation.",
+		telemetry.L("op", op)).Inc()
+}
+
+// countModify counts one modify outcome.
+func (s *Server) countModify(ok bool) {
+	if s.hub == nil {
+		return
+	}
+	result := "ok"
+	if !ok {
+		result = "error"
+	}
+	s.hub.Counter("oscarsd_modify_total",
+		"Reservation modifications, by result.",
+		telemetry.L("result", result)).Inc()
 }
 
 // holding records an admitted reservation's booking so modify can roll
@@ -115,6 +162,19 @@ func Start(cfg Config) (*Server, error) {
 		epoch:  time.Now(),
 		held:   make(map[oscars.CircuitID]holding),
 		conns:  make(map[net.Conn]bool),
+		hub:    cfg.Telemetry,
+	}
+	if s.hub != nil {
+		s.met = odMetrics{
+			admitted: s.hub.Counter("oscarsd_reservations_admitted_total",
+				"Reservations admitted by the bandwidth ledger."),
+			rejected: s.hub.Counter("oscarsd_reservations_rejected_total",
+				"Reservations refused (no path with the requested bandwidth)."),
+			cancelled: s.hub.Counter("oscarsd_reservations_cancelled_total",
+				"Held reservations cancelled by clients."),
+			connsActive: s.hub.Gauge("oscarsd_connections_active",
+				"Protocol connections currently open."),
+		}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -162,6 +222,7 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = true
 		s.mu.Unlock()
+		s.met.connsActive.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -169,6 +230,7 @@ func (s *Server) acceptLoop() {
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
+			s.met.connsActive.Dec()
 		}()
 	}
 }
@@ -198,6 +260,7 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 func (s *Server) dispatch(req Request) Response {
+	s.countOp(req.Op)
 	switch req.Op {
 	case "reserve":
 		return s.reserve(req)
@@ -245,6 +308,7 @@ func (s *Server) findPath(req Request) (topo.Path, error) {
 func (s *Server) reserve(req Request) Response {
 	path, err := s.findPath(req)
 	if err != nil {
+		s.met.rejected.Inc()
 		return Response{Error: err.Error()}
 	}
 	s.mu.Lock()
@@ -260,8 +324,10 @@ func (s *Server) reserve(req Request) Response {
 		s.mu.Lock()
 		delete(s.held, id)
 		s.mu.Unlock()
+		s.met.rejected.Inc()
 		return Response{Error: err.Error()}
 	}
+	s.met.admitted.Inc()
 	return Response{OK: true, ID: int64(id), Path: pathNames(path), Src: req.Src, Dst: req.Dst}
 }
 
@@ -275,6 +341,7 @@ func (s *Server) cancel(req Request) Response {
 		return Response{Error: fmt.Sprintf("unknown circuit %d", req.ID)}
 	}
 	s.ledger.Release(id)
+	s.met.cancelled.Inc()
 	return Response{OK: true, ID: req.ID}
 }
 
@@ -301,12 +368,14 @@ func (s *Server) modify(req Request) Response {
 			simclock.Time(req.Start), simclock.Time(req.End), id)
 	}
 	if err != nil {
+		s.countModify(false)
 		// Restore; the old booking fit before, so it fits again.
 		if rbErr := s.ledger.Reserve(old.path, old.rateBps, old.start, old.end, id); rbErr != nil {
 			return Response{Error: fmt.Sprintf("modify failed (%v) and rollback failed (%v)", err, rbErr)}
 		}
 		return Response{Error: "modify rejected: " + err.Error()}
 	}
+	s.countModify(true)
 	s.held[id] = holding{
 		path: path, rateBps: req.RateBps,
 		start: simclock.Time(req.Start), end: simclock.Time(req.End),

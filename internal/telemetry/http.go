@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+)
+
+// CounterSnapshot is the JSON form of one live byte counter, served by
+// /counters. The fields mirror internal/snmp.Counter: construct one
+// with Link=Name, Origin=OriginSec, BinSec and Bytes copied verbatim.
+type CounterSnapshot struct {
+	Name      string    `json:"name"`
+	OriginSec float64   `json:"origin_sec"`
+	BinSec    float64   `json:"bin_sec"`
+	Bytes     []float64 `json:"bytes"`
+}
+
+// Handler serves the hub's instrument streams:
+//
+//	/metrics  Prometheus text exposition (version 0.0.4)
+//	/healthz  liveness probe ("ok")
+//	/spans    JSON {active, spans:[...]} — completed transfer spans
+//	/counters JSON [{name, origin_sec, bin_sec, bytes}] — live 30-s bins
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		h.Registry().WriteProm(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		spans := h.Spans().Snapshot()
+		if spans == nil {
+			spans = []SpanSnapshot{}
+		}
+		json.NewEncoder(w).Encode(struct {
+			EpochUnixNano int64          `json:"epoch_unix_nano"`
+			Active        int            `json:"active"`
+			Spans         []SpanSnapshot `json:"spans"`
+		}{h.Epoch().UnixNano(), h.Spans().Active(), spans})
+	})
+	mux.HandleFunc("/counters", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		out := []CounterSnapshot{}
+		for _, c := range h.Live().Counters() {
+			origin, bin, bytes := c.Snapshot()
+			out = append(out, CounterSnapshot{Name: c.Name(), OriginSec: origin, BinSec: bin, Bytes: bytes})
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+	return mux
+}
+
+// MetricsServer is a running telemetry HTTP endpoint.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe exposes the hub on addr ("127.0.0.1:0" for an
+// ephemeral port) and serves until Close.
+func (h *Hub) ListenAndServe(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: h.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	ms := &MetricsServer{ln: ln, srv: srv}
+	go srv.Serve(ln)
+	return ms, nil
+}
+
+// Addr returns the bound address.
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the endpoint.
+func (s *MetricsServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,99 @@
+package telemetry
+
+import "time"
+
+// Hub bundles the three instrument streams one process exposes: the
+// metrics registry, the span log, and the live byte counters. All
+// accessors are nil-safe — a nil *Hub hands out nil instruments whose
+// methods are no-ops — so servers and clients instrument
+// unconditionally and pay almost nothing when telemetry is off.
+type Hub struct {
+	epoch    time.Time
+	registry *Registry
+	spans    *SpanLog
+	live     *CounterSet
+}
+
+// NewHub creates a hub with the production cadence: 30-second live
+// bins and a 512-span completed ring.
+func NewHub() *Hub { return NewHubConfig(DefaultBinSec, 0) }
+
+// NewHubConfig creates a hub with an explicit live-counter bin width in
+// seconds (<= 0: DefaultBinSec) and completed-span capacity (<= 0:
+// 512). Tests use sub-second bins to exercise the SNMP pipeline
+// quickly.
+func NewHubConfig(binSec float64, spanCap int) *Hub {
+	epoch := time.Now()
+	return &Hub{
+		epoch:    epoch,
+		registry: NewRegistry(),
+		spans:    NewSpanLog(epoch, spanCap),
+		live:     NewCounterSet(epoch, binSec),
+	}
+}
+
+// Epoch returns the hub's time origin: StartSec in spans and bin 0 of
+// every live counter are measured from it.
+func (h *Hub) Epoch() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return h.epoch
+}
+
+// SinceEpoch converts a wall-clock time to seconds on the hub clock.
+func (h *Hub) SinceEpoch(t time.Time) float64 {
+	if h == nil {
+		return 0
+	}
+	return t.Sub(h.epoch).Seconds()
+}
+
+// Registry returns the metrics registry (nil for a nil hub).
+func (h *Hub) Registry() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.registry
+}
+
+// Spans returns the span log (nil for a nil hub).
+func (h *Hub) Spans() *SpanLog {
+	if h == nil {
+		return nil
+	}
+	return h.spans
+}
+
+// Live returns the live byte-counter set (nil for a nil hub).
+func (h *Hub) Live() *CounterSet {
+	if h == nil {
+		return nil
+	}
+	return h.live
+}
+
+// Counter resolves a registry counter (nil-safe).
+func (h *Hub) Counter(name, help string, labels ...Label) *Counter {
+	return h.Registry().Counter(name, help, labels...)
+}
+
+// Gauge resolves a registry gauge (nil-safe).
+func (h *Hub) Gauge(name, help string, labels ...Label) *Gauge {
+	return h.Registry().Gauge(name, help, labels...)
+}
+
+// Histogram resolves a registry histogram (nil-safe).
+func (h *Hub) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return h.Registry().Histogram(name, help, buckets, labels...)
+}
+
+// Span starts a span (nil-safe).
+func (h *Hub) Span(op, target string, first Phase) *Span {
+	return h.Spans().Start(op, target, first)
+}
+
+// LiveCounter resolves a live byte counter by name (nil-safe).
+func (h *Hub) LiveCounter(name string) *LiveCounter {
+	return h.Live().Counter(name)
+}

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultBinSec is the live counter cadence, matching ESnet's SNMP
+// collection interval (internal/snmp.DefaultBinSec).
+const DefaultBinSec = 30.0
+
+// LiveCounter accumulates bytes into fixed wall-clock bins — the live
+// analogue of an SNMP interface byte counter. Bytes[i] covers
+// [Origin + i·BinSec, Origin + (i+1)·BinSec) on the owning set's
+// epoch clock, exactly the shape of internal/snmp.Counter, so a
+// snapshot feeds the Eq. 1 overlap and Table XI–XIII correlation code
+// unmodified. A nil *LiveCounter is a no-op.
+type LiveCounter struct {
+	name   string
+	epoch  time.Time
+	binDur time.Duration
+
+	mu   sync.Mutex
+	bins []int64
+}
+
+// Name returns the counter's identity (e.g. "stripe0").
+func (c *LiveCounter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Add credits n bytes to the bin covering the current wall clock.
+func (c *LiveCounter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	bin := int(time.Since(c.epoch) / c.binDur)
+	c.mu.Lock()
+	for len(c.bins) <= bin {
+		c.bins = append(c.bins, 0)
+	}
+	c.bins[bin] += n
+	c.mu.Unlock()
+}
+
+// Snapshot returns the counter's series in snmp.Counter shape: the
+// origin (seconds on the epoch clock — always 0, every counter starts
+// at the set's epoch), the bin width in seconds, and one float per
+// bin. The series is extended with zero bins through the current wall
+// clock, so intervals that end after the last recorded byte still
+// resolve.
+func (c *LiveCounter) Snapshot() (originSec, binSec float64, bytes []float64) {
+	if c == nil {
+		return 0, 0, nil
+	}
+	now := int(time.Since(c.epoch) / c.binDur)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.bins)
+	if now+1 > n {
+		n = now + 1
+	}
+	out := make([]float64, n)
+	for i, b := range c.bins {
+		out[i] = float64(b)
+	}
+	return 0, c.binDur.Seconds(), out
+}
+
+// Total returns the bytes accumulated across all bins.
+func (c *LiveCounter) Total() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, b := range c.bins {
+		t += b
+	}
+	return t
+}
+
+// CounterSet owns the live byte counters, one per data listener or
+// stripe, all sharing one epoch so their series and the spans'
+// StartSec values live on the same clock.
+type CounterSet struct {
+	epoch  time.Time
+	binDur time.Duration
+
+	mu       sync.Mutex
+	counters map[string]*LiveCounter
+}
+
+// NewCounterSet creates a set with the given epoch and bin width in
+// seconds (<= 0 uses DefaultBinSec).
+func NewCounterSet(epoch time.Time, binSec float64) *CounterSet {
+	if binSec <= 0 {
+		binSec = DefaultBinSec
+	}
+	return &CounterSet{
+		epoch:    epoch,
+		binDur:   time.Duration(binSec * float64(time.Second)),
+		counters: make(map[string]*LiveCounter),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// set returns a nil counter.
+func (s *CounterSet) Counter(name string) *LiveCounter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = &LiveCounter{name: name, epoch: s.epoch, binDur: s.binDur}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Counters returns the set's counters sorted by name.
+func (s *CounterSet) Counters() []*LiveCounter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*LiveCounter, 0, len(s.counters))
+	for _, c := range s.counters {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -43,7 +43,18 @@ type Record struct {
 	Stripes     int
 	BufferBytes int64
 	BlockBytes  int64
+	// Code is the final FTP reply code of the transfer. Zero means a
+	// completed transfer (the historical record shape; Globus loggers
+	// omit the code on success). Codes >= 400 mark failed or aborted
+	// transfers, which carry the partial byte count in SizeBytes — the
+	// records the live failure-rate analysis needs and which success-only
+	// loggers drop.
+	Code int
 }
+
+// Failed reports whether the record describes a failed or aborted
+// transfer (final reply code >= 400).
+func (r Record) Failed() bool { return r.Code >= 400 }
 
 // ThroughputBps returns the transfer's average throughput in bits/second,
 // or 0 when the duration is not positive.
@@ -67,7 +78,11 @@ func (r Record) Validate() error {
 	switch {
 	case r.Type != Store && r.Type != Retrieve:
 		return fmt.Errorf("usagestats: unknown transfer type %q", r.Type)
-	case r.SizeBytes <= 0:
+	case r.Code < 0 || (r.Code > 0 && (r.Code < 100 || r.Code > 699)):
+		return fmt.Errorf("usagestats: implausible reply code %d", r.Code)
+	case r.Failed() && r.SizeBytes < 0:
+		return errors.New("usagestats: negative partial size")
+	case !r.Failed() && r.SizeBytes <= 0:
 		return errors.New("usagestats: size must be positive")
 	case r.DurationSec <= 0:
 		return errors.New("usagestats: duration must be positive")
@@ -112,6 +127,9 @@ func (r Record) Marshal() string {
 	if r.RemoteHost != "" {
 		kv["DEST"] = r.RemoteHost
 	}
+	if r.Code != 0 {
+		kv["CODE"] = strconv.Itoa(r.Code)
+	}
 	keys := make([]string, 0, len(kv))
 	for k := range kv {
 		keys = append(keys, k)
@@ -154,6 +172,8 @@ func Unmarshal(line string) (Record, error) {
 			r.BufferBytes, err = strconv.ParseInt(v, 10, 64)
 		case "BLOCK":
 			r.BlockBytes, err = strconv.ParseInt(v, 10, 64)
+		case "CODE":
+			r.Code, err = strconv.Atoi(v)
 		default:
 			// Ignore unknown keys: newer servers add fields.
 		}

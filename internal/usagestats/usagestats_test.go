@@ -45,6 +45,53 @@ func TestRecordValidate(t *testing.T) {
 	}
 }
 
+func TestFailedRecordCode(t *testing.T) {
+	// Success records keep the historical wire shape: no CODE key.
+	if line := sampleRecord().Marshal(); strings.Contains(line, "CODE=") {
+		t.Errorf("success record emits CODE: %s", line)
+	}
+	// Failed records carry the final reply code and may have a zero
+	// partial byte count.
+	r := sampleRecord()
+	r.Code = 425
+	r.SizeBytes = 0
+	if !r.Failed() {
+		t.Fatal("code 425 should mark the record failed")
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("failed record with zero partial size: %v", err)
+	}
+	got, err := Unmarshal(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+	// Implausible codes and negative partial sizes are rejected.
+	for _, m := range []func(*Record){
+		func(r *Record) { r.Code = -1 },
+		func(r *Record) { r.Code = 42 },
+		func(r *Record) { r.Code = 700 },
+		func(r *Record) { r.Code = 550; r.SizeBytes = -1 },
+	} {
+		bad := sampleRecord()
+		m(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("record %+v should fail validation", bad)
+		}
+	}
+	// Intermediate codes (< 400) are plausible but not failures.
+	ok := sampleRecord()
+	ok.Code = 226
+	if ok.Failed() {
+		t.Error("226 is not a failure code")
+	}
+	if err := ok.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestThroughput(t *testing.T) {
 	r := sampleRecord()
 	want := float64(32<<30) * 8 / 142.5

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gftpvc/internal/gridftp"
+	"gftpvc/internal/telemetry"
 )
 
 // Endpoint identifies one GridFTP server and the credentials to use.
@@ -129,16 +130,56 @@ type Manager struct {
 
 	wg     sync.WaitGroup
 	closed bool
+
+	hub *telemetry.Hub
+	met xmMetrics
+}
+
+// xmMetrics is the manager's instrument set. With a nil hub every
+// instrument is nil and the calls are no-ops.
+type xmMetrics struct {
+	submitted  *telemetry.Counter
+	queueDepth *telemetry.Gauge
+	running    *telemetry.Gauge
+	retries    *telemetry.Counter
+	durations  *telemetry.Histogram
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithTelemetry publishes queue, retry, and job-latency metrics on hub
+// and threads the hub into every gridftp client the manager dials, so
+// worker-driven transfers show up as client spans and metrics too.
+func WithTelemetry(hub *telemetry.Hub) Option {
+	return func(m *Manager) { m.hub = hub }
 }
 
 // New starts a manager with the given number of workers.
-func New(workers int) (*Manager, error) {
+func New(workers int, opts ...Option) (*Manager, error) {
 	if workers < 1 {
 		return nil, errors.New("xferman: need at least one worker")
 	}
 	m := &Manager{
 		queue: make(chan JobID, 1024),
 		jobs:  make(map[JobID]*tracked),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if m.hub != nil {
+		m.met = xmMetrics{
+			submitted: m.hub.Counter("xferman_jobs_submitted_total",
+				"Transfer jobs accepted into the queue."),
+			queueDepth: m.hub.Gauge("xferman_queue_depth",
+				"Jobs queued and not yet picked up by a worker."),
+			running: m.hub.Gauge("xferman_jobs_running",
+				"Jobs currently executing on a worker."),
+			retries: m.hub.Counter("xferman_retries_total",
+				"Failed attempts that were retried with fresh control channels."),
+			durations: m.hub.Histogram("xferman_job_duration_seconds",
+				"End-to-end job latency including retries.", telemetry.DurationBuckets),
+		}
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
@@ -164,6 +205,8 @@ func (m *Manager) Submit(job Job) (JobID, error) {
 		done:   make(chan struct{}),
 	}
 	m.mu.Unlock()
+	m.met.submitted.Inc()
+	m.met.queueDepth.Inc()
 	m.queue <- id
 	return id, nil
 }
@@ -247,6 +290,8 @@ func (m *Manager) worker() {
 		tr.result.Status = Running
 		job := tr.result.Job
 		m.mu.Unlock()
+		m.met.queueDepth.Dec()
+		m.met.running.Inc()
 
 		start := time.Now()
 		checksum, attempts, err := m.execute(job)
@@ -260,7 +305,15 @@ func (m *Manager) worker() {
 		} else {
 			tr.result.Status = Succeeded
 		}
+		status := tr.result.Status
 		m.mu.Unlock()
+		m.met.running.Dec()
+		m.met.durations.Observe(time.Since(start).Seconds())
+		if m.hub != nil {
+			m.hub.Counter("xferman_jobs_completed_total",
+				"Jobs finished, by final status.",
+				telemetry.L("status", status.String())).Inc()
+		}
 		close(tr.done)
 	}
 }
@@ -269,16 +322,22 @@ func (m *Manager) worker() {
 // channels (a failed transfer may have poisoned the old ones).
 func (m *Manager) execute(job Job) (checksum string, attempts int, err error) {
 	for attempts = 1; attempts <= job.MaxAttempts; attempts++ {
-		checksum, err = attempt(job)
+		checksum, err = m.attempt(job)
 		if err == nil {
 			return checksum, attempts, nil
+		}
+		if attempts < job.MaxAttempts {
+			m.met.retries.Inc()
 		}
 	}
 	return "", attempts - 1, err
 }
 
-func attempt(job Job) (string, error) {
+func (m *Manager) attempt(job Job) (string, error) {
 	opts := job.dialOpts()
+	if m.hub != nil {
+		opts = append(opts, gridftp.WithTelemetry(m.hub))
+	}
 	src, err := gridftp.Dial(job.Src.Addr, opts...)
 	if err != nil {
 		return "", fmt.Errorf("dial src: %w", err)
