@@ -2,26 +2,50 @@ GO ?= go
 
 # Packages exercised by the concurrency-sensitive paths (parallel exhibit
 # runner, memoized workloads, allocator scratch state) plus the live
-# transfer engine, its fault-injection harness, and the telemetry layer,
-# whose tests scrape the registry while the data path mutates it.
+# transfer engine, its fault-injection harness, the telemetry layer
+# (whose tests scrape the registry while the data path mutates it), and
+# the hybrid control plane: the pooled vc client, the session broker,
+# and the xferman pool that dispatches through them.
 RACE_PKGS = ./internal/netsim ./internal/experiments ./internal/sessions \
-	./internal/gridftp/... ./internal/faultnet/... ./internal/telemetry
+	./internal/gridftp/... ./internal/faultnet/... ./internal/telemetry \
+	./internal/vc/... ./internal/xferman
 
-.PHONY: check vet race bench all
+.PHONY: check vet vet-ctx race bench all
 
 all: check
 
-# Tier-1 verify: the whole module must build, every test pass, vet stay
-# clean, and the transfer engine's fault matrix plus the telemetry
-# registry run under the race detector.
+# Tier-1 verify: the whole module must build, every test pass, vet (and
+# the context-plumbing lint) stay clean, and the transfer engine's fault
+# matrix, the telemetry registry, and the hybrid control plane run under
+# the race detector.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(MAKE) vet-ctx
 	$(GO) test ./...
-	$(GO) test -race -count=1 ./internal/gridftp/... ./internal/faultnet/... ./internal/telemetry
+	$(GO) test -race -count=1 ./internal/gridftp/... ./internal/faultnet/... \
+		./internal/telemetry ./internal/vc/... ./internal/xferman
 
 vet:
 	$(GO) vet ./...
+
+# Context-plumbing lint: every exported blocking method on the hybrid
+# control plane's core types (vc.Client, broker.Broker, xferman.Manager)
+# must take a context.Context first, so no caller can be left without a
+# cancellation path. Accessors and teardown that never touch the network
+# are exempt by name.
+CTX_EXEMPT = Addr|ProtocolVersion|Close|Disposition|End|Sessions|String|Result
+vet-ctx:
+	@bad=$$(grep -nE '^func \([A-Za-z] \*(Client|Broker|Manager|Lease)\) [A-Z][A-Za-z]*\(' \
+		internal/vc/*.go internal/vc/broker/*.go internal/xferman/*.go \
+		| grep -v '_test.go:' \
+		| grep -vE '\(ctx context\.Context' \
+		| grep -vE '\) ($(CTX_EXEMPT))\('); \
+	if [ -n "$$bad" ]; then \
+		echo "$$bad"; \
+		echo "vet-ctx: exported blocking methods must take a context.Context first parameter"; \
+		exit 1; \
+	fi
 
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)

@@ -2,19 +2,30 @@
 // third-party GridFTP transfers (server to server, like Globus Online
 // jobs) to the xferman worker pool, with retries and CRC32 verification.
 //
+// With -oscars it becomes the paper's hybrid dispatcher: jobs are
+// grouped into sessions by the -gap parameter and offered to a circuit
+// broker, which reserves a virtual circuit from oscarsd for sessions
+// long enough to amortize the VC setup delay and leaves everything else
+// on best-effort IP. Each result line then reports the dispatch verdict.
+//
 // Usage:
 //
 //	gftpxfer -src 127.0.0.1:2811 -dst 127.0.0.1:2812 \
 //	         -files run1/a.nc,run1/b.nc -workers 3 -verify
+//	gftpxfer -src ... -dst ... -all / -oscars 127.0.0.1:5814 -gap 60s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gftpvc/internal/telemetry"
+	"gftpvc/internal/vc"
+	"gftpvc/internal/vc/broker"
 	"gftpvc/internal/xferman"
 )
 
@@ -32,15 +43,23 @@ func main() {
 		pass     = flag.String("pass", "gftpxfer@", "password for both servers")
 		timeout  = flag.Duration("timeout", 0, "per-operation control/data I/O deadline (0: gridftp default, 30s)")
 		metrics  = flag.String("metrics-addr", "", "telemetry HTTP listen address serving /metrics, /spans, /counters, /healthz (optional)")
+
+		oscars  = flag.String("oscars", "", "oscarsd reservation daemon address; enables hybrid VC/IP dispatch (optional)")
+		gap     = flag.Duration("gap", 60*time.Second, "session gap parameter g: back-to-back jobs closer than this share one session/circuit")
+		setup   = flag.Duration("vc-setup", time.Minute, "assumed VC setup delay a session must amortize")
+		srcNode = flag.String("vc-src-node", "nersc-ornl-dtn-src", "topology node the -src endpoint maps to")
+		dstNode = flag.String("vc-dst-node", "nersc-ornl-dtn-dst", "topology node the -dst endpoint maps to")
 	)
 	flag.Parse()
 	if *srcAddr == "" || *dstAddr == "" || (*files == "" && *all == "") {
 		fmt.Fprintln(os.Stderr, "gftpxfer: -src, -dst and one of -files/-all are required")
 		os.Exit(2)
 	}
+	ctx := context.Background()
 	var opts []xferman.Option
+	var hub *telemetry.Hub
 	if *metrics != "" {
-		hub := telemetry.NewHub()
+		hub = telemetry.NewHub()
 		ms, err := hub.ListenAndServe(*metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gftpxfer: metrics: %v\n", err)
@@ -49,6 +68,29 @@ func main() {
 		defer ms.Close()
 		opts = append(opts, xferman.WithTelemetry(hub))
 		fmt.Fprintf(os.Stderr, "gftpxfer: telemetry on http://%s/metrics\n", ms.Addr())
+	}
+	hybrid := *oscars != ""
+	if hybrid {
+		client, err := vc.Dial(ctx, *oscars, vc.WithTelemetry(hub))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gftpxfer: oscars: %v\n", err)
+			os.Exit(1)
+		}
+		defer client.Close()
+		bk, err := broker.New(client, broker.Config{
+			Gap:        *gap,
+			SetupDelay: *setup,
+			Route:      broker.StaticRoute(*srcNode, *dstNode),
+			Telemetry:  hub,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gftpxfer: broker: %v\n", err)
+			os.Exit(1)
+		}
+		defer bk.Close()
+		opts = append(opts, xferman.WithBroker(bk))
+		fmt.Fprintf(os.Stderr, "gftpxfer: hybrid dispatch via %s (protocol v%d, gap %v)\n",
+			*oscars, client.ProtocolVersion(), *gap)
 	}
 	m, err := xferman.New(*workers, opts...)
 	if err != nil {
@@ -65,7 +107,7 @@ func main() {
 		if listPrefix == "/" {
 			listPrefix = ""
 		}
-		ids, err = m.SubmitAll(srcEP, dstEP, listPrefix, tmpl)
+		ids, err = m.SubmitAll(ctx, srcEP, dstEP, listPrefix, tmpl)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gftpxfer: %v\n", err)
 			os.Exit(1)
@@ -79,7 +121,7 @@ func main() {
 		job := tmpl
 		job.Src, job.Dst = srcEP, dstEP
 		job.SrcName, job.DstName = name, *prefix+name
-		id, err := m.Submit(job)
+		id, err := m.Submit(ctx, job)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gftpxfer: submit %s: %v\n", name, err)
 			os.Exit(1)
@@ -88,7 +130,7 @@ func main() {
 	}
 	failed := 0
 	for _, id := range ids {
-		res, err := m.Wait(id)
+		res, err := m.Wait(ctx, id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gftpxfer: %v\n", err)
 			os.Exit(1)
@@ -99,9 +141,9 @@ func main() {
 			if sum == "" {
 				sum = "-"
 			}
-			fmt.Printf("ok   %-30s -> %-30s attempts=%d crc32=%s %v\n",
+			fmt.Printf("ok   %-30s -> %-30s attempts=%d crc32=%s %v%s\n",
 				res.Job.SrcName, res.Job.DstName, res.Attempts, sum,
-				res.Duration.Round(1e6))
+				res.Duration.Round(1e6), via(hybrid, res))
 		default:
 			failed++
 			fmt.Printf("FAIL %-30s -> %-30s attempts=%d: %s\n",
@@ -111,4 +153,20 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// via renders the dispatch disposition suffix for hybrid runs; without
+// -oscars the output stays byte-identical to the IP-only tool.
+func via(hybrid bool, res xferman.Result) string {
+	if !hybrid {
+		return ""
+	}
+	d := res.Circuit
+	if d.Service == broker.ServiceVC {
+		return fmt.Sprintf(" via=vc circuit=%d setup=%v", d.CircuitID, d.SetupWait.Round(1e6))
+	}
+	if d.Fallback != "" {
+		return " via=ip fallback=" + strings.Fields(d.Fallback)[0]
+	}
+	return " via=ip"
 }

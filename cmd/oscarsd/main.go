@@ -9,10 +9,29 @@
 //
 //	{"op":"reserve","src":"...","dst":"...","rate_bps":1e9,"start":0,"end":600}
 //	  -> {"ok":true,"id":1,"path":["a->b","b->c"],"src":"...","dst":"..."}
-//	{"op":"cancel","id":1}        -> {"ok":true}
+//	{"op":"modify","id":1,"rate_bps":2e9,"start":0,"end":900}
+//	  -> {"ok":true,"id":1,"path":[...]} (atomic re-book; the old booking
+//	     survives on rejection)
+//	{"op":"cancel","id":1}        -> {"ok":true,"id":1}
 //	{"op":"available","src":"...","dst":"...","rate_bps":1e9,"start":0,"end":600}
 //	  -> {"ok":true,"path":[...]} or {"ok":false,"error":"..."}
-//	{"op":"topology"}             -> {"ok":true,"nodes":[...]}
+//	{"op":"topology"}             -> {"ok":true,"nodes":[...],"now":12.5}
+//	{"op":"hello","ver":1}        -> {"ok":true,"ver":1,"now":12.5}
+//
+// The hello op negotiates the protocol version: clients send the highest
+// version they speak and the server answers with the highest it will
+// serve (currently 1). Seed-era servers reject hello as an unknown op,
+// which clients interpret as version 0; all other requests and replies
+// are identical across versions, so the protocol is wire-compatible in
+// both directions. Failure responses carry a machine-readable "code"
+// field ("bad-request", "no-path", "rejected", "unknown-circuit",
+// "unknown-op", "malformed") alongside the human-readable "error"
+// message; version-0 peers simply ignore it. Unknown ops always get a
+// structured {"ok":false,"code":"unknown-op",...} reply rather than a
+// dropped connection.
+//
+// internal/vc wraps this wire protocol in a typed Go client, and
+// cmd/vcreq is the command-line front end.
 //
 // Usage:
 //

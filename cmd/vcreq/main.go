@@ -1,7 +1,9 @@
 // Command vcreq is the client for the oscarsd reservation service: it
-// requests, probes, and cancels virtual circuits over the line-JSON
-// protocol, playing the role of the data-transfer application that asks
-// the IDC for a circuit before starting a GridFTP session.
+// requests, probes, and cancels virtual circuits, playing the role of
+// the data-transfer application that asks the IDC for a circuit before
+// starting a GridFTP session. It speaks the typed internal/vc client
+// API, negotiating the protocol version on connect and interoperating
+// with both current and seed-era daemons.
 //
 // Usage:
 //
@@ -12,76 +14,115 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"net"
+	"io"
 	"os"
 	"strings"
 
-	"gftpvc/internal/oscarsd"
+	"gftpvc/internal/vc"
 )
 
 func main() {
-	var (
-		addr  = flag.String("addr", "127.0.0.1:7654", "oscarsd address")
-		op    = flag.String("op", "topology", "operation: reserve | modify | cancel | available | topology")
-		src   = flag.String("src", "", "source node")
-		dst   = flag.String("dst", "", "destination node")
-		rate  = flag.Float64("rate", 0, "rate in bits/second")
-		start = flag.Float64("start", 0, "start time (service seconds)")
-		end   = flag.Float64("end", 0, "end time (service seconds)")
-		id    = flag.Int64("id", 0, "circuit id (for cancel)")
-	)
-	flag.Parse()
-	req := oscarsd.Request{
-		Op: *op, Src: *src, Dst: *dst,
-		RateBps: *rate, Start: *start, End: *end, ID: *id,
-	}
-	resp, err := roundTrip(*addr, req)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "vcreq: %v\n", err)
-		os.Exit(1)
-	}
-	if !resp.OK {
-		fmt.Fprintf(os.Stderr, "vcreq: request failed: %s\n", resp.Error)
-		os.Exit(1)
-	}
-	switch *op {
-	case "reserve":
-		fmt.Printf("circuit %d admitted: %s\n", resp.ID, strings.Join(resp.Path, " "))
-	case "modify":
-		fmt.Printf("circuit %d modified: %s\n", resp.ID, strings.Join(resp.Path, " "))
-	case "available":
-		fmt.Printf("feasible path: %s\n", strings.Join(resp.Path, " "))
-	case "cancel":
-		fmt.Printf("circuit %d cancelled\n", resp.ID)
-	case "topology":
-		fmt.Printf("service clock: %.1fs\nnodes:\n", resp.Now)
-		for _, n := range resp.Nodes {
-			fmt.Println("  " + n)
-		}
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func roundTrip(addr string, req oscarsd.Request) (oscarsd.Response, error) {
-	var resp oscarsd.Response
-	conn, err := net.Dial("tcp", addr)
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := newFlags(args, stderr)
+	if fs == nil {
+		return 2
+	}
+	ctx := context.Background()
+	client, err := vc.Dial(ctx, fs.addr)
 	if err != nil {
-		return resp, err
+		return fail(stderr, err)
 	}
-	defer conn.Close()
-	data, err := json.Marshal(req)
-	if err != nil {
-		return resp, err
+	defer client.Close()
+
+	ask := vc.ReserveRequest{
+		Src: fs.src, Dst: fs.dst,
+		RateBps: fs.rate, Start: fs.start, End: fs.end,
 	}
-	if _, err := conn.Write(append(data, '\n')); err != nil {
-		return resp, err
+	switch fs.op {
+	case "reserve":
+		res, err := client.Reserve(ctx, ask)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "circuit %d admitted: %s\n", res.ID, strings.Join(res.Path, " "))
+	case "modify":
+		res, err := client.Modify(ctx, vc.ModifyRequest{
+			ID: fs.id, RateBps: fs.rate, Start: fs.start, End: fs.end,
+		})
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "circuit %d modified: %s\n", res.ID, strings.Join(res.Path, " "))
+	case "available":
+		path, err := client.Available(ctx, ask)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "feasible path: %s\n", strings.Join(path, " "))
+	case "cancel":
+		if err := client.Cancel(ctx, fs.id); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "circuit %d cancelled\n", fs.id)
+	case "topology":
+		top, err := client.Topology(ctx)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "service clock: %.1fs\nnodes:\n", top.Now)
+		for _, n := range top.Nodes {
+			fmt.Fprintln(stdout, "  "+n)
+		}
+	default:
+		// The daemon would refuse this op; report the same message it
+		// would send without burning a round trip.
+		fmt.Fprintf(stderr, "vcreq: request failed: unknown op %q\n", fs.op)
+		return 1
 	}
-	line, err := bufio.NewReader(conn).ReadBytes('\n')
-	if err != nil {
-		return resp, err
+	return 0
+}
+
+// fail renders an error exactly as the original line-protocol client
+// did: server rejections as "request failed: <daemon message>",
+// transport problems verbatim.
+func fail(stderr io.Writer, err error) int {
+	var se *vc.ServerError
+	if errors.As(err, &se) {
+		fmt.Fprintf(stderr, "vcreq: request failed: %s\n", se.Msg)
+	} else {
+		fmt.Fprintf(stderr, "vcreq: %v\n", err)
 	}
-	return resp, json.Unmarshal(line, &resp)
+	return 1
+}
+
+type flags struct {
+	addr, op, src, dst string
+	rate, start, end   float64
+	id                 int64
+}
+
+func newFlags(args []string, stderr io.Writer) *flags {
+	var f flags
+	fs := flag.NewFlagSet("vcreq", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&f.addr, "addr", "127.0.0.1:7654", "oscarsd address")
+	fs.StringVar(&f.op, "op", "topology", "operation: reserve | modify | cancel | available | topology")
+	fs.StringVar(&f.src, "src", "", "source node")
+	fs.StringVar(&f.dst, "dst", "", "destination node")
+	fs.Float64Var(&f.rate, "rate", 0, "rate in bits/second")
+	fs.Float64Var(&f.start, "start", 0, "start time (service seconds)")
+	fs.Float64Var(&f.end, "end", 0, "end time (service seconds)")
+	fs.Int64Var(&f.id, "id", 0, "circuit id (for cancel)")
+	if err := fs.Parse(args); err != nil {
+		return nil
+	}
+	return &f
 }

@@ -20,6 +20,56 @@ import (
 	"gftpvc/internal/topo"
 )
 
+// Protocol operations. Clients put one of these in Request.Op; the
+// dispatch switch is bounded by this set and replies to anything else
+// with a CodeUnknownOp structured error. The internal/vc client shares
+// these constants, so server and client cannot drift apart on spelling.
+const (
+	OpReserve   = "reserve"
+	OpModify    = "modify"
+	OpCancel    = "cancel"
+	OpAvailable = "available"
+	OpTopology  = "topology"
+	// OpHello negotiates the protocol revision: the client sends the
+	// highest version it speaks in Request.Ver, the server answers with
+	// min(client, server) in Response.Ver. Seed-era servers predate the
+	// op and answer with an unknown-op error, which clients treat as
+	// version 0 (the original, code-less protocol) — negotiation is
+	// therefore wire-compatible in both directions.
+	OpHello = "hello"
+)
+
+// ProtocolVersion is the highest protocol revision this daemon speaks.
+// Version 1 adds OpHello and the machine-readable Response.Code field;
+// the five operation payloads are unchanged from version 0.
+const ProtocolVersion = 1
+
+// Machine-readable error codes carried in Response.Code (protocol >= 1).
+// Version-0 clients ignore the field; version-0 servers never set it.
+const (
+	// CodeBadRequest: the request failed validation before touching the
+	// ledger (missing rate, inverted window, start in the past).
+	CodeBadRequest = "bad-request"
+	// CodeNoPath: no path between the endpoints has the requested
+	// bandwidth over the requested window — the admission reject the
+	// hybrid dispatcher falls back to best-effort IP on.
+	CodeNoPath = "no-path"
+	// CodeRejected: the ledger refused the booking (lost an admission
+	// race, or a modify could not be re-booked).
+	CodeRejected = "rejected"
+	// CodeUnknownCircuit: cancel/modify named a circuit this daemon is
+	// not holding.
+	CodeUnknownCircuit = "unknown-circuit"
+	// CodeUnknownOp: Request.Op is not one of the Op constants.
+	CodeUnknownOp = "unknown-op"
+	// CodeMalformed: the request line was not valid JSON.
+	CodeMalformed = "malformed"
+)
+
+// ErrUnknownScenario is returned by Start for a Config.Scenario outside
+// the reference set; errors.Is-comparable.
+var ErrUnknownScenario = errors.New("oscarsd: unknown scenario")
+
 // Config configures the daemon.
 type Config struct {
 	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral port).
@@ -35,7 +85,8 @@ type Config struct {
 	Telemetry *telemetry.Hub
 }
 
-// Request is one protocol message.
+// Request is one protocol message. Op should be one of the Op
+// constants; the remaining fields are per-operation payload.
 type Request struct {
 	Op      string  `json:"op"`
 	Src     string  `json:"src,omitempty"`
@@ -44,6 +95,9 @@ type Request struct {
 	Start   float64 `json:"start,omitempty"`
 	End     float64 `json:"end,omitempty"`
 	ID      int64   `json:"id,omitempty"`
+	// Ver is the highest protocol version the sender speaks; only
+	// meaningful with OpHello (absent otherwise).
+	Ver int `json:"ver,omitempty"`
 }
 
 // Response is the reply to a Request.
@@ -56,6 +110,17 @@ type Response struct {
 	Dst   string   `json:"dst,omitempty"`
 	Nodes []string `json:"nodes,omitempty"`
 	Now   float64  `json:"now,omitempty"`
+	// Code is the machine-readable error class (Code* constants),
+	// set alongside Error on protocol >= 1 failures.
+	Code string `json:"code,omitempty"`
+	// Ver is the negotiated protocol version in an OpHello reply.
+	Ver int `json:"ver,omitempty"`
+}
+
+// fail builds an error response carrying both the human-readable line
+// (version-0 clients read only this) and the structured code.
+func fail(code, msg string) Response {
+	return Response{Error: msg, Code: code}
 }
 
 // Server is a running daemon.
@@ -94,7 +159,7 @@ func (s *Server) countOp(op string) {
 		return
 	}
 	switch op {
-	case "reserve", "cancel", "modify", "available", "topology":
+	case OpReserve, OpCancel, OpModify, OpAvailable, OpTopology, OpHello:
 	default:
 		op = "other"
 	}
@@ -137,7 +202,7 @@ func scenarioTopo(name string) (*topo.Scenario, error) {
 	case "slac-bnl":
 		return topo.SLACBNL(), nil
 	default:
-		return nil, fmt.Errorf("oscarsd: unknown scenario %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownScenario, name)
 	}
 }
 
@@ -249,7 +314,7 @@ func (s *Server) handle(conn net.Conn) {
 		var req Request
 		var resp Response
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			resp = Response{Error: "malformed request: " + err.Error()}
+			resp = fail(CodeMalformed, "malformed request: "+err.Error())
 		} else {
 			resp = s.dispatch(req)
 		}
@@ -262,23 +327,29 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) dispatch(req Request) Response {
 	s.countOp(req.Op)
 	switch req.Op {
-	case "reserve":
+	case OpReserve:
 		return s.reserve(req)
-	case "cancel":
+	case OpCancel:
 		return s.cancel(req)
-	case "modify":
+	case OpModify:
 		return s.modify(req)
-	case "available":
+	case OpAvailable:
 		return s.available(req)
-	case "topology":
+	case OpTopology:
 		nodes := s.tp.Nodes()
 		names := make([]string, len(nodes))
 		for i, n := range nodes {
 			names[i] = string(n)
 		}
 		return Response{OK: true, Nodes: names, Now: float64(s.now())}
+	case OpHello:
+		ver := req.Ver
+		if ver <= 0 || ver > ProtocolVersion {
+			ver = ProtocolVersion
+		}
+		return Response{OK: true, Ver: ver, Now: float64(s.now())}
 	default:
-		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+		return fail(CodeUnknownOp, fmt.Sprintf("unknown op %q", req.Op))
 	}
 }
 
@@ -290,26 +361,33 @@ func pathNames(p topo.Path) []string {
 	return out
 }
 
-func (s *Server) findPath(req Request) (topo.Path, error) {
+// findPath validates the request window and computes a feasible path;
+// the returned code classifies failures (CodeBadRequest for validation,
+// CodeNoPath for admission).
+func (s *Server) findPath(req Request) (topo.Path, string, error) {
 	if req.RateBps <= 0 {
-		return nil, errors.New("rate_bps must be positive")
+		return nil, CodeBadRequest, errors.New("rate_bps must be positive")
 	}
 	if req.End <= req.Start {
-		return nil, errors.New("end must follow start")
+		return nil, CodeBadRequest, errors.New("end must follow start")
 	}
 	if float64(s.now()) > req.Start {
-		return nil, errors.New("start is in the past")
+		return nil, CodeBadRequest, errors.New("start is in the past")
 	}
-	return s.ledger.PathWithBandwidth(
+	path, err := s.ledger.PathWithBandwidth(
 		topo.NodeID(req.Src), topo.NodeID(req.Dst),
 		req.RateBps, simclock.Time(req.Start), simclock.Time(req.End))
+	if err != nil {
+		return nil, CodeNoPath, err
+	}
+	return path, "", nil
 }
 
 func (s *Server) reserve(req Request) Response {
-	path, err := s.findPath(req)
+	path, code, err := s.findPath(req)
 	if err != nil {
 		s.met.rejected.Inc()
-		return Response{Error: err.Error()}
+		return fail(code, err.Error())
 	}
 	s.mu.Lock()
 	s.nextID++
@@ -325,7 +403,7 @@ func (s *Server) reserve(req Request) Response {
 		delete(s.held, id)
 		s.mu.Unlock()
 		s.met.rejected.Inc()
-		return Response{Error: err.Error()}
+		return fail(CodeRejected, err.Error())
 	}
 	s.met.admitted.Inc()
 	return Response{OK: true, ID: int64(id), Path: pathNames(path), Src: req.Src, Dst: req.Dst}
@@ -338,7 +416,7 @@ func (s *Server) cancel(req Request) Response {
 	delete(s.held, id)
 	s.mu.Unlock()
 	if !known {
-		return Response{Error: fmt.Sprintf("unknown circuit %d", req.ID)}
+		return fail(CodeUnknownCircuit, fmt.Sprintf("unknown circuit %d", req.ID))
 	}
 	s.ledger.Release(id)
 	s.met.cancelled.Inc()
@@ -354,10 +432,10 @@ func (s *Server) modify(req Request) Response {
 	defer s.mu.Unlock()
 	old, known := s.held[id]
 	if !known {
-		return Response{Error: fmt.Sprintf("unknown circuit %d", req.ID)}
+		return fail(CodeUnknownCircuit, fmt.Sprintf("unknown circuit %d", req.ID))
 	}
 	if req.RateBps <= 0 || req.End <= req.Start {
-		return Response{Error: "modify needs rate_bps and a valid window"}
+		return fail(CodeBadRequest, "modify needs rate_bps and a valid window")
 	}
 	s.ledger.Release(id)
 	path, err := s.ledger.PathWithBandwidth(
@@ -371,9 +449,9 @@ func (s *Server) modify(req Request) Response {
 		s.countModify(false)
 		// Restore; the old booking fit before, so it fits again.
 		if rbErr := s.ledger.Reserve(old.path, old.rateBps, old.start, old.end, id); rbErr != nil {
-			return Response{Error: fmt.Sprintf("modify failed (%v) and rollback failed (%v)", err, rbErr)}
+			return fail(CodeRejected, fmt.Sprintf("modify failed (%v) and rollback failed (%v)", err, rbErr))
 		}
-		return Response{Error: "modify rejected: " + err.Error()}
+		return fail(CodeRejected, "modify rejected: "+err.Error())
 	}
 	s.countModify(true)
 	s.held[id] = holding{
@@ -384,9 +462,9 @@ func (s *Server) modify(req Request) Response {
 }
 
 func (s *Server) available(req Request) Response {
-	path, err := s.findPath(req)
+	path, code, err := s.findPath(req)
 	if err != nil {
-		return Response{Error: err.Error()}
+		return fail(code, err.Error())
 	}
 	return Response{OK: true, Path: pathNames(path)}
 }

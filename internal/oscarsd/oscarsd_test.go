@@ -3,6 +3,7 @@ package oscarsd
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"net"
 	"testing"
 )
@@ -58,8 +59,8 @@ func startServer(t *testing.T) *Server {
 }
 
 func TestStartValidation(t *testing.T) {
-	if _, err := Start(Config{Addr: "127.0.0.1:0", Scenario: "mars-venus", ReservableFraction: 0.5}); err == nil {
-		t.Error("unknown scenario should fail")
+	if _, err := Start(Config{Addr: "127.0.0.1:0", Scenario: "mars-venus", ReservableFraction: 0.5}); !errors.Is(err, ErrUnknownScenario) {
+		t.Errorf("unknown scenario: got %v, want ErrUnknownScenario", err)
 	}
 	if _, err := Start(Config{Addr: "127.0.0.1:0", Scenario: "nersc-ornl", ReservableFraction: 0}); err == nil {
 		t.Error("zero reservable fraction should fail")
@@ -203,6 +204,60 @@ func TestValidationErrors(t *testing.T) {
 	}
 }
 
+func TestHelloNegotiation(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv.Addr())
+	// A current client asks for the server's version.
+	if r := c.roundTrip(t, Request{Op: OpHello, Ver: ProtocolVersion}); !r.OK || r.Ver != ProtocolVersion {
+		t.Fatalf("hello: %+v, want OK with ver %d", r, ProtocolVersion)
+	}
+	// A future client speaking a higher revision is held to ours.
+	if r := c.roundTrip(t, Request{Op: OpHello, Ver: ProtocolVersion + 7}); !r.OK || r.Ver != ProtocolVersion {
+		t.Fatalf("future hello: %+v, want ver %d", r, ProtocolVersion)
+	}
+	// A hello with no version (or zero) also gets the server's best.
+	if r := c.roundTrip(t, Request{Op: OpHello}); !r.OK || r.Ver != ProtocolVersion {
+		t.Fatalf("bare hello: %+v, want ver %d", r, ProtocolVersion)
+	}
+	// The connection remains usable for real operations afterwards.
+	if r := c.roundTrip(t, Request{Op: OpTopology}); !r.OK {
+		t.Fatalf("topology after hello: %+v", r)
+	}
+}
+
+func TestStructuredErrorCodes(t *testing.T) {
+	srv := startServer(t)
+	c := dial(t, srv.Addr())
+	cases := []struct {
+		req  Request
+		code string
+	}{
+		{Request{Op: "frobnicate"}, CodeUnknownOp},
+		{Request{Op: OpReserve, Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+			RateBps: 0, Start: 10, End: 20}, CodeBadRequest},
+		{Request{Op: OpReserve, Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+			RateBps: 1e9, Start: 20, End: 10}, CodeBadRequest},
+		{Request{Op: OpReserve, Src: "nope", Dst: "nersc-ornl-dtn-dst",
+			RateBps: 1e9, Start: 1000, End: 1010}, CodeNoPath},
+		{Request{Op: OpReserve, Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+			RateBps: 99e9, Start: 1000, End: 1010}, CodeNoPath},
+		{Request{Op: OpCancel, ID: 999}, CodeUnknownCircuit},
+		{Request{Op: OpModify, ID: 999, RateBps: 1e9, Start: 0, End: 1}, CodeUnknownCircuit},
+	}
+	for i, tc := range cases {
+		resp := c.roundTrip(t, tc.req)
+		if resp.OK || resp.Code != tc.code || resp.Error == "" {
+			t.Errorf("case %d: %+v, want code %q with message", i, resp, tc.code)
+		}
+	}
+	// Successful replies never carry a code.
+	if r := c.roundTrip(t, Request{Op: OpAvailable,
+		Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+		RateBps: 1e9, Start: 10, End: 20}); !r.OK || r.Code != "" {
+		t.Fatalf("available: %+v, want OK without code", r)
+	}
+}
+
 func TestMalformedLine(t *testing.T) {
 	srv := startServer(t)
 	c := dial(t, srv.Addr())
@@ -217,8 +272,8 @@ func TestMalformedLine(t *testing.T) {
 	if err := json.Unmarshal(line, &resp); err != nil {
 		t.Fatal(err)
 	}
-	if resp.OK || resp.Error == "" {
-		t.Fatalf("malformed line should error: %+v", resp)
+	if resp.OK || resp.Error == "" || resp.Code != CodeMalformed {
+		t.Fatalf("malformed line should error with code %q: %+v", CodeMalformed, resp)
 	}
 }
 

@@ -2,6 +2,7 @@ package telemetry_test
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"io"
 	"net"
@@ -9,10 +10,13 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"gftpvc/internal/gridftp"
 	"gftpvc/internal/oscarsd"
 	"gftpvc/internal/telemetry"
+	"gftpvc/internal/vc"
+	"gftpvc/internal/vc/broker"
 	"gftpvc/internal/xferman"
 )
 
@@ -58,24 +62,6 @@ func TestStackMetricsLint(t *testing.T) {
 	}
 	c.Close()
 
-	// xferman path: one managed third-party job through the pool.
-	m, err := xferman.New(1, xferman.WithTelemetry(hub))
-	if err != nil {
-		t.Fatal(err)
-	}
-	id, err := m.Submit(xferman.Job{
-		Src:     xferman.Endpoint{Addr: src.Addr(), User: "u", Pass: "p"},
-		Dst:     xferman.Endpoint{Addr: dst.Addr(), User: "u", Pass: "p"},
-		SrcName: "obj.bin", DstName: "copy.bin",
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res, err := m.Wait(id); err != nil || res.Status != xferman.Succeeded {
-		t.Fatalf("job result %+v, err %v", res, err)
-	}
-	m.Close()
-
 	// oscarsd path: admit, reject, and cancel a reservation.
 	osrv, err := oscarsd.Start(oscarsd.Config{
 		Addr: "127.0.0.1:0", Scenario: "nersc-ornl",
@@ -85,6 +71,49 @@ func TestStackMetricsLint(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { osrv.Close() })
+
+	// Hybrid control plane: a vc client + session broker on the same
+	// hub, brokering the xferman job below onto a reserved circuit.
+	vcc, err := vc.Dial(context.Background(), osrv.Addr(), vc.WithTelemetry(hub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { vcc.Close() })
+	bk, err := broker.New(vcc, broker.Config{
+		Gap:        100 * time.Millisecond,
+		SetupDelay: 10 * time.Millisecond,
+		Route:      broker.StaticRoute("nersc-ornl-dtn-src", "nersc-ornl-dtn-dst"),
+		Telemetry:  hub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// xferman path: one managed third-party job through the pool,
+	// dispatched through the broker (the 1 GiB hint qualifies the
+	// session for a circuit; the object itself is small).
+	m, err := xferman.New(1, xferman.WithTelemetry(hub), xferman.WithBroker(bk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.Submit(context.Background(), xferman.Job{
+		Src:     xferman.Endpoint{Addr: src.Addr(), User: "u", Pass: "p"},
+		Dst:     xferman.Endpoint{Addr: dst.Addr(), User: "u", Pass: "p"},
+		SrcName: "obj.bin", DstName: "copy.bin",
+		SizeHint: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Wait(context.Background(), id)
+	if err != nil || res.Status != xferman.Succeeded {
+		t.Fatalf("job result %+v, err %v", res, err)
+	}
+	if res.Circuit.Service != broker.ServiceVC {
+		t.Fatalf("brokered job disposition %+v, want VC", res.Circuit)
+	}
+	m.Close()
+	bk.Close()
 	oc, err := net.Dial("tcp", osrv.Addr())
 	if err != nil {
 		t.Fatal(err)
@@ -107,18 +136,18 @@ func TestStackMetricsLint(t *testing.T) {
 		}
 		return resp
 	}
-	admit := roundTrip(oscarsd.Request{Op: "reserve",
+	admit := roundTrip(oscarsd.Request{Op: oscarsd.OpReserve,
 		Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
 		RateBps: 1e9, Start: 100, End: 200})
 	if !admit.OK {
 		t.Fatalf("reserve rejected: %+v", admit)
 	}
-	if rej := roundTrip(oscarsd.Request{Op: "reserve",
+	if rej := roundTrip(oscarsd.Request{Op: oscarsd.OpReserve,
 		Src: "nope", Dst: "nersc-ornl-dtn-dst",
 		RateBps: 1e9, Start: 100, End: 200}); rej.OK {
 		t.Fatal("reserve of unknown node admitted")
 	}
-	if cancel := roundTrip(oscarsd.Request{Op: "cancel", ID: admit.ID}); !cancel.OK {
+	if cancel := roundTrip(oscarsd.Request{Op: oscarsd.OpCancel, ID: admit.ID}); !cancel.OK {
 		t.Fatalf("cancel failed: %+v", cancel)
 	}
 
@@ -171,7 +200,8 @@ func TestStackMetricsLint(t *testing.T) {
 				t.Errorf("gauge %q must not end in _total", name)
 			}
 		case "histogram":
-			if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+			if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") &&
+				!strings.HasSuffix(name, "_ratio") {
 				t.Errorf("histogram %q should carry a unit suffix", name)
 			}
 		default:
@@ -179,8 +209,9 @@ func TestStackMetricsLint(t *testing.T) {
 		}
 	}
 
-	// The stack must cover all four subsystems.
-	for _, prefix := range []string{"gridftp_server_", "gridftp_client_", "xferman_", "oscarsd_"} {
+	// The stack must cover every subsystem, hybrid control plane included.
+	for _, prefix := range []string{"gridftp_server_", "gridftp_client_",
+		"xferman_", "oscarsd_", "vc_client_", "vc_broker_"} {
 		found := false
 		for name := range types {
 			if strings.HasPrefix(name, prefix) {

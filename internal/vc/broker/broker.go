@@ -1,0 +1,637 @@
+// Package broker is the session-aware circuit broker of the hybrid
+// VC/IP control plane: it watches a transfer manager's job stream,
+// groups jobs into sessions with the paper's gap parameter g (the same
+// rule internal/sessions applies to usage logs), and brokers OSCARS
+// circuits for exactly the sessions long enough to amortize the ~1 min
+// VC setup delay — everything else stays on best-effort IP.
+//
+// Lifecycle per session: the first amortizing job triggers a Reserve
+// sized from the pair's recently observed throughput; while the session
+// stays hot, later jobs extend the hold with Modify; when the session
+// has been idle for g, the circuit is cancelled. Admission rejects and
+// daemon outages degrade the session to IP without failing any
+// transfer, and every decision is counted on the telemetry hub.
+//
+// The broker never blocks a transfer on the control plane for more
+// than Config.DecisionTimeout: a dead daemon costs one bounded RPC,
+// after which the session is pinned to IP and the next session retries
+// through the client's auto-reconnect.
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gftpvc/internal/core"
+	"gftpvc/internal/telemetry"
+	"gftpvc/internal/vc"
+)
+
+// Service is the transport service a job was dispatched onto.
+type Service string
+
+const (
+	// ServiceVC: the job ran inside a reserved rate-guaranteed circuit.
+	ServiceVC Service = "vc"
+	// ServiceIP: the job ran over best-effort IP routing.
+	ServiceIP Service = "ip"
+)
+
+// Disposition records how one job was dispatched; the transfer manager
+// copies it into the job's Result so operators can see VC vs IP per
+// transfer.
+type Disposition struct {
+	// Service is the dispatch verdict for this job.
+	Service Service
+	// CircuitID names the reserved circuit when Service is ServiceVC.
+	CircuitID int64
+	// SetupWait is the control-plane time this job spent waiting on
+	// reservation RPCs (zero when the session already held a circuit).
+	SetupWait time.Duration
+	// Fallback explains an IP verdict that wanted a circuit: an
+	// admission reject, a dead daemon, or a mid-session circuit loss.
+	// Empty when the session was simply too short to amortize setup.
+	Fallback string
+}
+
+// RouteMapper resolves transfer endpoints (host:port dial addresses)
+// to the reservation topology's node names. Returning ok=false keeps
+// the pair on IP service.
+type RouteMapper func(srcAddr, dstAddr string) (srcNode, dstNode string, ok bool)
+
+// StaticRoute maps every endpoint pair onto one fixed topology route —
+// the paper's deployment shape, where a broker fronts one DTN pair.
+func StaticRoute(srcNode, dstNode string) RouteMapper {
+	return func(_, _ string) (string, string, bool) {
+		return srcNode, dstNode, true
+	}
+}
+
+// Config parameterizes the broker.
+type Config struct {
+	// Gap is the paper's g parameter: a session closes (and its circuit
+	// is cancelled) once no job has been active for this long.
+	// Required.
+	Gap time.Duration
+	// SetupDelay is the assumed VC provisioning latency the session
+	// must amortize (default 1 minute, the deployed OSCARS figure).
+	SetupDelay time.Duration
+	// OverheadFactor is how many times the setup delay a session's
+	// predicted duration must reach before a circuit pays off (default
+	// 10, the paper's "one-tenth or less" rule).
+	OverheadFactor float64
+	// ReferenceThroughputBps seeds the throughput estimate for a pair
+	// with no observed transfers yet (default 800 Mbps, a Q3-like
+	// reference rate). Observed throughput replaces it as jobs finish.
+	ReferenceThroughputBps float64
+	// MinRateBps / MaxRateBps clamp the requested circuit rate (default
+	// 100 Mbps floor, no ceiling).
+	MinRateBps float64
+	MaxRateBps float64
+	// HoldSlack extends each circuit hold beyond the predicted need, so
+	// prediction error does not expire the booking mid-session (default
+	// 30s; the hold also always covers one Gap).
+	HoldSlack time.Duration
+	// DecisionTimeout bounds every control-plane RPC a job dispatch can
+	// wait on (default 3s). A caller context tighter than this wins.
+	DecisionTimeout time.Duration
+	// Route maps endpoint addresses to topology nodes; nil keeps every
+	// job on IP service.
+	Route RouteMapper
+	// Telemetry, when set, counts decisions (reserved, fallback,
+	// extended, cancelled, jobs by service) and records the
+	// amortization-ratio histogram.
+	Telemetry *telemetry.Hub
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Gap <= 0 {
+		return errors.New("broker: Gap must be positive")
+	}
+	if c.SetupDelay == 0 {
+		c.SetupDelay = time.Minute
+	}
+	if c.OverheadFactor == 0 {
+		c.OverheadFactor = 10
+	}
+	if c.ReferenceThroughputBps == 0 {
+		c.ReferenceThroughputBps = 800e6
+	}
+	if c.MinRateBps == 0 {
+		c.MinRateBps = 100e6
+	}
+	if c.HoldSlack == 0 {
+		c.HoldSlack = 30 * time.Second
+	}
+	if c.DecisionTimeout == 0 {
+		c.DecisionTimeout = 3 * time.Second
+	}
+	if c.SetupDelay < 0 || c.OverheadFactor < 0 || c.ReferenceThroughputBps < 0 ||
+		c.MinRateBps < 0 || c.MaxRateBps < 0 || c.HoldSlack < 0 || c.DecisionTimeout < 0 {
+		return errors.New("broker: negative config value")
+	}
+	return nil
+}
+
+// AmortizationBuckets are the histogram bounds for session duration
+// over setup delay: ratios at or above the overhead factor mean the
+// circuit decision paid off by the paper's rule.
+var AmortizationBuckets = []float64{0.5, 1, 2, 5, 10, 20, 50, 100}
+
+// pairKey identifies one session stream.
+type pairKey struct{ src, dst string }
+
+// session is one live run of back-to-back jobs between a pair.
+type session struct {
+	mu sync.Mutex
+
+	key              pairKey
+	srcNode, dstNode string
+
+	active  int       // jobs currently executing
+	horizon time.Time // latest job end seen (the gap measures from here)
+	started time.Time
+	bytes   int64 // bytes moved so far
+
+	circuit  *circuitState
+	fallback string // sticky IP reason after a failed circuit attempt
+	closed   bool
+
+	timer *time.Timer
+}
+
+// circuitState is the session's held reservation.
+type circuitState struct {
+	id        int64
+	rateBps   float64
+	endSvc    float64 // service-clock end of the current booking
+	setupWait time.Duration
+}
+
+// Broker watches a job stream and brokers circuits per session.
+type Broker struct {
+	client *vc.Client
+	cfg    Config
+	met    metrics
+
+	mu       sync.Mutex
+	sessions map[pairKey]*session
+	rates    map[pairKey]float64 // observed EWMA throughput, survives sessions
+	closed   bool
+
+	clockMu     sync.Mutex
+	clockSynced time.Time // local time of last service-clock sync
+	clockAt     float64   // service seconds at that sync
+}
+
+type metrics struct {
+	reserved  *telemetry.Counter
+	extended  *telemetry.Counter
+	cancelled *telemetry.Counter
+	amort     *telemetry.Histogram
+}
+
+// New builds a broker over a dialed reservation client. The broker does
+// not own the client; close the broker first, then the client.
+func New(client *vc.Client, cfg Config) (*Broker, error) {
+	if client == nil {
+		return nil, errors.New("broker: nil client")
+	}
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	b := &Broker{
+		client:   client,
+		cfg:      cfg,
+		sessions: make(map[pairKey]*session),
+		rates:    make(map[pairKey]float64),
+	}
+	if hub := cfg.Telemetry; hub != nil {
+		b.met = metrics{
+			reserved: hub.Counter("vc_broker_reserved_total",
+				"Sessions dispatched onto a reserved circuit."),
+			extended: hub.Counter("vc_broker_extended_total",
+				"Circuit holds extended for sessions that stayed hot."),
+			cancelled: hub.Counter("vc_broker_cancelled_total",
+				"Circuits cancelled at session close."),
+			amort: hub.Histogram("vc_broker_amortization_ratio",
+				"Session wall-clock duration over VC setup delay, per circuit session.",
+				AmortizationBuckets),
+		}
+	}
+	return b, nil
+}
+
+// countFallback counts one degraded-to-IP decision by reason.
+func (b *Broker) countFallback(reason string) {
+	if b.cfg.Telemetry == nil {
+		return
+	}
+	b.cfg.Telemetry.Counter("vc_broker_fallback_total",
+		"Sessions that wanted a circuit but fell back to best-effort IP, by reason.",
+		telemetry.L("reason", reason)).Inc()
+}
+
+// countJob counts one dispatched job by service.
+func (b *Broker) countJob(svc Service) {
+	if b.cfg.Telemetry == nil {
+		return
+	}
+	b.cfg.Telemetry.Counter("vc_broker_jobs_total",
+		"Jobs dispatched, by transport service.",
+		telemetry.L("service", string(svc))).Inc()
+}
+
+// serviceNow returns the daemon's service clock, re-syncing over the
+// wire at most every few minutes.
+func (b *Broker) serviceNow(ctx context.Context) (float64, error) {
+	b.clockMu.Lock()
+	defer b.clockMu.Unlock()
+	if !b.clockSynced.IsZero() && time.Since(b.clockSynced) < 5*time.Minute {
+		return b.clockAt + time.Since(b.clockSynced).Seconds(), nil
+	}
+	now, err := b.client.Now(ctx)
+	if err != nil {
+		return 0, err
+	}
+	b.clockSynced = time.Now()
+	b.clockAt = now
+	return now, nil
+}
+
+// rateFor returns the circuit sizing rate for a pair: the observed
+// EWMA throughput when transfers have completed, else the configured
+// reference, clamped to [MinRateBps, MaxRateBps].
+func (b *Broker) rateFor(key pairKey) float64 {
+	b.mu.Lock()
+	rate := b.rates[key]
+	b.mu.Unlock()
+	if rate <= 0 {
+		rate = b.cfg.ReferenceThroughputBps
+	}
+	if rate < b.cfg.MinRateBps {
+		rate = b.cfg.MinRateBps
+	}
+	if b.cfg.MaxRateBps > 0 && rate > b.cfg.MaxRateBps {
+		rate = b.cfg.MaxRateBps
+	}
+	return rate
+}
+
+// observe folds one finished job's throughput into the pair's EWMA.
+func (b *Broker) observe(key pairKey, bytes int64, d time.Duration) {
+	if bytes <= 0 || d <= 0 {
+		return
+	}
+	inst := float64(bytes) * 8 / d.Seconds()
+	b.mu.Lock()
+	if old := b.rates[key]; old > 0 {
+		b.rates[key] = 0.7*old + 0.3*inst
+	} else {
+		b.rates[key] = inst
+	}
+	b.mu.Unlock()
+}
+
+// lookup returns the live session for a pair, creating (or replacing a
+// gap-expired idle) one as needed.
+func (b *Broker) lookup(key pairKey, srcNode, dstNode string) *session {
+	for {
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return nil
+		}
+		s := b.sessions[key]
+		if s == nil {
+			s = &session{key: key, srcNode: srcNode, dstNode: dstNode, started: time.Now()}
+			b.sessions[key] = s
+			b.mu.Unlock()
+			return s
+		}
+		b.mu.Unlock()
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			b.evict(key, s)
+			continue
+		}
+		// The gap expired but the close timer has not fired yet: close
+		// inline and open a fresh session.
+		if s.active == 0 && !s.horizon.IsZero() && time.Since(s.horizon) > b.cfg.Gap {
+			b.closeSessionLocked(s)
+			s.mu.Unlock()
+			b.evict(key, s)
+			continue
+		}
+		s.mu.Unlock()
+		return s
+	}
+}
+
+// evict removes a specific session pointer from the map (a newer
+// session under the same key is left alone).
+func (b *Broker) evict(key pairKey, s *session) {
+	b.mu.Lock()
+	if b.sessions[key] == s {
+		delete(b.sessions, key)
+	}
+	b.mu.Unlock()
+}
+
+// Lease tracks one job's participation in a session. A nil lease (no
+// broker, or broker closed) is inert: Disposition reports IP service
+// and End is a no-op, so callers use it unconditionally.
+type Lease struct {
+	b    *Broker
+	s    *session
+	disp Disposition
+	once sync.Once
+}
+
+// Disposition reports how the job was dispatched.
+func (l *Lease) Disposition() Disposition {
+	if l == nil {
+		return Disposition{Service: ServiceIP}
+	}
+	return l.disp
+}
+
+// End marks the job finished, feeding the observed byte count and
+// duration into the pair's throughput estimate and the session's gap
+// clock. Safe to call at most once; extra calls are ignored.
+func (l *Lease) End(bytes int64, d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.once.Do(func() {
+		l.b.observe(l.s.key, bytes, d)
+		s := l.s
+		s.mu.Lock()
+		s.active--
+		s.bytes += bytes
+		now := time.Now()
+		if now.After(s.horizon) {
+			s.horizon = now
+		}
+		if s.active == 0 && !s.closed {
+			l.b.armCloseTimer(s)
+		}
+		s.mu.Unlock()
+	})
+}
+
+// Begin dispatches one job: it joins (or opens) the pair's session,
+// takes the circuit decision, and returns the lease the caller must
+// End when the job finishes. Begin never fails the job — on any
+// control-plane problem the disposition degrades to best-effort IP.
+// ctx bounds the decision's reservation RPCs (together with
+// Config.DecisionTimeout).
+func (b *Broker) Begin(ctx context.Context, srcAddr, dstAddr string, sizeHint int64) *Lease {
+	if b == nil {
+		return nil
+	}
+	key := pairKey{srcAddr, dstAddr}
+	var srcNode, dstNode string
+	routed := false
+	if b.cfg.Route != nil {
+		srcNode, dstNode, routed = b.cfg.Route(srcAddr, dstAddr)
+	}
+	s := b.lookup(key, srcNode, dstNode)
+	if s == nil { // broker closed
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	disp := Disposition{Service: ServiceIP}
+	switch {
+	case !routed:
+		// No topology route: plain best-effort, no fallback story.
+	case s.circuit != nil:
+		b.extendLocked(ctx, s, sizeHint)
+		if s.circuit != nil {
+			disp = Disposition{Service: ServiceVC, CircuitID: s.circuit.id}
+		} else {
+			disp.Fallback = s.fallback
+		}
+	case s.fallback != "":
+		disp.Fallback = s.fallback
+	default:
+		b.decideLocked(ctx, s, sizeHint)
+		if s.circuit != nil {
+			disp = Disposition{
+				Service:   ServiceVC,
+				CircuitID: s.circuit.id,
+				SetupWait: s.circuit.setupWait,
+			}
+		} else {
+			disp.Fallback = s.fallback
+		}
+	}
+	s.active++
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	b.countJob(disp.Service)
+	return &Lease{b: b, s: s, disp: disp}
+}
+
+// decisionCtx derives the bounded control-plane context.
+func (b *Broker) decisionCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithTimeout(ctx, b.cfg.DecisionTimeout)
+}
+
+// predictedSeconds estimates how long the session still needs the
+// network for, from the bytes yet to move at the sizing rate.
+func (b *Broker) predictedSeconds(key pairKey, pendingBytes int64) float64 {
+	return float64(pendingBytes) * 8 / b.rateFor(key)
+}
+
+// decideLocked takes the reserve-or-not decision for a circuit-less
+// session. Called with s.mu held.
+func (b *Broker) decideLocked(ctx context.Context, s *session, sizeHint int64) {
+	// The amortization rule, applied to what the session looks like so
+	// far: bytes already moved plus the hint for the job at hand.
+	predicted := s.bytes + sizeHint
+	threshold := core.FeasibilityConfig{
+		SetupDelay:             b.cfg.SetupDelay,
+		OverheadFactor:         b.cfg.OverheadFactor,
+		ReferenceThroughputBps: b.rateFor(s.key),
+	}.MinSuitableSessionBytes()
+	if float64(predicted) < threshold {
+		// Too short to amortize: stay IP, but keep the door open — the
+		// session re-qualifies as observed bytes accumulate.
+		return
+	}
+	cctx, cancel := b.decisionCtx(ctx)
+	defer cancel()
+	svcNow, err := b.serviceNow(cctx)
+	if err != nil {
+		s.fallback = "reservation service unavailable: " + err.Error()
+		b.countFallback("unavailable")
+		return
+	}
+	rate := b.rateFor(s.key)
+	hold := b.predictedSeconds(s.key, predicted-s.bytes) +
+		b.cfg.HoldSlack.Seconds() + b.cfg.Gap.Seconds() + b.cfg.SetupDelay.Seconds()
+	start := svcNow + 1
+	began := time.Now()
+	res, err := b.client.Reserve(cctx, vc.ReserveRequest{
+		Src: s.srcNode, Dst: s.dstNode,
+		RateBps: rate, Start: start, End: start + hold,
+	})
+	wait := time.Since(began)
+	switch {
+	case err == nil:
+		s.circuit = &circuitState{
+			id: res.ID, rateBps: rate, endSvc: start + hold, setupWait: wait,
+		}
+		b.met.reserved.Inc()
+	case errors.Is(err, vc.ErrNoPath), errors.Is(err, vc.ErrRejected):
+		s.fallback = "admission rejected: " + err.Error()
+		b.countFallback("rejected")
+	default:
+		s.fallback = "reservation service unavailable: " + err.Error()
+		b.countFallback("unavailable")
+	}
+}
+
+// extendLocked keeps a hot session's circuit booked past the predicted
+// end of the job at hand, re-booking via Modify when the current hold
+// is too short. A lost circuit (daemon restart, expired booking)
+// degrades the session to IP. Called with s.mu held.
+func (b *Broker) extendLocked(ctx context.Context, s *session, sizeHint int64) {
+	cctx, cancel := b.decisionCtx(ctx)
+	defer cancel()
+	svcNow, err := b.serviceNow(cctx)
+	if err != nil {
+		b.dropCircuitLocked(s, "reservation service unavailable: "+err.Error())
+		return
+	}
+	need := svcNow + b.predictedSeconds(s.key, sizeHint) + b.cfg.HoldSlack.Seconds()
+	if need <= s.circuit.endSvc {
+		return // current hold already covers this job
+	}
+	end := need + b.cfg.Gap.Seconds()
+	rate := b.rateFor(s.key) // re-size to the latest observed throughput
+	_, err = b.client.Modify(cctx, vc.ModifyRequest{
+		ID: s.circuit.id, RateBps: rate, Start: svcNow + 1, End: end,
+	})
+	switch {
+	case err == nil:
+		s.circuit.endSvc = end
+		s.circuit.rateBps = rate
+		b.met.extended.Inc()
+	case errors.Is(err, vc.ErrRejected):
+		// Extension refused but the old booking survives server-side:
+		// ride the circuit until it expires.
+	case errors.Is(err, vc.ErrUnknownCircuit):
+		b.dropCircuitLocked(s, "circuit lost: "+err.Error())
+	default:
+		b.dropCircuitLocked(s, "reservation service unavailable: "+err.Error())
+	}
+}
+
+// dropCircuitLocked degrades a VC session to IP for the rest of its
+// life. Called with s.mu held.
+func (b *Broker) dropCircuitLocked(s *session, reason string) {
+	s.circuit = nil
+	s.fallback = reason
+	b.countFallback("lost")
+}
+
+// armCloseTimer schedules the gap-expiry close for an idle session.
+// Called with s.mu held.
+func (b *Broker) armCloseTimer(s *session) {
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.timer = time.AfterFunc(b.cfg.Gap+50*time.Millisecond, func() {
+		s.mu.Lock()
+		if s.closed || s.active > 0 {
+			s.mu.Unlock()
+			return
+		}
+		if remaining := b.cfg.Gap - time.Since(s.horizon); remaining > 0 {
+			// A job ended after this timer was armed; try again later.
+			b.armCloseTimer(s)
+			s.mu.Unlock()
+			return
+		}
+		b.closeSessionLocked(s)
+		s.mu.Unlock()
+		b.evict(s.key, s)
+	})
+}
+
+// closeSessionLocked cancels the session's circuit (if any) and records
+// the amortization outcome. Called with s.mu held.
+func (b *Broker) closeSessionLocked(s *session) {
+	s.closed = true
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	if s.circuit == nil {
+		return
+	}
+	id := s.circuit.id
+	s.circuit = nil
+	ctx, cancel := context.WithTimeout(context.Background(), b.cfg.DecisionTimeout)
+	defer cancel()
+	// Best effort: a dead daemon or restarted ledger no longer holds
+	// the circuit anyway.
+	if err := b.client.Cancel(ctx, id); err == nil {
+		b.met.cancelled.Inc()
+	}
+	wall := s.horizon.Sub(s.started)
+	if wall < 0 {
+		wall = 0
+	}
+	b.met.amort.Observe(wall.Seconds() / b.cfg.SetupDelay.Seconds())
+}
+
+// Sessions reports the number of live sessions (for tests and
+// introspection).
+func (b *Broker) Sessions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.sessions)
+}
+
+// Close cancels every held circuit and stops the broker. Leases issued
+// earlier become inert; further Begin calls return nil leases.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	live := make([]*session, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		live = append(live, s)
+	}
+	b.sessions = nil
+	b.mu.Unlock()
+	for _, s := range live {
+		s.mu.Lock()
+		if !s.closed {
+			b.closeSessionLocked(s)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// String summarizes the broker configuration (for logs).
+func (b *Broker) String() string {
+	return fmt.Sprintf("broker(gap=%s setup=%s factor=%.0f)",
+		b.cfg.Gap, b.cfg.SetupDelay, b.cfg.OverheadFactor)
+}

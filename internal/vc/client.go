@@ -1,0 +1,428 @@
+// Package vc is the programmatic client for the oscarsd virtual-circuit
+// reservation service: a typed, context-aware replacement for
+// hand-rolling the line-JSON wire protocol. It is the control-plane
+// half of the paper's hybrid architecture — the piece a transfer
+// manager calls to ask the IDC for a rate-guaranteed circuit before
+// (or while) a GridFTP session runs.
+//
+// Dial connects, negotiates a protocol version, and returns a Client
+// whose methods (Reserve, Modify, Cancel, Available, Topology) take
+// request structs and return typed results. Connections are pooled and
+// re-established transparently, so one Client serves a long-lived
+// daemon's worth of calls; a request that fails on a stale pooled
+// connection is retried once on a fresh dial.
+//
+// Failures wrap sentinel errors (ErrRejected, ErrNoPath,
+// ErrUnavailable, ErrUnknownCircuit) so policy code — like the session
+// broker in vc/broker — can distinguish "the network said no" from
+// "the daemon is gone" without parsing message strings.
+package vc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gftpvc/internal/oscarsd"
+	"gftpvc/internal/telemetry"
+)
+
+// Defaults applied by Dial; see the corresponding options.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultCallTimeout = 10 * time.Second
+	defaultPoolSize    = 2
+)
+
+// Option configures a Client at Dial time.
+type Option func(*Client)
+
+// WithDialTimeout bounds each TCP connection attempt (default
+// DefaultDialTimeout). A context deadline tighter than this wins.
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *Client) { c.dialTimeout = d }
+}
+
+// WithCallTimeout bounds each round trip when the caller's context has
+// no deadline of its own (default DefaultCallTimeout). A context
+// deadline always takes precedence.
+func WithCallTimeout(d time.Duration) Option {
+	return func(c *Client) { c.callTimeout = d }
+}
+
+// WithPoolSize caps the idle connections kept between calls (default
+// 2). Concurrent calls beyond the cap dial extra connections and drop
+// them on return.
+func WithPoolSize(n int) Option {
+	return func(c *Client) { c.poolSize = n }
+}
+
+// WithTelemetry publishes per-call metrics on hub:
+// vc_client_calls_total{op,result} with result ok | rejected |
+// unavailable.
+func WithTelemetry(hub *telemetry.Hub) Option {
+	return func(c *Client) { c.hub = hub }
+}
+
+// Client is a pooled, auto-reconnecting connection to one oscarsd
+// daemon. It is safe for concurrent use; each call runs on its own
+// pooled connection.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+	callTimeout time.Duration
+	poolSize    int
+	hub         *telemetry.Hub
+
+	mu     sync.Mutex
+	idle   []*wire
+	ver    int
+	closed bool
+}
+
+// wire is one pooled protocol connection.
+type wire struct {
+	conn   net.Conn
+	r      *bufio.Reader
+	reused bool
+}
+
+// Dial connects to an oscarsd daemon, negotiates the protocol version
+// (gracefully falling back to the code-less version 0 with seed-era
+// daemons), and returns a ready Client. The context bounds only the
+// initial connect + handshake; later calls carry their own contexts.
+func Dial(ctx context.Context, addr string, opts ...Option) (*Client, error) {
+	c := &Client{
+		addr:        addr,
+		dialTimeout: DefaultDialTimeout,
+		callTimeout: DefaultCallTimeout,
+		poolSize:    defaultPoolSize,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	w, err := c.connect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(ctx, w, oscarsd.Request{
+		Op: oscarsd.OpHello, Ver: oscarsd.ProtocolVersion,
+	})
+	if err != nil {
+		w.conn.Close()
+		return nil, err
+	}
+	if resp.OK {
+		c.ver = resp.Ver
+	}
+	// A !OK reply (unknown op "hello") marks a version-0 peer; the
+	// connection is still good — the seed server answers each line
+	// independently.
+	c.put(w)
+	return c, nil
+}
+
+// Addr returns the daemon address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// ProtocolVersion returns the negotiated protocol revision: 0 for a
+// seed-era daemon, oscarsd.ProtocolVersion for a current one.
+func (c *Client) ProtocolVersion() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ver
+}
+
+// Close releases all pooled connections. In-flight calls fail; further
+// calls return ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, w := range c.idle {
+		w.conn.Close()
+	}
+	c.idle = nil
+	return nil
+}
+
+// connect dials one fresh protocol connection.
+func (c *Client) connect(ctx context.Context) (*wire, error) {
+	d := net.Dialer{Timeout: c.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	return &wire{conn: conn, r: bufio.NewReaderSize(conn, 1<<12)}, nil
+}
+
+// get hands out a pooled connection or dials a fresh one; fresh reports
+// which, so call can decide whether a transport failure is retryable.
+func (c *Client) get(ctx context.Context) (w *wire, fresh bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		w = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return w, false, nil
+	}
+	c.mu.Unlock()
+	w, err = c.connect(ctx)
+	return w, true, err
+}
+
+// put returns a healthy connection to the pool (or closes it when the
+// pool is full or the client closed).
+func (c *Client) put(w *wire) {
+	w.reused = true
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.poolSize {
+		c.idle = append(c.idle, w)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	w.conn.Close()
+}
+
+// roundTrip writes one request line and reads one response line on w,
+// bounded by the context deadline (or the call timeout) and aborted
+// early on context cancellation.
+func (c *Client) roundTrip(ctx context.Context, w *wire, req oscarsd.Request) (oscarsd.Response, error) {
+	deadline := time.Now().Add(c.callTimeout)
+	ctxBound := false // the context deadline, not the call timeout, governs
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+		ctxBound = true
+	}
+	w.conn.SetDeadline(deadline)
+	// Cancellation without a deadline must still unblock the I/O:
+	// close the connection when the context fires mid-call.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			w.conn.Close()
+		case <-stop:
+		}
+	}()
+	defer close(stop)
+
+	var resp oscarsd.Response
+	data, err := json.Marshal(req)
+	if err != nil {
+		return resp, fmt.Errorf("vc: encode request: %w", err)
+	}
+	if _, err := w.conn.Write(append(data, '\n')); err != nil {
+		return resp, c.transportErr(ctx, ctxBound, err)
+	}
+	line, err := w.r.ReadBytes('\n')
+	if err != nil {
+		return resp, c.transportErr(ctx, ctxBound, err)
+	}
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return resp, fmt.Errorf("%w: malformed response: %v", ErrUnavailable, err)
+	}
+	w.conn.SetDeadline(time.Time{})
+	return resp, nil
+}
+
+// transportErr classifies an I/O failure: the caller's cancellation or
+// deadline wins, anything else means the service is unreachable. When
+// the context deadline governed the connection deadline, a timeout is
+// the context expiring — wait for it to fire (it is at most a clock
+// skew away) rather than racing it.
+func (c *Client) transportErr(ctx context.Context, ctxBound bool, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	var ne net.Error
+	if ctxBound && errors.As(err, &ne) && ne.Timeout() {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return fmt.Errorf("%w: %v", ErrUnavailable, err)
+}
+
+// call executes one operation with pooling and the single stale-
+// connection retry: a transport failure on a previously used connection
+// (typically a daemon restart having closed it) is retried once on a
+// fresh dial; failures on fresh connections are returned as-is.
+func (c *Client) call(ctx context.Context, req oscarsd.Request) (oscarsd.Response, error) {
+	resp, err := c.callOnce(ctx, req)
+	c.count(req.Op, err)
+	return resp, err
+}
+
+func (c *Client) callOnce(ctx context.Context, req oscarsd.Request) (oscarsd.Response, error) {
+	for attempt := 0; ; attempt++ {
+		w, fresh, err := c.get(ctx)
+		if err != nil {
+			return oscarsd.Response{}, err
+		}
+		resp, err := c.roundTrip(ctx, w, req)
+		if err != nil {
+			w.conn.Close()
+			if !fresh && attempt == 0 && ctx.Err() == nil {
+				continue
+			}
+			return oscarsd.Response{}, err
+		}
+		c.put(w)
+		if !resp.OK {
+			return resp, &ServerError{Op: req.Op, Code: resp.Code, Msg: resp.Error}
+		}
+		return resp, nil
+	}
+}
+
+// count publishes the per-call metric (no-op without a hub).
+func (c *Client) count(op string, err error) {
+	if c.hub == nil {
+		return
+	}
+	result := "ok"
+	var se *ServerError
+	switch {
+	case err == nil:
+	case errors.As(err, &se):
+		result = "rejected"
+	default:
+		result = "unavailable"
+	}
+	c.hub.Counter("vc_client_calls_total",
+		"Reservation-protocol calls, by operation and result.",
+		telemetry.L("op", op), telemetry.L("result", result)).Inc()
+}
+
+// Reservation is an admitted (or re-booked) circuit.
+type Reservation struct {
+	// ID names the circuit for Modify and Cancel.
+	ID int64
+	// Path lists the link IDs the circuit traverses.
+	Path []string
+	// Src, Dst echo the requested endpoints.
+	Src, Dst string
+}
+
+// ReserveRequest asks for a rate-guaranteed circuit between two
+// topology nodes over a service-clock window. Times are seconds on the
+// daemon's clock (see Now); Start must not be in the past.
+type ReserveRequest struct {
+	Src, Dst string
+	RateBps  float64
+	Start    float64
+	End      float64
+}
+
+// Reserve books a circuit. Admission failures wrap ErrNoPath (no
+// feasible route at that bandwidth) or ErrRejected.
+func (c *Client) Reserve(ctx context.Context, req ReserveRequest) (*Reservation, error) {
+	resp, err := c.call(ctx, oscarsd.Request{
+		Op: oscarsd.OpReserve, Src: req.Src, Dst: req.Dst,
+		RateBps: req.RateBps, Start: req.Start, End: req.End,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Reservation{ID: resp.ID, Path: resp.Path, Src: resp.Src, Dst: resp.Dst}, nil
+}
+
+// ModifyRequest re-books a held circuit with a new rate and/or window
+// (the OSCARS modifyReservation operation).
+type ModifyRequest struct {
+	ID      int64
+	RateBps float64
+	Start   float64
+	End     float64
+}
+
+// Modify atomically re-books a reservation; on rejection the old
+// booking survives server-side and the error wraps ErrRejected (or
+// ErrUnknownCircuit when the daemon no longer holds the circuit).
+func (c *Client) Modify(ctx context.Context, req ModifyRequest) (*Reservation, error) {
+	resp, err := c.call(ctx, oscarsd.Request{
+		Op: oscarsd.OpModify, ID: req.ID,
+		RateBps: req.RateBps, Start: req.Start, End: req.End,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Reservation{ID: resp.ID, Path: resp.Path}, nil
+}
+
+// Cancel releases a held circuit. Cancelling a circuit the daemon does
+// not hold wraps ErrUnknownCircuit.
+func (c *Client) Cancel(ctx context.Context, id int64) error {
+	_, err := c.call(ctx, oscarsd.Request{Op: oscarsd.OpCancel, ID: id})
+	return err
+}
+
+// Available probes admission without booking: it returns the path a
+// Reserve with the same parameters would get, or an error wrapping
+// ErrNoPath/ErrRejected.
+func (c *Client) Available(ctx context.Context, req ReserveRequest) ([]string, error) {
+	resp, err := c.call(ctx, oscarsd.Request{
+		Op: oscarsd.OpAvailable, Src: req.Src, Dst: req.Dst,
+		RateBps: req.RateBps, Start: req.Start, End: req.End,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Path, nil
+}
+
+// Topology describes the daemon's network and clock.
+type Topology struct {
+	// Nodes lists every topology node reservations may name.
+	Nodes []string
+	// Now is the daemon's service clock (seconds since its epoch) when
+	// the reply was built.
+	Now float64
+}
+
+// Topology fetches the daemon's node set and service clock.
+func (c *Client) Topology(ctx context.Context) (*Topology, error) {
+	resp, err := c.call(ctx, oscarsd.Request{Op: oscarsd.OpTopology})
+	if err != nil {
+		return nil, err
+	}
+	return &Topology{Nodes: resp.Nodes, Now: resp.Now}, nil
+}
+
+// Now returns the daemon's service clock in seconds. Reservation
+// windows are expressed on this clock, so schedulers sample it to
+// anchor Start/End. Protocol-1 peers answer via the cheap hello op;
+// version-0 peers fall back to Topology.
+func (c *Client) Now(ctx context.Context) (float64, error) {
+	c.mu.Lock()
+	ver := c.ver
+	c.mu.Unlock()
+	if ver >= 1 {
+		resp, err := c.call(ctx, oscarsd.Request{Op: oscarsd.OpHello, Ver: ver})
+		if err != nil {
+			return 0, err
+		}
+		return resp.Now, nil
+	}
+	t, err := c.Topology(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return t.Now, nil
+}

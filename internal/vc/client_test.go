@@ -1,0 +1,317 @@
+package vc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gftpvc/internal/faultnet"
+	"gftpvc/internal/oscarsd"
+	"gftpvc/internal/telemetry"
+)
+
+func startDaemon(t *testing.T) *oscarsd.Server {
+	t.Helper()
+	srv, err := oscarsd.Start(oscarsd.Config{
+		Addr:               "127.0.0.1:0",
+		Scenario:           "nersc-ornl",
+		ReservableFraction: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func dialClient(t *testing.T, addr string, opts ...Option) *Client {
+	t.Helper()
+	c, err := Dial(context.Background(), addr, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestTypedOperations(t *testing.T) {
+	srv := startDaemon(t)
+	c := dialClient(t, srv.Addr())
+	ctx := context.Background()
+
+	if v := c.ProtocolVersion(); v != oscarsd.ProtocolVersion {
+		t.Fatalf("negotiated version %d, want %d", v, oscarsd.ProtocolVersion)
+	}
+	top, err := c.Topology(ctx)
+	if err != nil || len(top.Nodes) == 0 {
+		t.Fatalf("Topology: %+v, %v", top, err)
+	}
+	req := ReserveRequest{
+		Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+		RateBps: 4e9, Start: top.Now + 100, End: top.Now + 200,
+	}
+	if path, err := c.Available(ctx, req); err != nil || len(path) == 0 {
+		t.Fatalf("Available: %v, %v", path, err)
+	}
+	res, err := c.Reserve(ctx, req)
+	if err != nil || res.ID == 0 || len(res.Path) == 0 {
+		t.Fatalf("Reserve: %+v, %v", res, err)
+	}
+	if res.Src != req.Src || res.Dst != req.Dst {
+		t.Errorf("reservation endpoints %s -> %s, want %s -> %s",
+			res.Src, res.Dst, req.Src, req.Dst)
+	}
+	mod, err := c.Modify(ctx, ModifyRequest{
+		ID: res.ID, RateBps: 1e9, Start: req.Start, End: req.End + 100,
+	})
+	if err != nil || mod.ID != res.ID {
+		t.Fatalf("Modify: %+v, %v", mod, err)
+	}
+	if err := c.Cancel(ctx, res.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if now, err := c.Now(ctx); err != nil || now < 0 {
+		t.Fatalf("Now: %v, %v", now, err)
+	}
+}
+
+func TestSentinelMapping(t *testing.T) {
+	srv := startDaemon(t)
+	c := dialClient(t, srv.Addr())
+	ctx := context.Background()
+	now, err := c.Now(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := ReserveRequest{
+		Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+		RateBps: 4e9, Start: now + 100, End: now + 200,
+	}
+	if _, err := c.Reserve(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	// The 5 Gbps-reservable path cannot fit a second 4 Gbps circuit.
+	_, err = c.Reserve(ctx, req)
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("overbook: %v, want ErrNoPath", err)
+	}
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != oscarsd.CodeNoPath || se.Msg == "" {
+		t.Fatalf("overbook ServerError: %+v", se)
+	}
+	if err := c.Cancel(ctx, 9999); !errors.Is(err, ErrUnknownCircuit) {
+		t.Fatalf("cancel unknown: %v, want ErrUnknownCircuit", err)
+	}
+	if _, err := c.Modify(ctx, ModifyRequest{ID: 9999, RateBps: 1e9, Start: now + 1, End: now + 2}); !errors.Is(err, ErrUnknownCircuit) {
+		t.Fatalf("modify unknown: %v, want ErrUnknownCircuit", err)
+	}
+	// Validation failures are rejections, not path exhaustion.
+	if _, err := c.Reserve(ctx, ReserveRequest{
+		Src: req.Src, Dst: req.Dst, RateBps: -1, Start: now + 1, End: now + 2,
+	}); !errors.Is(err, ErrRejected) {
+		t.Fatalf("bad rate: %v, want ErrRejected", err)
+	}
+	// Sentinels are disjoint: a no-path error is not a rejected error.
+	if _, err := c.Reserve(ctx, req); errors.Is(err, ErrUnknownCircuit) || errors.Is(err, ErrUnavailable) {
+		t.Fatalf("overbook matched wrong sentinel: %v", err)
+	}
+}
+
+func TestUnavailableAndClosed(t *testing.T) {
+	// Nothing listens here (immediate refusal on loopback).
+	if _, err := Dial(context.Background(), "127.0.0.1:1",
+		WithDialTimeout(200*time.Millisecond)); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("dial dead addr: %v, want ErrUnavailable", err)
+	}
+	srv := startDaemon(t)
+	c := dialClient(t, srv.Addr())
+	c.Close()
+	c.Close() // idempotent
+	if _, err := c.Topology(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	srv := startDaemon(t)
+	proxy, err := faultnet.NewProxy(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	c := dialClient(t, proxy.Addr())
+	proxy.Stall()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.Topology(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("stalled call under cancel: %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt", elapsed)
+	}
+	// A context deadline also bounds the call, as its own error.
+	dctx, dcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer dcancel()
+	if _, err := c.Topology(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled call under deadline: %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestAutoReconnectAfterReset(t *testing.T) {
+	srv := startDaemon(t)
+	proxy, err := faultnet.NewProxy(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	c := dialClient(t, proxy.Addr())
+	ctx := context.Background()
+	if _, err := c.Topology(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Kill every proxied connection: the pooled one is now stale. The
+	// next call must transparently redial and succeed.
+	proxy.Reset()
+	if _, err := c.Topology(ctx); err != nil {
+		t.Fatalf("call after reset: %v, want transparent reconnect", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	srv := startDaemon(t)
+	hub := telemetry.NewHub()
+	c := dialClient(t, srv.Addr(), WithTelemetry(hub), WithPoolSize(4))
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Topology(context.Background()); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The telemetry counter saw every call (16 topology + the Dial hello
+	// is counted only for explicit Now calls, not the handshake).
+	var dump strings.Builder
+	hub.Registry().WriteProm(&dump)
+	if !strings.Contains(dump.String(), `vc_client_calls_total{op="topology",result="ok"} 16`) {
+		t.Fatalf("metrics missing call counter:\n%s", dump.String())
+	}
+}
+
+// legacyServer speaks the seed-era version-0 protocol: string ops, no
+// hello, bare error strings without codes — the wire behavior of an
+// unmodified oscarsd deployment.
+type legacyServer struct {
+	ln net.Listener
+}
+
+func startLegacyServer(t *testing.T) *legacyServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &legacyServer{ln: ln}
+	go s.loop()
+	t.Cleanup(func() { ln.Close() })
+	return s
+}
+
+func (s *legacyServer) loop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *legacyServer) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	enc := json.NewEncoder(conn)
+	nextID := int64(0)
+	for sc.Scan() {
+		var req map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			enc.Encode(map[string]any{"ok": false, "error": "malformed request"})
+			continue
+		}
+		op, _ := req["op"].(string)
+		var resp map[string]any
+		switch op {
+		case "topology":
+			resp = map[string]any{"ok": true, "nodes": []string{"a", "b"}, "now": 12.5}
+		case "reserve":
+			if rate, _ := req["rate_bps"].(float64); rate > 1e9 {
+				resp = map[string]any{"ok": false, "error": "topo: no path"}
+			} else {
+				nextID++
+				resp = map[string]any{"ok": true, "id": nextID, "path": []string{"a->b"},
+					"src": req["src"], "dst": req["dst"]}
+			}
+		case "cancel":
+			resp = map[string]any{"ok": false, "error": "unknown circuit 7"}
+		default:
+			resp = map[string]any{"ok": false, "error": "unknown op \"" + op + "\""}
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func TestLegacyPeerNegotiation(t *testing.T) {
+	s := startLegacyServer(t)
+	c := dialClient(t, s.ln.Addr().String())
+	ctx := context.Background()
+	if v := c.ProtocolVersion(); v != 0 {
+		t.Fatalf("legacy peer negotiated version %d, want 0", v)
+	}
+	top, err := c.Topology(ctx)
+	if err != nil || len(top.Nodes) != 2 {
+		t.Fatalf("legacy Topology: %+v, %v", top, err)
+	}
+	// Now falls back to the topology op on version-0 peers.
+	if now, err := c.Now(ctx); err != nil || now != 12.5 {
+		t.Fatalf("legacy Now: %v, %v", now, err)
+	}
+	res, err := c.Reserve(ctx, ReserveRequest{
+		Src: "a", Dst: "b", RateBps: 1e8, Start: 100, End: 200,
+	})
+	if err != nil || res.ID != 1 {
+		t.Fatalf("legacy Reserve: %+v, %v", res, err)
+	}
+	// Code-less error strings still map onto the right sentinels.
+	_, err = c.Reserve(ctx, ReserveRequest{Src: "a", Dst: "b", RateBps: 9e9, Start: 1, End: 2})
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("legacy no-path: %v, want ErrNoPath", err)
+	}
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != "" {
+		t.Fatalf("legacy ServerError should have no code: %+v", se)
+	}
+	if err := c.Cancel(ctx, 7); !errors.Is(err, ErrUnknownCircuit) {
+		t.Fatalf("legacy unknown circuit: %v, want ErrUnknownCircuit", err)
+	}
+}

@@ -1,0 +1,97 @@
+package vc_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"gftpvc/internal/oscarsd"
+	"gftpvc/internal/vc"
+)
+
+// ExampleDial reserves, resizes, and releases a circuit against a live
+// oscarsd daemon — the full control-plane lifecycle a transfer manager
+// drives around one GridFTP session.
+func ExampleDial() {
+	srv, err := oscarsd.Start(oscarsd.Config{
+		Addr: "127.0.0.1:0", Scenario: "nersc-ornl", ReservableFraction: 0.8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	client, err := vc.Dial(ctx, srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Reservation windows are on the daemon's service clock.
+	now, err := client.Now(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := client.Reserve(ctx, vc.ReserveRequest{
+		Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+		RateBps: 1e9, Start: now + 10, End: now + 610,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit %d over %d hops\n", res.ID, len(res.Path))
+
+	// The session ran long: extend the hold.
+	if _, err := client.Modify(ctx, vc.ModifyRequest{
+		ID: res.ID, RateBps: 1e9, Start: now + 10, End: now + 1210,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Cancel(ctx, res.ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cancelled")
+	// Output:
+	// circuit 1 over 8 hops
+	// cancelled
+}
+
+// ExampleClient_Reserve_fallback shows the hybrid dispatch decision:
+// when admission fails, the error is a typed sentinel and the transfer
+// simply proceeds over best-effort IP.
+func ExampleClient_Reserve_fallback() {
+	srv, err := oscarsd.Start(oscarsd.Config{
+		Addr: "127.0.0.1:0", Scenario: "nersc-ornl", ReservableFraction: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	client, err := vc.Dial(ctx, srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	now, _ := client.Now(ctx)
+	ask := vc.ReserveRequest{
+		Src: "nersc-ornl-dtn-src", Dst: "nersc-ornl-dtn-dst",
+		RateBps: 4e9, Start: now + 10, End: now + 70,
+	}
+	if _, err := client.Reserve(ctx, ask); err != nil {
+		log.Fatal(err)
+	}
+	// A second 4 Gbps circuit cannot fit on the 5 Gbps-reservable path.
+	_, err = client.Reserve(ctx, ask)
+	if errors.Is(err, vc.ErrNoPath) {
+		fmt.Println("admission rejected: staying on best-effort IP")
+	}
+	// Output:
+	// admission rejected: staying on best-effort IP
+}

@@ -5,16 +5,38 @@
 // integrity with the CKSM checksum command — the "secure and reliable
 // data transfers" feature set §II attributes to GridFTP, operated as a
 // service.
+//
+// The manager is the dispatch point of the hybrid VC/IP control plane:
+// wire a circuit broker in with WithBroker and every job is offered to
+// it before the data moves. Sessions long enough to amortize the VC
+// setup delay ride a reserved circuit; everything else (and every job
+// when no broker is configured) goes over best-effort IP. The verdict
+// for each job is recorded in its Result.Circuit disposition.
+//
+// All blocking entry points — Submit, Wait, SubmitAll — take a
+// context.Context, which also governs the job's own network dials and
+// its broker decision RPCs.
 package xferman
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
 	"gftpvc/internal/gridftp"
 	"gftpvc/internal/telemetry"
+	"gftpvc/internal/vc/broker"
+)
+
+// Sentinel errors, matchable with errors.Is.
+var (
+	// ErrClosed: the manager has been closed; no further submissions.
+	ErrClosed = errors.New("xferman: manager closed")
+	// ErrUnknownJob: the JobID was never issued by this manager.
+	ErrUnknownJob = errors.New("xferman: unknown job")
 )
 
 // Endpoint identifies one GridFTP server and the credentials to use.
@@ -38,6 +60,10 @@ type Job struct {
 	// per-operation deadline, not a whole-job budget, so arbitrarily
 	// large transfers still complete as long as bytes keep moving.
 	Timeout time.Duration
+	// SizeHint, when positive, tells the circuit broker how many bytes
+	// this job expects to move without a SIZE round trip. Zero means
+	// probe the source.
+	SizeHint int64
 }
 
 func (j *Job) normalize() error {
@@ -56,18 +82,29 @@ func (j *Job) normalize() error {
 	if j.Timeout < 0 {
 		return errors.New("xferman: Timeout must be >= 0")
 	}
+	if j.SizeHint < 0 {
+		return errors.New("xferman: SizeHint must be >= 0")
+	}
 	return nil
 }
 
-// dialOpts translates the job's Timeout into gridftp client options.
-func (j *Job) dialOpts() []gridftp.Option {
-	if j.Timeout <= 0 {
-		return nil
+// dialOpts translates the job's Timeout into gridftp client options and
+// binds every dial (control and data) to ctx, so cancelling the job's
+// context aborts connection establishment immediately.
+func (j *Job) dialOpts(ctx context.Context) []gridftp.Option {
+	var d net.Dialer
+	opts := []gridftp.Option{
+		gridftp.WithDialFunc(func(network, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, network, addr)
+		}),
 	}
-	return []gridftp.Option{
-		gridftp.WithControlTimeout(j.Timeout),
-		gridftp.WithDataTimeout(j.Timeout),
+	if j.Timeout > 0 {
+		opts = append(opts,
+			gridftp.WithControlTimeout(j.Timeout),
+			gridftp.WithDataTimeout(j.Timeout),
+		)
 	}
+	return opts
 }
 
 // Status is a job's lifecycle state.
@@ -113,10 +150,19 @@ type Result struct {
 	// Checksum is the verified CRC32 when Verify was requested.
 	Checksum string
 	Duration time.Duration
+	// Bytes is the object size the transfer moved (from SizeHint or a
+	// SIZE probe; zero when neither was available).
+	Bytes int64
+	// Circuit records how the hybrid control plane dispatched this job:
+	// reserved circuit vs best-effort IP, the circuit ID, the setup wait
+	// this job paid, and the fallback reason when a wanted circuit was
+	// not obtained. Jobs on a manager without a broker report plain IP.
+	Circuit broker.Disposition
 }
 
 type tracked struct {
 	result Result
+	ctx    context.Context
 	done   chan struct{}
 }
 
@@ -124,15 +170,17 @@ type tracked struct {
 type Manager struct {
 	queue chan JobID
 
-	mu     sync.Mutex
-	jobs   map[JobID]*tracked
-	nextID JobID
+	mu         sync.Mutex
+	jobs       map[JobID]*tracked
+	nextID     JobID
+	submitting sync.WaitGroup // in-flight Submit sends, gated by mu+closed
 
 	wg     sync.WaitGroup
 	closed bool
 
-	hub *telemetry.Hub
-	met xmMetrics
+	hub    *telemetry.Hub
+	broker *broker.Broker
+	met    xmMetrics
 }
 
 // xmMetrics is the manager's instrument set. With a nil hub every
@@ -153,6 +201,14 @@ type Option func(*Manager)
 // worker-driven transfers show up as client spans and metrics too.
 func WithTelemetry(hub *telemetry.Hub) Option {
 	return func(m *Manager) { m.hub = hub }
+}
+
+// WithBroker offers every job to a session-aware circuit broker before
+// its data moves; the broker's verdict lands in Result.Circuit. The
+// manager does not own the broker — close the manager first, then the
+// broker, then its client.
+func WithBroker(b *broker.Broker) Option {
+	return func(m *Manager) { m.broker = b }
 }
 
 // New starts a manager with the given number of workers.
@@ -188,59 +244,83 @@ func New(workers int, opts ...Option) (*Manager, error) {
 	return m, nil
 }
 
-// Submit queues a job and returns its ID.
-func (m *Manager) Submit(job Job) (JobID, error) {
+// Submit queues a job and returns its ID. ctx governs the job for its
+// whole life: a cancelled context stops retries and aborts the job's
+// network dials. Submit after Close returns ErrClosed.
+func (m *Manager) Submit(ctx context.Context, job Job) (JobID, error) {
 	if err := job.normalize(); err != nil {
 		return 0, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return 0, errors.New("xferman: manager closed")
+		return 0, ErrClosed
 	}
 	m.nextID++
 	id := m.nextID
 	m.jobs[id] = &tracked{
 		result: Result{ID: id, Job: job, Status: Queued},
+		ctx:    ctx,
 		done:   make(chan struct{}),
 	}
+	// Register the queue send while still under the closed check, so
+	// Close cannot close(m.queue) between our unlock and the send.
+	m.submitting.Add(1)
 	m.mu.Unlock()
 	m.met.submitted.Inc()
 	m.met.queueDepth.Inc()
 	m.queue <- id
+	m.submitting.Done()
 	return id, nil
 }
 
-// Wait blocks until the job finishes and returns its result.
-func (m *Manager) Wait(id JobID) (Result, error) {
+// Wait blocks until the job finishes (or ctx is done) and returns its
+// result. An unknown ID reports ErrUnknownJob.
+func (m *Manager) Wait(ctx context.Context, id JobID) (Result, error) {
 	m.mu.Lock()
 	tr := m.jobs[id]
 	m.mu.Unlock()
 	if tr == nil {
-		return Result{}, fmt.Errorf("xferman: unknown job %d", id)
+		return Result{}, fmt.Errorf("%w %d", ErrUnknownJob, id)
 	}
-	<-tr.done
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-tr.done:
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return tr.result, nil
 }
 
-// Result returns a job's current state without blocking.
+// Result returns a job's current state without blocking. An unknown ID
+// reports ErrUnknownJob.
 func (m *Manager) Result(id JobID) (Result, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	tr := m.jobs[id]
 	if tr == nil {
-		return Result{}, fmt.Errorf("xferman: unknown job %d", id)
+		return Result{}, fmt.Errorf("%w %d", ErrUnknownJob, id)
 	}
 	return tr.result, nil
 }
 
 // SubmitAll lists the source endpoint's objects under prefix (NLST) and
 // submits one job per object, preserving names at the destination. tmpl
-// provides MaxAttempts/Verify; its endpoints and names are overwritten.
-func (m *Manager) SubmitAll(src, dst Endpoint, prefix string, tmpl Job) ([]JobID, error) {
-	c, err := gridftp.Dial(src.Addr, tmpl.dialOpts()...)
+// provides MaxAttempts/Verify/Timeout; its endpoints and names are
+// overwritten. ctx bounds the listing dial and carries into every
+// submitted job.
+func (m *Manager) SubmitAll(ctx context.Context, src, dst Endpoint, prefix string, tmpl Job) ([]JobID, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c, err := gridftp.Dial(src.Addr, tmpl.dialOpts(ctx)...)
 	if err != nil {
 		return nil, fmt.Errorf("xferman: dial src: %w", err)
 	}
@@ -260,7 +340,7 @@ func (m *Manager) SubmitAll(src, dst Endpoint, prefix string, tmpl Job) ([]JobID
 		job := tmpl
 		job.Src, job.Dst = src, dst
 		job.SrcName, job.DstName = name, name
-		id, err := m.Submit(job)
+		id, err := m.Submit(ctx, job)
 		if err != nil {
 			return ids, err
 		}
@@ -278,6 +358,9 @@ func (m *Manager) Close() {
 	}
 	m.closed = true
 	m.mu.Unlock()
+	// Every Submit that passed the closed check has registered its send;
+	// wait those out before closing the channel they send on.
+	m.submitting.Wait()
 	close(m.queue)
 	m.wg.Wait()
 }
@@ -289,19 +372,22 @@ func (m *Manager) worker() {
 		tr := m.jobs[id]
 		tr.result.Status = Running
 		job := tr.result.Job
+		ctx := tr.ctx
 		m.mu.Unlock()
 		m.met.queueDepth.Dec()
 		m.met.running.Inc()
 
 		start := time.Now()
-		checksum, attempts, err := m.execute(job)
+		out := m.execute(ctx, job)
 		m.mu.Lock()
-		tr.result.Attempts = attempts
+		tr.result.Attempts = out.attempts
 		tr.result.Duration = time.Since(start)
-		tr.result.Checksum = checksum
-		if err != nil {
+		tr.result.Checksum = out.checksum
+		tr.result.Bytes = out.bytes
+		tr.result.Circuit = out.circuit
+		if out.err != nil {
 			tr.result.Status = Failed
-			tr.result.Err = err.Error()
+			tr.result.Err = out.err.Error()
 		} else {
 			tr.result.Status = Succeeded
 		}
@@ -318,58 +404,95 @@ func (m *Manager) worker() {
 	}
 }
 
+// outcome is one job's final execution state.
+type outcome struct {
+	checksum string
+	bytes    int64
+	circuit  broker.Disposition
+	attempts int
+	err      error
+}
+
 // execute runs one job with retries; every attempt uses fresh control
-// channels (a failed transfer may have poisoned the old ones).
-func (m *Manager) execute(job Job) (checksum string, attempts int, err error) {
-	for attempts = 1; attempts <= job.MaxAttempts; attempts++ {
-		checksum, err = m.attempt(job)
-		if err == nil {
-			return checksum, attempts, nil
+// channels (a failed transfer may have poisoned the old ones). A done
+// context stops further attempts.
+func (m *Manager) execute(ctx context.Context, job Job) outcome {
+	var out outcome
+	out.circuit = broker.Disposition{Service: broker.ServiceIP}
+	for attempt := 1; attempt <= job.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if out.err == nil {
+				out.err = err
+			}
+			return out
 		}
-		if attempts < job.MaxAttempts {
+		out.attempts = attempt
+		out.checksum, out.bytes, out.circuit, out.err = m.attempt(ctx, job)
+		if out.err == nil {
+			return out
+		}
+		if attempt < job.MaxAttempts {
 			m.met.retries.Inc()
 		}
 	}
-	return "", attempts - 1, err
+	return out
 }
 
-func (m *Manager) attempt(job Job) (string, error) {
-	opts := job.dialOpts()
+// attempt runs one try of the transfer: dial and authenticate both
+// endpoints, size the object, let the broker take the circuit decision,
+// then move the data and verify.
+func (m *Manager) attempt(ctx context.Context, job Job) (string, int64, broker.Disposition, error) {
+	ip := broker.Disposition{Service: broker.ServiceIP}
+	opts := job.dialOpts(ctx)
 	if m.hub != nil {
 		opts = append(opts, gridftp.WithTelemetry(m.hub))
 	}
 	src, err := gridftp.Dial(job.Src.Addr, opts...)
 	if err != nil {
-		return "", fmt.Errorf("dial src: %w", err)
+		return "", 0, ip, fmt.Errorf("dial src: %w", err)
 	}
 	defer src.Close()
 	if err := src.Login(job.Src.User, job.Src.Pass); err != nil {
-		return "", fmt.Errorf("login src: %w", err)
+		return "", 0, ip, fmt.Errorf("login src: %w", err)
 	}
 	dst, err := gridftp.Dial(job.Dst.Addr, opts...)
 	if err != nil {
-		return "", fmt.Errorf("dial dst: %w", err)
+		return "", 0, ip, fmt.Errorf("dial dst: %w", err)
 	}
 	defer dst.Close()
 	if err := dst.Login(job.Dst.User, job.Dst.Pass); err != nil {
-		return "", fmt.Errorf("login dst: %w", err)
+		return "", 0, ip, fmt.Errorf("login dst: %w", err)
 	}
-	if err := gridftp.ThirdParty(src, dst, job.SrcName, job.DstName); err != nil {
-		return "", fmt.Errorf("transfer: %w", err)
+	bytes := job.SizeHint
+	if bytes <= 0 && m.broker != nil {
+		// The broker sizes circuits from bytes; a failed probe just means
+		// an unhinted decision, not a failed job.
+		if n, err := src.Size(job.SrcName); err == nil {
+			bytes = n
+		}
 	}
+	lease := m.broker.Begin(ctx, job.Src.Addr, job.Dst.Addr, bytes)
+	disp := lease.Disposition()
+	xferStart := time.Now()
+	err = gridftp.ThirdParty(src, dst, job.SrcName, job.DstName)
+	if err != nil {
+		lease.End(0, time.Since(xferStart))
+		return "", bytes, disp, fmt.Errorf("transfer: %w", err)
+	}
+	lease.End(bytes, time.Since(xferStart))
 	if !job.Verify {
-		return "", nil
+		return "", bytes, disp, nil
 	}
 	want, err := src.Checksum(job.SrcName)
 	if err != nil {
-		return "", fmt.Errorf("src checksum: %w", err)
+		return "", bytes, disp, fmt.Errorf("src checksum: %w", err)
 	}
 	got, err := dst.Checksum(job.DstName)
 	if err != nil {
-		return "", fmt.Errorf("dst checksum: %w", err)
+		return "", bytes, disp, fmt.Errorf("dst checksum: %w", err)
 	}
 	if want != got {
-		return "", fmt.Errorf("checksum mismatch: src %s, dst %s", want, got)
+		return "", bytes, disp, fmt.Errorf("checksum mismatch: src %s, dst %s", want, got)
 	}
-	return got, nil
+	return got, bytes, disp, nil
 }

@@ -2,6 +2,8 @@ package xferman
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"gftpvc/internal/gridftp"
+	"gftpvc/internal/vc/broker"
 )
 
 // flakyStore fails the first N Gets, then delegates — simulating the
@@ -78,11 +81,11 @@ func TestSubmitValidation(t *testing.T) {
 			SrcName: "a", DstName: "b", MaxAttempts: -1},
 	}
 	for i, j := range bad {
-		if _, err := m.Submit(j); err == nil {
+		if _, err := m.Submit(context.Background(), j); err == nil {
 			t.Errorf("case %d should fail", i)
 		}
 	}
-	if _, err := m.Wait(999); err == nil {
+	if _, err := m.Wait(context.Background(), 999); err == nil {
 		t.Error("unknown job should fail")
 	}
 }
@@ -100,14 +103,14 @@ func TestSuccessfulVerifiedTransfer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	id, err := m.Submit(Job{
+	id, err := m.Submit(context.Background(), Job{
 		Src: ep(src), Dst: ep(dst),
 		SrcName: "data.bin", DstName: "copy.bin", Verify: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Wait(id)
+	res, err := m.Wait(context.Background(), id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +142,7 @@ func TestRetryRecoversFromTransientFailure(t *testing.T) {
 
 	m, _ := New(1)
 	defer m.Close()
-	id, err := m.Submit(Job{
+	id, err := m.Submit(context.Background(), Job{
 		Src: ep(src), Dst: ep(dst),
 		SrcName: "data.bin", DstName: "copy.bin",
 		MaxAttempts: 4, Verify: true,
@@ -147,7 +150,7 @@ func TestRetryRecoversFromTransientFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _ := m.Wait(id)
+	res, _ := m.Wait(context.Background(), id)
 	if res.Status != Succeeded {
 		t.Fatalf("status = %v, err = %s", res.Status, res.Err)
 	}
@@ -161,14 +164,14 @@ func TestExhaustedRetriesFail(t *testing.T) {
 	dst := serve(t, gridftp.NewMemStore())
 	m, _ := New(1)
 	defer m.Close()
-	id, err := m.Submit(Job{
+	id, err := m.Submit(context.Background(), Job{
 		Src: ep(src), Dst: ep(dst),
 		SrcName: "missing.bin", DstName: "copy.bin", MaxAttempts: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _ := m.Wait(id)
+	res, _ := m.Wait(context.Background(), id)
 	if res.Status != Failed || res.Err == "" {
 		t.Fatalf("result = %+v, want failure with error", res)
 	}
@@ -190,7 +193,7 @@ func TestBatchOfJobsAcrossWorkers(t *testing.T) {
 	defer m.Close()
 	var ids []JobID
 	for _, n := range names {
-		id, err := m.Submit(Job{
+		id, err := m.Submit(context.Background(), Job{
 			Src: ep(src), Dst: ep(dst),
 			SrcName: n, DstName: n + ".copy", Verify: true,
 		})
@@ -200,7 +203,7 @@ func TestBatchOfJobsAcrossWorkers(t *testing.T) {
 		ids = append(ids, id)
 	}
 	for _, id := range ids {
-		res, err := m.Wait(id)
+		res, err := m.Wait(context.Background(), id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,19 +222,112 @@ func TestSubmitAfterCloseFails(t *testing.T) {
 	m, _ := New(1)
 	m.Close()
 	m.Close() // idempotent
-	if _, err := m.Submit(Job{
+	if _, err := m.Submit(context.Background(), Job{
 		Src: Endpoint{Addr: "x"}, Dst: Endpoint{Addr: "y"},
 		SrcName: "a", DstName: "b",
-	}); err == nil {
-		t.Error("submit after close should fail")
+	}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestSubmitCloseRace hammers Submit against a concurrent Close: every
+// Submit must either enqueue or report ErrClosed — never panic on a
+// closed queue channel. Run under -race via RACE_PKGS.
+func TestSubmitCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		m, _ := New(1)
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 10; j++ {
+					_, err := m.Submit(context.Background(), Job{
+						Src: Endpoint{Addr: "127.0.0.1:1"}, Dst: Endpoint{Addr: "127.0.0.1:1"},
+						SrcName: "x", DstName: "x", MaxAttempts: 1,
+						Timeout: 50 * time.Millisecond,
+					})
+					if err != nil && !errors.Is(err, ErrClosed) {
+						t.Errorf("submit: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		m.Close()
+		wg.Wait()
 	}
 }
 
 func TestResultNonBlocking(t *testing.T) {
 	m, _ := New(1)
 	defer m.Close()
-	if _, err := m.Result(42); err == nil {
-		t.Error("unknown job should fail")
+	if _, err := m.Result(42); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("unknown job: %v, want ErrUnknownJob", err)
+	}
+	if _, err := m.Wait(context.Background(), 42); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("wait unknown job: %v, want ErrUnknownJob", err)
+	}
+}
+
+// TestContextCancellation: a cancelled job context stops retries and
+// bounds Wait itself.
+func TestContextCancellation(t *testing.T) {
+	src := serve(t, gridftp.NewMemStore()) // object never exists: retries forever
+	dst := serve(t, gridftp.NewMemStore())
+	m, _ := New(1)
+	defer m.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	id, err := m.Submit(ctx, Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "missing.bin", DstName: "copy.bin", MaxAttempts: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait under its own short deadline while the job is still retrying.
+	wctx, wcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer wcancel()
+	if _, err := m.Wait(wctx, id); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("bounded wait: %v, want DeadlineExceeded", err)
+	}
+	// Cancel the job: the retry loop must stop well before 1000 attempts.
+	cancel()
+	res, err := m.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Failed || res.Attempts >= 1000 {
+		t.Fatalf("cancelled job: status=%v attempts=%d", res.Status, res.Attempts)
+	}
+}
+
+// TestResultCircuitWithoutBroker: a manager with no broker reports
+// plain best-effort IP dispatch on every result.
+func TestResultCircuitWithoutBroker(t *testing.T) {
+	srcStore := gridftp.NewMemStore()
+	srcStore.Put("data.bin", payload(32<<10))
+	src := serve(t, srcStore)
+	dst := serve(t, gridftp.NewMemStore())
+	m, _ := New(1)
+	defer m.Close()
+	id, err := m.Submit(context.Background(), Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "data.bin", DstName: "copy.bin", SizeHint: 32 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Wait(context.Background(), id)
+	if err != nil || res.Status != Succeeded {
+		t.Fatalf("%+v, %v", res, err)
+	}
+	if res.Circuit.Service != broker.ServiceIP || res.Circuit.Fallback != "" {
+		t.Errorf("brokerless circuit disposition = %+v, want plain IP", res.Circuit)
+	}
+	if res.Bytes != 32<<10 {
+		t.Errorf("bytes = %d, want %d", res.Bytes, 32<<10)
 	}
 }
 
@@ -280,7 +376,7 @@ func TestSubmitAll(t *testing.T) {
 	dst := serve(t, dstStore)
 	m, _ := New(2)
 	defer m.Close()
-	ids, err := m.SubmitAll(ep(src), ep(dst), "run1/", Job{Verify: true})
+	ids, err := m.SubmitAll(context.Background(), ep(src), ep(dst), "run1/", Job{Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +384,7 @@ func TestSubmitAll(t *testing.T) {
 		t.Fatalf("submitted %d jobs, want 2", len(ids))
 	}
 	for _, id := range ids {
-		res, err := m.Wait(id)
+		res, err := m.Wait(context.Background(), id)
 		if err != nil || res.Status != Succeeded {
 			t.Fatalf("job %d: %+v, %v", id, res, err)
 		}
@@ -299,7 +395,7 @@ func TestSubmitAll(t *testing.T) {
 	if _, err := dstStore.Get("other/c"); err == nil {
 		t.Error("other/c should not have been copied")
 	}
-	if _, err := m.SubmitAll(ep(src), ep(dst), "missing/", Job{}); err == nil {
+	if _, err := m.SubmitAll(context.Background(), ep(src), ep(dst), "missing/", Job{}); err == nil {
 		t.Error("empty prefix listing should fail")
 	}
 }
@@ -331,7 +427,7 @@ func TestJobTimeoutBoundsSilentEndpoint(t *testing.T) {
 	m, _ := New(1)
 	defer m.Close()
 	const d = 300 * time.Millisecond
-	id, err := m.Submit(Job{
+	id, err := m.Submit(context.Background(), Job{
 		Src:     Endpoint{Addr: ln.Addr().String()},
 		Dst:     Endpoint{Addr: dst.Addr()},
 		SrcName: "x", DstName: "x",
@@ -342,7 +438,7 @@ func TestJobTimeoutBoundsSilentEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	res, err := m.Wait(id)
+	res, err := m.Wait(context.Background(), id)
 	elapsed := time.Since(start)
 	if err != nil {
 		t.Fatal(err)
@@ -355,7 +451,7 @@ func TestJobTimeoutBoundsSilentEndpoint(t *testing.T) {
 	if limit := 2*2*d + 500*time.Millisecond; elapsed > limit {
 		t.Fatalf("job took %v, want < %v", elapsed, limit)
 	}
-	if _, err := m.Submit(Job{Src: Endpoint{Addr: "a"}, Dst: Endpoint{Addr: "b"},
+	if _, err := m.Submit(context.Background(), Job{Src: Endpoint{Addr: "a"}, Dst: Endpoint{Addr: "b"},
 		SrcName: "x", DstName: "x", Timeout: -time.Second}); err == nil {
 		t.Error("negative Timeout accepted")
 	}
