@@ -10,14 +10,14 @@ RACE_PKGS = ./internal/netsim ./internal/experiments ./internal/sessions \
 	./internal/gridftp/... ./internal/faultnet/... ./internal/telemetry \
 	./internal/vc/... ./internal/xferman
 
-.PHONY: check vet vet-ctx race bench all
+.PHONY: check vet vet-ctx race bench fuzz-smoke all
 
 all: check
 
 # Tier-1 verify: the whole module must build, every test pass, vet (and
-# the context-plumbing lint) stay clean, and the transfer engine's fault
+# the context-plumbing lint) stay clean, the transfer engine's fault
 # matrix, the telemetry registry, and the hybrid control plane run under
-# the race detector.
+# the race detector, and every fuzz corpus gets a short randomized shake.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -25,6 +25,20 @@ check:
 	$(GO) test ./...
 	$(GO) test -race -count=1 ./internal/gridftp/... ./internal/faultnet/... \
 		./internal/telemetry ./internal/vc/... ./internal/xferman
+	$(MAKE) fuzz-smoke
+
+# Fuzz smoke: run each data-plane fuzz target briefly on top of its
+# committed seed corpus. go test accepts a single -fuzz pattern per
+# invocation, hence the loop. Override FUZZ_TIME for longer campaigns
+# (e.g. make fuzz-smoke FUZZ_TIME=5m).
+FUZZ_TIME ?= 10s
+FUZZ_TARGETS = FuzzReadBlock FuzzReadBlockInto FuzzWindowAssembler \
+	FuzzAssembler FuzzDrainConn FuzzParseHostPort
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz-smoke: $$t ($(FUZZ_TIME))"; \
+		$(GO) test ./internal/gridftp/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZ_TIME) >/dev/null || exit 1; \
+	done
 
 vet:
 	$(GO) vet ./...

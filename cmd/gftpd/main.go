@@ -31,6 +31,7 @@ func main() {
 		root     = flag.String("root", ".", "directory to serve")
 		stripes  = flag.Int("stripes", 1, "number of stripe data movers")
 		block    = flag.Int("block", 256<<10, "MODE E block size in bytes")
+		window   = flag.Int("window", 0, "sliding reassembly window for streaming STOR in bytes (0: default 8 MiB); bounds per-transfer buffering of out-of-order blocks")
 		usage    = flag.String("usage", "", "UDP usage-stats collector address (optional)")
 		host     = flag.String("host", "", "server identity in usage logs (default: listen address)")
 		auth     = flag.String("auth", "", "require this user:pass (default: accept all)")
@@ -50,6 +51,7 @@ func main() {
 		Store:         store,
 		Stripes:       *stripes,
 		BlockSize:     *block,
+		WindowSize:    *window,
 		ServerHost:    *host,
 		UsageAddr:     *usage,
 		LogWriter:     os.Stdout,

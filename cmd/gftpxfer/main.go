@@ -42,6 +42,9 @@ func main() {
 		user     = flag.String("user", "anonymous", "username for both servers")
 		pass     = flag.String("pass", "gftpxfer@", "password for both servers")
 		timeout  = flag.Duration("timeout", 0, "per-operation control/data I/O deadline (0: gridftp default, 30s)")
+		stream   = flag.Bool("stream", false, "relay objects through this process's streaming data plane (bounded memory, exact wire accounting) instead of server-to-server third-party transfers")
+		window   = flag.Int("window", 0, "streaming reassembly window in bytes with -stream (0: gridftp default, 4 MiB); bounds relay memory and worst-case re-sent bytes on resume")
+		noResume = flag.Bool("no-resume", false, "restart failed transfers from byte zero instead of resuming at the destination's delivered watermark")
 		metrics  = flag.String("metrics-addr", "", "telemetry HTTP listen address serving /metrics, /spans, /counters, /healthz (optional)")
 
 		oscars  = flag.String("oscars", "", "oscarsd reservation daemon address; enables hybrid VC/IP dispatch (optional)")
@@ -100,7 +103,10 @@ func main() {
 	defer m.Close()
 	srcEP := xferman.Endpoint{Addr: *srcAddr, User: *user, Pass: *pass}
 	dstEP := xferman.Endpoint{Addr: *dstAddr, User: *user, Pass: *pass}
-	tmpl := xferman.Job{MaxAttempts: *attempts, Verify: *verify, Timeout: *timeout}
+	tmpl := xferman.Job{
+		MaxAttempts: *attempts, Verify: *verify, Timeout: *timeout,
+		Stream: *stream, WindowBytes: *window, NoResume: *noResume,
+	}
 	var ids []xferman.JobID
 	if *all != "" {
 		listPrefix := *all

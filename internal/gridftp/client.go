@@ -43,6 +43,7 @@ type Client struct {
 	parallelism    int
 	controlTimeout time.Duration
 	dataTimeout    time.Duration
+	windowSize     int
 	dialFunc       func(network, addr string) (net.Conn, error)
 	desynced       bool
 
@@ -69,6 +70,16 @@ func WithControlTimeout(d time.Duration) Option {
 // receiver surfaces as a timeout error instead of hanging the transfer.
 func WithDataTimeout(d time.Duration) Option {
 	return func(c *Client) { c.dataTimeout = d }
+}
+
+// WithWindow sets the sliding reassembly window for the streaming
+// retrieval APIs (RetrTo/RetrToAt; default DefaultWindowSize). The
+// window bounds the client's peak receive memory and the worst-case
+// duplicate bytes a resumed transfer re-delivers. It also sizes the
+// streaming upload chunks (window/4, clamped to [4KiB, 256KiB]) so a
+// symmetrically configured receiver always accepts them.
+func WithWindow(bytes int) Option {
+	return func(c *Client) { c.windowSize = bytes }
 }
 
 // WithDialFunc replaces the dialer used for the control and data
@@ -111,9 +122,13 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		parallelism:    1,
 		controlTimeout: DefaultControlTimeout,
 		dataTimeout:    DefaultDataTimeout,
+		windowSize:     DefaultWindowSize,
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.windowSize < 1 {
+		return nil, errors.New("gridftp: window must be positive")
 	}
 	c.met = newCliMetrics(c.hub)
 	c.sess = c.hub.Span("session", addr, telemetry.PhaseControlDial)
@@ -384,6 +399,12 @@ type TransferStats struct {
 	Streams       int
 	Stripes       int
 	ThroughputBps float64
+	// WireBytes is the payload byte count that crossed the data
+	// channels, including duplicate regions a resumed sender
+	// re-transmitted; it equals Bytes when nothing was re-sent. Only
+	// the streaming APIs (RetrTo/StorFrom families) populate it — the
+	// buffered APIs leave it zero.
+	WireBytes int64
 }
 
 // Retr fetches an object using the configured parallelism over a single
@@ -628,6 +649,18 @@ func (c *Client) stats(size int64, start time.Time, conns int, striped bool) Tra
 // timeout, so both clients remain usable — a failed transfer must not
 // poison the sessions that retry managers like xferman reuse.
 func ThirdParty(src, dst *Client, srcName, dstName string) error {
+	return ThirdPartyFrom(src, dst, srcName, dstName, 0)
+}
+
+// ThirdPartyFrom is ThirdParty resuming at a byte offset: REST is
+// issued on both control channels, so src retransmits only [offset, …)
+// and dst appends it to the partial object whose Size is the offset —
+// the resume-aware retry path that re-sends at most one reassembly
+// window of duplicates instead of the whole object.
+func ThirdPartyFrom(src, dst *Client, srcName, dstName string, offset int64) error {
+	if offset < 0 {
+		return errors.New("gridftp: negative restart offset")
+	}
 	// dst opens a passive data port; src connects to it actively.
 	addr, err := dst.passive()
 	if err != nil {
@@ -646,6 +679,11 @@ func ThirdParty(src, dst *Client, srcName, dstName string) error {
 	if _, err := src.do("PORT", "PORT "+hostPort, 200); err != nil {
 		return err
 	}
+	if offset > 0 {
+		if _, err := dst.do("REST", fmt.Sprintf("REST %d", offset), 350); err != nil {
+			return err
+		}
+	}
 	// Start the receiver first, then the sender.
 	if _, err := dst.do("STOR", "STOR "+dstName, 150); err != nil {
 		return err
@@ -653,6 +691,12 @@ func ThirdParty(src, dst *Client, srcName, dstName string) error {
 	// From here dst is mid-transfer and owes a completion reply; every
 	// early exit must drain it or the next command on dst would read a
 	// stale 425/426 as its own reply.
+	if offset > 0 {
+		if _, err := src.do("REST", fmt.Sprintf("REST %d", offset), 350); err != nil {
+			dst.drainReply()
+			return err
+		}
+	}
 	if _, err := src.do("RETR", "RETR "+srcName, 150); err != nil {
 		dst.drainReply()
 		return err

@@ -94,6 +94,19 @@ func (m *srvMetrics) transferDone(op string, code int, bytes int64, seconds floa
 	m.sizes.Observe(float64(bytes))
 }
 
+// deliveredBytes records payload bytes that reached the destination
+// sink exactly once. The gap between this and the wire counter is the
+// redundant-retry traffic the paper's server-contention analysis
+// (Figs 7–8) attributes to wasted DTN work.
+func (m *srvMetrics) deliveredBytes(op string, n int64) {
+	if m.hub == nil || n <= 0 {
+		return
+	}
+	m.hub.Counter("gridftp_server_delivered_bytes_total",
+		"Payload bytes delivered to the store exactly once, by operation.",
+		telemetry.L("op", op)).Add(n)
+}
+
 // cliMetrics is the client-side instrument set, resolved at Dial.
 type cliMetrics struct {
 	hub *telemetry.Hub
@@ -135,6 +148,17 @@ func (m *cliMetrics) transferDone(op string, err error, bytes int64, seconds flo
 	m.durations.Observe(seconds)
 }
 
+// deliveredBytes records payload bytes the client's streaming sink
+// received exactly once (duplicates from a resumed sender excluded).
+func (m *cliMetrics) deliveredBytes(op string, n int64) {
+	if m.hub == nil || n <= 0 {
+		return
+	}
+	m.hub.Counter("gridftp_client_delivered_bytes_total",
+		"Payload bytes delivered to the client sink exactly once, by operation.",
+		telemetry.L("op", op)).Add(n)
+}
+
 func resultLabel(err error) string {
 	if err != nil {
 		return "error"
@@ -152,6 +176,18 @@ type transferCtx struct {
 	span  *telemetry.Span
 	wire  atomic.Int64
 	conns int
+
+	// delivered is the payload byte count the destination sink received
+	// exactly once this attempt; deliveredSet marks it authoritative
+	// (the windowed receive path sets it — legacy paths leave it unset
+	// and the success metric falls back to the transfer size).
+	delivered    int64
+	deliveredSet bool
+	// wireRec, when nonzero, is the payload wire byte count (duplicates
+	// included) recorded as the usage record's WIRE= field; set only
+	// when a resumed sender actually re-sent bytes, so untouched
+	// transfers log byte-identically to older servers.
+	wireRec int64
 }
 
 // countingConn counts wire bytes crossing a data connection into the

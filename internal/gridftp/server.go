@@ -53,6 +53,14 @@ type Config struct {
 	// (default 4 GiB). MODE E frames carry 64-bit offsets, so without a
 	// cap a single malicious frame could demand an arbitrary allocation.
 	MaxObjectSize int64
+	// WindowSize is the sliding reassembly window for streaming STOR
+	// receives when Store implements StreamPutter (default 8 MiB;
+	// negative disables streaming, falling back to whole-object
+	// buffering). It bounds per-transfer receive memory regardless of
+	// object size and is the resume granularity: a failed transfer
+	// leaves at most one window of received-but-unflushed bytes to
+	// re-send.
+	WindowSize int
 	// DataListen opens the passive data listeners (default net.Listen).
 	// Fault-injection and listener-leak tests substitute wrappers here.
 	DataListen func(network, addr string) (net.Listener, error)
@@ -113,6 +121,12 @@ func Serve(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxObjectSize < 0 {
 		return nil, errors.New("gridftp: max object size must be positive")
+	}
+	switch {
+	case cfg.WindowSize == 0:
+		cfg.WindowSize = 8 << 20
+	case cfg.WindowSize < 0:
+		cfg.WindowSize = 0
 	}
 	if cfg.DataListen == nil {
 		cfg.DataListen = net.Listen
@@ -218,7 +232,8 @@ type session struct {
 	passive []net.Listener
 	// active mode target (PORT), mutually exclusive with passive.
 	activeAddr string
-	// restartOffset is set by REST and consumed by the next RETR.
+	// restartOffset is set by REST and consumed by the next RETR or
+	// STOR (resumed sends deliver from the offset onward).
 	restartOffset int64
 }
 
@@ -376,7 +391,7 @@ func (sess *session) dispatch(verb, arg string) bool {
 			break
 		}
 		sess.restartOffset = n
-		sess.reply(350, "restarting at "+arg+"; send RETR")
+		sess.reply(350, "restarting at "+arg+"; send RETR or STOR")
 	case "RETR":
 		offset := sess.restartOffset
 		sess.restartOffset = 0
@@ -384,7 +399,9 @@ func (sess *session) dispatch(verb, arg string) bool {
 	case "ERET":
 		sess.cmdEret(arg)
 	case "STOR":
-		sess.cmdStor(arg)
+		offset := sess.restartOffset
+		sess.restartOffset = 0
+		sess.cmdStor(arg, offset)
 	default:
 		sess.reply(502, "command not implemented: "+verb)
 	}
@@ -584,16 +601,22 @@ func (sess *session) failTransfer(tx *transferCtx, code int, msg string) {
 	sess.reply(code, msg)
 	partial := tx.wire.Load()
 	sess.srv.met.transferDone(tx.op, code, partial, time.Since(tx.start).Seconds())
+	sess.srv.met.deliveredBytes(tx.op, tx.delivered)
 	tx.span.End(fmt.Errorf("%d %s", code, msg))
-	sess.logTransfer(tx.typ, partial, tx.start, tx.conns, code)
+	sess.logTransfer(tx, partial, code)
 }
 
 // finishTransfer logs the completed transfer, replies 226, and closes
 // the instrumentation.
 func (sess *session) finishTransfer(tx *transferCtx, size int64) {
-	sess.logTransfer(tx.typ, size, tx.start, tx.conns, 0)
+	sess.logTransfer(tx, size, 0)
 	sess.reply(226, "transfer complete")
 	sess.srv.met.transferDone(tx.op, 226, tx.wire.Load(), time.Since(tx.start).Seconds())
+	delivered := tx.delivered
+	if !tx.deliveredSet {
+		delivered = size
+	}
+	sess.srv.met.deliveredBytes(tx.op, delivered)
 	tx.span.End(nil)
 }
 
@@ -674,20 +697,38 @@ func (sess *session) cmdRetr(name string, offset, length int64) {
 	if !sess.checkTransferPreconditions(tx) {
 		return
 	}
-	data, err := sess.srv.cfg.Store.Get(name)
-	if err != nil {
-		sess.failTransfer(tx, 550, err.Error())
-		return
+	// A ReaderAtStore backend streams stripes straight from the store —
+	// per-connection memory is one block, not the object. The wire
+	// geometry matches SendFileAt exactly (stripe i sends blocks i,
+	// i+n, i+2n, ...), so receivers cannot tell the paths apart. Other
+	// backends keep the whole-object Get path.
+	ras, streaming := sess.srv.cfg.Store.(ReaderAtStore)
+	var data []byte
+	var size int64
+	if streaming {
+		n, err := sess.srv.cfg.Store.Size(name)
+		if err != nil {
+			sess.failTransfer(tx, 550, err.Error())
+			return
+		}
+		size = n
+	} else {
+		d, err := sess.srv.cfg.Store.Get(name)
+		if err != nil {
+			sess.failTransfer(tx, 550, err.Error())
+			return
+		}
+		data, size = d, int64(len(d))
 	}
-	if offset > int64(len(data)) {
+	if offset > size {
 		sess.failTransfer(tx, 551, "offset beyond object size")
 		return
 	}
-	end := int64(len(data))
+	end := size
 	if length >= 0 && offset+length < end {
 		end = offset + length
 	}
-	region := data[offset:end]
+	regionLen := end - offset
 	sess.reply(150, "opening data connection")
 	conns, err := sess.dataConns(tx)
 	if err != nil {
@@ -706,11 +747,14 @@ func (sess *session) cmdRetr(name string, offset, length int64) {
 			defer wg.Done()
 			defer c.Close()
 			bw := bufio.NewWriterSize(c, 64<<10)
-			if err := SendFileAt(bw, region, uint64(offset), bs, i*bs, len(conns)*bs); err != nil {
-				errs[i] = err
-				return
+			if streaming {
+				errs[i] = sendStoreRegion(ras, name, bw, offset, regionLen, bs, i*bs, len(conns)*bs)
+			} else {
+				errs[i] = SendFileAt(bw, data[offset:end], uint64(offset), bs, i*bs, len(conns)*bs)
 			}
-			errs[i] = bw.Flush()
+			if errs[i] == nil {
+				errs[i] = bw.Flush()
+			}
 		}(i, c)
 	}
 	wg.Wait()
@@ -721,7 +765,39 @@ func (sess *session) cmdRetr(name string, offset, length int64) {
 			return
 		}
 	}
-	sess.finishTransfer(tx, int64(len(region)))
+	sess.finishTransfer(tx, regionLen)
+}
+
+// sendStoreRegion streams the object region [offset, offset+length) as
+// MODE E blocks read directly from the store, with SendFileAt's stripe
+// geometry: region-relative offsets base, base+step, base+2*step, ...
+// each carrying up to blockSize bytes framed at absolute file offsets.
+// One blockSize buffer is the whole memory footprint.
+func sendStoreRegion(s ReaderAtStore, name string, w io.Writer, offset, length int64, blockSize, base, step int) error {
+	if blockSize <= 0 {
+		return fmt.Errorf("%w: non-positive block size", ErrDataProtocol)
+	}
+	if base < 0 || step <= 0 {
+		return fmt.Errorf("%w: bad stripe geometry base=%d step=%d", ErrDataProtocol, base, step)
+	}
+	buf := make([]byte, blockSize)
+	for off := int64(base); off < length; off += int64(step) {
+		n := int64(blockSize)
+		if rem := length - off; n > rem {
+			n = rem
+		}
+		m, err := s.ReadObjectAt(name, buf[:n], offset+off)
+		if int64(m) < n {
+			if err == nil || err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("gridftp: short store read at %d: %w", offset+off, err)
+		}
+		if err := WriteBlock(w, Block{Offset: uint64(offset + off), Data: buf[:n]}); err != nil {
+			return err
+		}
+	}
+	return WriteBlock(w, Block{Desc: DescEOD})
 }
 
 // growBuffer extends buf so it covers [0, end), doubling the capacity
@@ -743,10 +819,22 @@ func growBuffer(buf []byte, end uint64) []byte {
 }
 
 // cmdStor receives an object from the client over the data connections.
-func (sess *session) cmdStor(name string) {
+// offset > 0 (REST) resumes a partial object: the windowed path
+// delivers from that watermark onward, dropping any overlap the sender
+// re-transmits.
+func (sess *session) cmdStor(name string, offset int64) {
 	tx := sess.beginTransfer("stor", usagestats.Store, name)
 	defer sess.endTransfer()
 	if !sess.checkTransferPreconditions(tx) {
+		return
+	}
+	if sp, ok := sess.srv.cfg.Store.(StreamPutter); ok && sess.srv.cfg.WindowSize > 0 {
+		sess.cmdStorWindowed(tx, sp, name, offset)
+		return
+	}
+	if offset != 0 {
+		// The whole-object path has no resume watermark to honor.
+		sess.failTransfer(tx, 501, "REST not supported for buffered STOR")
 		return
 	}
 	sess.reply(150, "opening data connection")
@@ -818,12 +906,118 @@ func (sess *session) cmdStor(name string) {
 	sess.finishTransfer(tx, int64(len(buf)))
 }
 
+// regionSink adapts a StreamPutter to the io.Writer a window assembler
+// flushes into: writes arrive contiguous and ascending from the
+// restart base, so each one commits the next region of the object.
+type regionSink struct {
+	sp   StreamPutter
+	name string
+	off  int64
+}
+
+func (s *regionSink) Write(p []byte) (int, error) {
+	if err := s.sp.PutRegion(s.name, s.off, p); err != nil {
+		return 0, err
+	}
+	s.off += int64(len(p))
+	return len(p), nil
+}
+
+// cmdStorWindowed receives an object through a bounded reassembly
+// window: blocks from all data connections place into one shared
+// window, every contiguous run flushes to the store immediately, and a
+// connection racing too far ahead parks until the window slides. Peak
+// memory is the window, independent of object size — and because
+// BeginPut pins the stored object to the delivered watermark, a failed
+// transfer leaves a partial whose Size is exactly the restart offset a
+// resume-aware client probes for.
+func (sess *session) cmdStorWindowed(tx *transferCtx, sp StreamPutter, name string, offset int64) {
+	if err := sp.BeginPut(name, offset); err != nil {
+		sess.failTransfer(tx, 554, "restart rejected: "+err.Error())
+		return
+	}
+	sink := &regionSink{sp: sp, name: name, off: offset}
+	asm, err := NewWindowAssembler(sink, uint64(offset), -1, sess.srv.cfg.WindowSize, sess.srv.cfg.DataTimeout)
+	if err != nil {
+		sess.failTransfer(tx, 451, err.Error())
+		return
+	}
+	sess.reply(150, "opening data connection")
+	conns, err := sess.dataConns(tx)
+	if err != nil {
+		sess.failTransfer(tx, 425, "data connection failed: "+err.Error())
+		return
+	}
+	tx.conns = len(conns)
+	tx.span.SetStreams(len(conns))
+	tx.span.Phase(telemetry.PhaseStream)
+	maxSize := uint64(sess.srv.cfg.MaxObjectSize)
+	var wg sync.WaitGroup
+	errs := make([]error, len(conns))
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c net.Conn) {
+			defer wg.Done()
+			defer c.Close()
+			br := bufio.NewReaderSize(c, 64<<10)
+			var scratch []byte
+			for {
+				var b Block
+				var err error
+				b, scratch, err = ReadBlockInto(br, scratch)
+				if err == nil && len(b.Data) > 0 {
+					// The size cap guards before any window logic so a
+					// malicious offset is a prompt 426, never a park.
+					if b.Offset > maxSize || uint64(len(b.Data)) > maxSize-b.Offset {
+						err = fmt.Errorf("%w: block at offset %d exceeds the %d-byte object limit",
+							ErrDataProtocol, b.Offset, maxSize)
+					} else {
+						err = asm.PlaceBlocking(b)
+					}
+				}
+				if err != nil {
+					errs[i] = err
+					// Wake siblings parked on the window; first error wins.
+					asm.Abort(err)
+					return
+				}
+				if b.Desc&DescEOD != 0 {
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	tx.span.Phase(telemetry.PhaseTeardown)
+	tx.delivered, tx.deliveredSet = asm.Delivered(), true
+	if asm.DuplicateBytes() > 0 {
+		tx.wireRec = asm.WireBytes()
+	}
+	for _, e := range errs {
+		if e != nil {
+			sess.failTransfer(tx, 426, "transfer aborted: "+e.Error())
+			return
+		}
+	}
+	if err := asm.Finish(); err != nil {
+		sess.failTransfer(tx, 426, "transfer aborted: "+err.Error())
+		return
+	}
+	size := int64(asm.Flushed())
+	if err := sp.FinishPut(name, size); err != nil {
+		sess.failTransfer(tx, 552, "store failed: "+err.Error())
+		return
+	}
+	sess.finishTransfer(tx, size)
+}
+
 // logTransfer appends a usage record to the local log and ships it to
 // the usage collector, as Globus servers do at the end of each
 // transfer. Unlike Globus loggers it also records failed and aborted
 // transfers: code >= 400 marks the record failed and size carries the
 // partial byte count.
-func (sess *session) logTransfer(t usagestats.TransferType, size int64, start time.Time, conns int, code int) {
+func (sess *session) logTransfer(tx *transferCtx, size int64, code int) {
+	t, start, conns := tx.typ, tx.start, tx.conns
 	streams := conns
 	stripes := 1
 	if len(sess.passive) > 1 {
@@ -847,6 +1041,7 @@ func (sess *session) logTransfer(t usagestats.TransferType, size int64, start ti
 		BufferBytes: sess.bufferBytes,
 		BlockBytes:  int64(sess.srv.cfg.BlockSize),
 		Code:        code,
+		WireBytes:   tx.wireRec,
 	}
 	if rec.DurationSec <= 0 {
 		rec.DurationSec = 1e-6

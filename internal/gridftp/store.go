@@ -3,6 +3,7 @@ package gridftp
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -25,6 +26,33 @@ type Store interface {
 
 // ErrNotFound reports a missing object.
 var ErrNotFound = errors.New("gridftp: object not found")
+
+// ReaderAtStore is the optional streaming read side of a Store: a
+// server whose store implements it serves RETR by reading stripes
+// directly into per-connection buffers instead of materializing the
+// whole object with Get. ReadObjectAt follows io.ReaderAt semantics
+// (short reads at the object's tail return io.EOF with n > 0).
+type ReaderAtStore interface {
+	ReadObjectAt(name string, p []byte, off int64) (int, error)
+}
+
+// StreamPutter is the optional streaming write side of a Store: a
+// server whose store implements it receives STOR through a bounded
+// reassembly window, committing each contiguous region as it flushes
+// rather than buffering the object in RAM.
+//
+// BeginPut prepares the named object to receive data from byte offset
+// base onward, truncating any existing content to base — so after a
+// failed transfer the object's Size is exactly the delivered
+// high-water mark, which is what a resume-aware retry probes for its
+// REST offset. PutRegion appends/overwrites [off, off+len(p)); the
+// windowed receiver always calls it in ascending contiguous order.
+// FinishPut seals the object at its final size.
+type StreamPutter interface {
+	BeginPut(name string, base int64) error
+	PutRegion(name string, off int64, p []byte) error
+	FinishPut(name string, size int64) error
+}
 
 // MemStore is an in-memory Store, safe for concurrent use.
 type MemStore struct {
@@ -60,6 +88,79 @@ func (m *MemStore) Put(name string, data []byte) error {
 	m.mu.Lock()
 	m.objects[name] = cp
 	m.mu.Unlock()
+	return nil
+}
+
+// ReadObjectAt implements ReaderAtStore.
+func (m *MemStore) ReadObjectAt(name string, p []byte, off int64) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.objects[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if off < 0 || off > int64(len(data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// BeginPut implements StreamPutter: the object is truncated to base so
+// its Size tracks the delivered watermark during a streaming STOR.
+func (m *MemStore) BeginPut(name string, base int64) error {
+	if name == "" {
+		return errors.New("gridftp: empty object name")
+	}
+	if base < 0 {
+		return fmt.Errorf("gridftp: negative put base %d", base)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data := m.objects[name]
+	if int64(len(data)) < base {
+		return fmt.Errorf("gridftp: restart offset %d beyond stored %d bytes", base, len(data))
+	}
+	m.objects[name] = data[:base:base]
+	return nil
+}
+
+// PutRegion implements StreamPutter.
+func (m *MemStore) PutRegion(name string, off int64, p []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.objects[name]
+	if !ok {
+		return fmt.Errorf("%w: %s (PutRegion before BeginPut)", ErrNotFound, name)
+	}
+	end := off + int64(len(p))
+	if off < 0 || off > int64(len(data)) {
+		return fmt.Errorf("gridftp: non-contiguous region at %d (have %d bytes)", off, len(data))
+	}
+	if end > int64(len(data)) {
+		grown := make([]byte, end)
+		copy(grown, data)
+		data = grown
+	}
+	copy(data[off:end], p)
+	m.objects[name] = data
+	return nil
+}
+
+// FinishPut implements StreamPutter.
+func (m *MemStore) FinishPut(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.objects[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if int64(len(data)) != size {
+		return fmt.Errorf("gridftp: finish size %d, stored %d bytes", size, len(data))
+	}
 	return nil
 }
 
@@ -116,6 +217,43 @@ func (s *SyntheticStore) Put(name string, data []byte) error {
 	}
 	return nil
 }
+
+// ReadObjectAt implements ReaderAtStore by generating the pattern for
+// just the requested region, so synthetic objects far larger than RAM
+// stream without ever being materialized.
+func (s *SyntheticStore) ReadObjectAt(name string, p []byte, off int64) (int, error) {
+	if s.ObjectSize < 0 {
+		return 0, errors.New("gridftp: negative synthetic size")
+	}
+	if off < 0 || off >= s.ObjectSize {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if rem := s.ObjectSize - off; int64(n) > rem {
+		n = int(rem)
+	}
+	for i := 0; i < n; i++ {
+		p[i] = byte((off + int64(i)) * 131)
+	}
+	if int64(n) < int64(len(p)) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// BeginPut implements StreamPutter; synthetic puts are discarded.
+func (s *SyntheticStore) BeginPut(name string, base int64) error {
+	if name == "" {
+		return errors.New("gridftp: empty object name")
+	}
+	return nil
+}
+
+// PutRegion implements StreamPutter; the payload is dropped.
+func (s *SyntheticStore) PutRegion(name string, off int64, p []byte) error { return nil }
+
+// FinishPut implements StreamPutter.
+func (s *SyntheticStore) FinishPut(name string, size int64) error { return nil }
 
 // Size implements Store.
 func (s *SyntheticStore) Size(name string) (int64, error) { return s.ObjectSize, nil }

@@ -1,0 +1,381 @@
+package gridftp
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"gftpvc/internal/telemetry"
+)
+
+// This file is the client's streaming data plane: RetrTo/RetrToAt
+// deliver an object into an io.Writer through a bounded reassembly
+// window, and StorFrom/StorFromAt send from an io.Reader in block-size
+// chunks — peak memory is a window (receive) or a few blocks (send),
+// independent of object size, where the buffered Retr/Stor APIs hold
+// the whole object.
+
+// connSet tracks a transfer's open data connections so a context
+// cancellation can tear them down from outside the transfer
+// goroutines; blocked reads and writes then fail immediately.
+type connSet struct {
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+}
+
+// add registers a connection, closing it instead when the set is
+// already torn down (a dial that raced the cancellation).
+func (s *connSet) add(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		c.Close()
+		return false
+	}
+	s.conns = append(s.conns, c)
+	return true
+}
+
+func (s *connSet) closeAll() {
+	s.mu.Lock()
+	conns := s.conns
+	s.conns, s.closed = nil, true
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// watchCtx tears the connection set down when ctx is cancelled and
+// runs onCancel (e.g. aborting a window assembler so parked placers
+// wake). The returned stop func must be called when the transfer's
+// data phase ends.
+func watchCtx(ctx context.Context, set *connSet, onCancel func(error)) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			if onCancel != nil {
+				onCancel(ctx.Err())
+			}
+			set.closeAll()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// firstError returns ctx's error if it fired (cancellation caused the
+// connection errors, so it is the root cause), else the first non-nil
+// entry.
+func firstError(ctx context.Context, errs []error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// RetrTo fetches an object and streams it into w with bounded memory:
+// out-of-order MODE E blocks park in a sliding window (WithWindow) and
+// every byte reaching w is contiguous and delivered exactly once. The
+// returned stats carry the delivered count in Bytes and the raw
+// payload count in WireBytes even when the transfer fails — the
+// delivered watermark (offset + Bytes) is the REST offset a
+// resume-aware retry restarts from.
+func (c *Client) RetrTo(ctx context.Context, name string, w io.Writer) (TransferStats, error) {
+	return c.RetrToAt(ctx, name, w, 0)
+}
+
+// RetrToAt is RetrTo resuming at a byte offset: REST is issued and w
+// receives the object's bytes from offset onward.
+func (c *Client) RetrToAt(ctx context.Context, name string, w io.Writer, offset int64) (TransferStats, error) {
+	const op = "retr_stream"
+	sp := c.hub.Span(op, name, telemetry.PhaseSetup)
+	start := time.Now()
+	stats, err := c.retrToInner(ctx, name, w, offset, sp)
+	c.met.transferDone(op, err, sp.Bytes(), time.Since(start).Seconds())
+	c.met.deliveredBytes(op, stats.Bytes)
+	sp.End(err)
+	return stats, err
+}
+
+func (c *Client) retrToInner(ctx context.Context, name string, w io.Writer, offset int64, sp *telemetry.Span) (TransferStats, error) {
+	if w == nil {
+		return TransferStats{}, errors.New("gridftp: nil sink")
+	}
+	if offset < 0 {
+		return TransferStats{}, errors.New("gridftp: negative restart offset")
+	}
+	if err := ctx.Err(); err != nil {
+		return TransferStats{}, err
+	}
+	size, err := c.Size(name)
+	if err != nil {
+		return TransferStats{}, err
+	}
+	if offset > size {
+		return TransferStats{}, errors.New("gridftp: offset beyond object size")
+	}
+	regionLen := size - offset
+	addr, err := c.passive()
+	if err != nil {
+		return TransferStats{}, err
+	}
+	start := time.Now()
+	if offset > 0 {
+		if _, err := c.do("REST", fmt.Sprintf("REST %d", offset), 350); err != nil {
+			return TransferStats{}, err
+		}
+	}
+	if _, err := c.do("RETR", "RETR "+name, 150); err != nil {
+		return TransferStats{}, err
+	}
+	asm, err := NewWindowAssembler(w, uint64(offset), regionLen, c.windowSize, c.dataTimeout)
+	if err != nil {
+		c.drainReply() // the server is mid-transfer; consume its verdict
+		return TransferStats{}, err
+	}
+	n := c.parallelism
+	sp.SetStreams(n)
+	sp.Phase(telemetry.PhaseStream)
+	set := &connSet{}
+	stop := watchCtx(ctx, set, asm.Abort)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := c.dataConn(addr, sp)
+			if err != nil {
+				errs[i] = err
+				asm.Abort(err)
+				return
+			}
+			if !set.add(conn) {
+				errs[i] = ctx.Err()
+				return
+			}
+			if _, err := asm.DrainConn(bufio.NewReaderSize(conn, 64<<10)); err != nil {
+				errs[i] = err
+				asm.Abort(err)
+			}
+			conn.Close()
+		}(i)
+	}
+	wg.Wait()
+	stop()
+	sp.Phase(telemetry.PhaseTeardown)
+	stats := c.stats(asm.Delivered(), start, n, false)
+	stats.WireBytes = asm.WireBytes()
+	if err := firstError(ctx, errs); err != nil {
+		c.drainReply()
+		return stats, err
+	}
+	if _, err := c.expect("RETR-complete", 226); err != nil {
+		return stats, err
+	}
+	if err := asm.Finish(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// StorFrom uploads size bytes read from r (size < 0 when unknown; it
+// is informational only). Memory stays bounded at a few MODE E blocks
+// per stream regardless of object size.
+func (c *Client) StorFrom(ctx context.Context, name string, r io.Reader, size int64) (TransferStats, error) {
+	return c.StorFromAt(ctx, name, r, 0, size)
+}
+
+// StorFromAt is StorFrom resuming at a byte offset: REST is issued and
+// r must supply the object's bytes from offset onward — the windowed
+// receiver appends them to its partial object.
+func (c *Client) StorFromAt(ctx context.Context, name string, r io.Reader, offset, size int64) (TransferStats, error) {
+	const op = "stor_stream"
+	sp := c.hub.Span(op, name, telemetry.PhaseSetup)
+	start := time.Now()
+	stats, err := c.storFromInner(ctx, name, r, offset, sp)
+	c.met.transferDone(op, err, sp.Bytes(), time.Since(start).Seconds())
+	c.met.deliveredBytes(op, stats.Bytes)
+	sp.End(err)
+	return stats, err
+}
+
+// chunk is one block-size unit of upload work: a payload read from the
+// source at an absolute file offset.
+type chunk struct {
+	off uint64
+	buf []byte
+	n   int
+}
+
+func (c *Client) storFromInner(ctx context.Context, name string, r io.Reader, offset int64, sp *telemetry.Span) (TransferStats, error) {
+	if r == nil {
+		return TransferStats{}, errors.New("gridftp: nil source")
+	}
+	if offset < 0 {
+		return TransferStats{}, errors.New("gridftp: negative restart offset")
+	}
+	if err := ctx.Err(); err != nil {
+		return TransferStats{}, err
+	}
+	addr, err := c.passive()
+	if err != nil {
+		return TransferStats{}, err
+	}
+	start := time.Now()
+	if offset > 0 {
+		if _, err := c.do("REST", fmt.Sprintf("REST %d", offset), 350); err != nil {
+			return TransferStats{}, err
+		}
+	}
+	if _, err := c.do("STOR", "STOR "+name, 150); err != nil {
+		return TransferStats{}, err
+	}
+	n := c.parallelism
+	sp.SetStreams(n)
+	sp.Phase(telemetry.PhaseStream)
+	// Upload blocks must fit inside the receiver's reassembly window
+	// (a block larger than the window is a protocol error there), so
+	// the chunk size follows the client's own window setting: a peer
+	// configured symmetrically always accepts our blocks, with room
+	// for four in flight before anything parks.
+	blockSize := c.windowSize / 4
+	if blockSize > 256<<10 {
+		blockSize = 256 << 10
+	}
+	if blockSize < 4<<10 {
+		blockSize = 4 << 10
+	}
+	// The reader goroutine slices r into blocks and hands them to the
+	// sender goroutines; the free list caps in-flight buffers at two
+	// per stream, which is the upload path's whole memory budget.
+	free := make(chan []byte, 2*n)
+	for i := 0; i < 2*n; i++ {
+		free <- make([]byte, blockSize)
+	}
+	chunks := make(chan chunk, n)
+	stopc := make(chan struct{})
+	var stopOnce sync.Once
+	stopSend := func() { stopOnce.Do(func() { close(stopc) }) }
+	set := &connSet{}
+	stopWatch := watchCtx(ctx, set, func(error) { stopSend() })
+	var sent int64
+	var readErr error
+	// readerDone closes before chunks (LIFO defers), so senders that
+	// drained a closed chunks channel are guaranteed to observe the
+	// reader's final readErr — a source read error can never be
+	// mistaken for a clean EOF.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(chunks)
+		defer close(readerDone)
+		pos := uint64(offset)
+		for {
+			var buf []byte
+			select {
+			case buf = <-free:
+			case <-stopc:
+				return
+			}
+			m, err := io.ReadFull(r, buf)
+			if m > 0 {
+				select {
+				case chunks <- chunk{off: pos, buf: buf, n: m}:
+					pos += uint64(m)
+				case <-stopc:
+					return
+				}
+			}
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF {
+					readErr = err
+				}
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	var sentMu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := c.dataConn(addr, sp)
+			if err != nil {
+				errs[i] = err
+				stopSend()
+				return
+			}
+			if !set.add(conn) {
+				errs[i] = ctx.Err()
+				return
+			}
+			defer conn.Close()
+			bw := bufio.NewWriterSize(conn, 64<<10)
+			for ck := range chunks {
+				err := WriteBlock(bw, Block{Offset: ck.off, Data: ck.buf[:ck.n]})
+				if err != nil {
+					errs[i] = err
+					stopSend()
+					return
+				}
+				sentMu.Lock()
+				sent += int64(ck.n)
+				sentMu.Unlock()
+				select {
+				case free <- ck.buf:
+				case <-stopc:
+					errs[i] = ctx.Err()
+					return
+				}
+			}
+			if err := WriteBlock(bw, Block{Desc: DescEOD}); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = bw.Flush()
+		}(i)
+	}
+	wg.Wait()
+	stopWatch()
+	stopSend()
+	sp.Phase(telemetry.PhaseTeardown)
+	stats := c.stats(sent, start, n, false)
+	stats.WireBytes = sent
+	if err := firstError(ctx, errs); err != nil {
+		c.drainReply()
+		return stats, err
+	}
+	// Senders completed cleanly, which only happens after the reader
+	// closed chunks — and readerDone closes before chunks, so this
+	// read of readErr is ordered after its final write. (A reader
+	// still blocked on r implies a sender error, caught above.)
+	var srcErr error
+	select {
+	case <-readerDone:
+		srcErr = readErr
+	default:
+	}
+	if srcErr != nil {
+		c.drainReply()
+		return stats, fmt.Errorf("gridftp: reading upload source: %w", srcErr)
+	}
+	if _, err := c.expect("STOR-complete", 226); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,319 @@
+package gridftp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWindowAssemblerInOrder(t *testing.T) {
+	var out bytes.Buffer
+	want := randomPayload(10 << 10)
+	asm, err := NewWindowAssembler(&out, 0, int64(len(want)), 1<<10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(want); off += 512 {
+		end := off + 512
+		if end > len(want) {
+			end = len(want)
+		}
+		if err := asm.Place(Block{Offset: uint64(off), Data: want[off:end]}); err != nil {
+			t.Fatalf("place at %d: %v", off, err)
+		}
+	}
+	if err := asm.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatal("delivered bytes differ from input")
+	}
+	if asm.Delivered() != int64(len(want)) || asm.WireBytes() != int64(len(want)) {
+		t.Fatalf("delivered=%d wire=%d, want %d for both", asm.Delivered(), asm.WireBytes(), len(want))
+	}
+	if asm.DuplicateBytes() != 0 {
+		t.Fatalf("duplicates=%d, want 0", asm.DuplicateBytes())
+	}
+}
+
+// TestWindowAssemblerOutOfOrder shuffles block arrival within the
+// window: delivery must still be contiguous and byte-identical.
+func TestWindowAssemblerOutOfOrder(t *testing.T) {
+	var out bytes.Buffer
+	const blockLen = 256
+	want := randomPayload(8 << 10)
+	// Window of 4 blocks; shuffle within groups of 4 so no block lands
+	// beyond the window.
+	asm, err := NewWindowAssembler(&out, 0, int64(len(want)), 4*blockLen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	nBlocks := len(want) / blockLen
+	for g := 0; g < nBlocks; g += 4 {
+		group := []int{g, g + 1, g + 2, g + 3}
+		rng.Shuffle(len(group), func(i, j int) { group[i], group[j] = group[j], group[i] })
+		for _, b := range group {
+			off := b * blockLen
+			if err := asm.Place(Block{Offset: uint64(off), Data: want[off : off+blockLen]}); err != nil {
+				t.Fatalf("place block %d: %v", b, err)
+			}
+		}
+	}
+	if err := asm.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatal("delivered bytes differ from input")
+	}
+}
+
+func TestWindowAssemblerWindowFull(t *testing.T) {
+	var out bytes.Buffer
+	asm, err := NewWindowAssembler(&out, 0, 4096, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A block starting beyond flushed+window cannot be buffered.
+	if err := asm.Place(Block{Offset: 1024, Data: []byte("x")}); !errors.Is(err, ErrWindowFull) {
+		t.Fatalf("got %v, want ErrWindowFull", err)
+	}
+	// Fill the first KiB; the window slides and the block now fits.
+	if err := asm.Place(Block{Offset: 0, Data: make([]byte, 1024)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Place(Block{Offset: 1024, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	// A block bigger than the whole window can never fit: protocol error,
+	// not ErrWindowFull.
+	err = asm.Place(Block{Offset: 1025, Data: make([]byte, 2048)})
+	if !errors.Is(err, ErrDataProtocol) {
+		t.Fatalf("got %v, want ErrDataProtocol for block larger than window", err)
+	}
+}
+
+// TestWindowAssemblerDuplicates: re-sent regions — behind the
+// watermark or already present in the window — are dropped, counted,
+// and never delivered twice.
+func TestWindowAssemblerDuplicates(t *testing.T) {
+	var out bytes.Buffer
+	want := randomPayload(2048)
+	asm, err := NewWindowAssembler(&out, 0, int64(len(want)), 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := func(off, n int) {
+		t.Helper()
+		if err := asm.Place(Block{Offset: uint64(off), Data: want[off : off+n]}); err != nil {
+			t.Fatalf("place [%d,+%d): %v", off, n, err)
+		}
+	}
+	place(0, 512)
+	place(0, 512)   // fully behind the watermark
+	place(512, 512) // flushes through 1024
+	place(768, 512) // overlaps delivered [768,1024) and fresh [1024,1280)
+	place(1280, 768)
+	place(1024, 256) // in-window duplicate
+	if err := asm.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatal("delivered bytes differ from input")
+	}
+	if asm.Delivered() != int64(len(want)) {
+		t.Fatalf("delivered=%d, want %d", asm.Delivered(), len(want))
+	}
+	wantDup := int64(512 + 256 + 256)
+	if asm.DuplicateBytes() != wantDup {
+		t.Fatalf("duplicates=%d, want %d", asm.DuplicateBytes(), wantDup)
+	}
+	if asm.WireBytes() != int64(len(want))+wantDup {
+		t.Fatalf("wire=%d, want %d", asm.WireBytes(), int64(len(want))+wantDup)
+	}
+}
+
+func TestWindowAssemblerFinishDetectsGap(t *testing.T) {
+	var out bytes.Buffer
+	asm, err := NewWindowAssembler(&out, 0, 1024, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Place(Block{Offset: 512, Data: make([]byte, 512)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Finish(); err == nil {
+		t.Fatal("Finish accepted a transfer with a parked gap")
+	}
+	// Bounded region not fully delivered is also incomplete.
+	var out2 bytes.Buffer
+	asm2, _ := NewWindowAssembler(&out2, 0, 1024, 1024, 0)
+	asm2.Place(Block{Offset: 0, Data: make([]byte, 512)})
+	if err := asm2.Finish(); err == nil {
+		t.Fatal("Finish accepted an incomplete bounded region")
+	}
+}
+
+func TestWindowAssemblerAbortWakesParked(t *testing.T) {
+	var out bytes.Buffer
+	asm, err := NewWindowAssembler(&out, 0, 4096, 1024, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	done := make(chan error, 1)
+	go func() {
+		// Parks: offset 2048 is beyond the empty window.
+		done <- asm.PlaceBlocking(Block{Offset: 2048, Data: []byte("y")})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	asm.Abort(boom)
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("parked placer woke with %v, want boom", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Abort did not wake the parked placer")
+	}
+}
+
+func TestWindowAssemblerParkTimeout(t *testing.T) {
+	var out bytes.Buffer
+	asm, err := NewWindowAssembler(&out, 0, 4096, 1024, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = asm.PlaceBlocking(Block{Offset: 2048, Data: []byte("y")})
+	if !errors.Is(err, ErrWindowStalled) {
+		t.Fatalf("got %v, want ErrWindowStalled", err)
+	}
+}
+
+// TestWindowAssemblerResumeBase: an assembler rooted at a restart
+// offset drops the duplicate prefix a resumed sender re-transmits and
+// delivers only fresh bytes.
+func TestWindowAssemblerResumeBase(t *testing.T) {
+	full := randomPayload(4096)
+	const base = 1500
+	var out bytes.Buffer
+	asm, err := NewWindowAssembler(&out, base, int64(len(full)-base), 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Place(Block{Offset: base, Data: full[base:2048]}); err != nil {
+		t.Fatal(err)
+	}
+	// The sender re-sends [1536, 2560): the first 512 bytes are behind
+	// the watermark and must be trimmed, the rest delivered once.
+	if err := asm.Place(Block{Offset: 1536, Data: full[1536:2560]}); err != nil {
+		t.Fatal(err)
+	}
+	for off := 2560; off < len(full); off += 512 {
+		if err := asm.Place(Block{Offset: uint64(off), Data: full[off : off+512]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := asm.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if asm.DuplicateBytes() != 512 {
+		t.Fatalf("duplicates=%d, want 512", asm.DuplicateBytes())
+	}
+	if !bytes.Equal(out.Bytes(), full[base:]) {
+		t.Fatal("resumed delivery differs from the object suffix")
+	}
+	// A block below base is rejected outright.
+	if err := asm.Place(Block{Offset: 0, Data: full[:256]}); !errors.Is(err, ErrDataProtocol) {
+		t.Fatalf("got %v, want ErrDataProtocol below base", err)
+	}
+}
+
+// TestWindowAssemblerConcurrentStripes is the -race coverage of
+// parallel stripe placement into one window: n goroutines play the n
+// data connections of a striped sender, each placing its interleaved
+// blocks with backpressure, and the sink must receive the exact
+// object.
+func TestWindowAssemblerConcurrentStripes(t *testing.T) {
+	const (
+		stripes  = 4
+		blockLen = 1 << 10
+		size     = 1 << 20
+	)
+	want := randomPayload(size)
+	var out bytes.Buffer
+	asm, err := NewWindowAssembler(&out, 0, size, 8*blockLen, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, stripes)
+	for s := 0; s < stripes; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for off := s * blockLen; off < size; off += stripes * blockLen {
+				end := off + blockLen
+				if end > size {
+					end = size
+				}
+				if err := asm.PlaceBlocking(Block{Offset: uint64(off), Data: want[off:end]}); err != nil {
+					errs[s] = fmt.Errorf("stripe %d at %d: %w", s, off, err)
+					asm.Abort(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := asm.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatal("concurrent striped delivery differs from input")
+	}
+	if asm.Delivered() != size || asm.WireBytes() != size || asm.DuplicateBytes() != 0 {
+		t.Fatalf("delivered=%d wire=%d dup=%d, want %d/%d/0",
+			asm.Delivered(), asm.WireBytes(), asm.DuplicateBytes(), size, size)
+	}
+}
+
+// failWriter fails after accepting some bytes, modeling a full disk.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n -= len(p)
+	if w.n < 0 {
+		return 0, errors.New("sink full")
+	}
+	return len(p), nil
+}
+
+func TestWindowAssemblerSinkErrorFailsAll(t *testing.T) {
+	asm, err := NewWindowAssembler(&failWriter{n: 1024}, 0, 1<<20, 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 1024)
+	if err := asm.Place(Block{Offset: 0, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Place(Block{Offset: 1024, Data: data}); err == nil {
+		t.Fatal("sink failure not surfaced by the flushing Place")
+	}
+	if err := asm.Place(Block{Offset: 2048, Data: data}); err == nil {
+		t.Fatal("failed assembler accepted another block")
+	}
+	if err := asm.Finish(); err == nil {
+		t.Fatal("Finish ignored the sink failure")
+	}
+}

@@ -40,8 +40,10 @@ func (c *Counter) binRange(startSec, endSec float64) (int, int, error) {
 	}
 	first := int((startSec - c.Origin) / c.BinSec)
 	// endSec is exclusive: an interval ending exactly on a bin boundary
-	// does not touch the next bin.
-	last := int(math.Ceil((endSec-c.Origin)/c.BinSec)) - 1
+	// does not touch the next bin. The epsilon absorbs float rounding in
+	// endpoints computed as bin multiples (k*0.05/0.05 can exceed k),
+	// which would otherwise push a boundary into a nonexistent bin.
+	last := int(math.Ceil((endSec-c.Origin)/c.BinSec-1e-9)) - 1
 	if startSec < c.Origin || last >= len(c.Bytes) {
 		return 0, 0, fmt.Errorf("snmp: interval [%v,%v) outside collected range", startSec, endSec)
 	}

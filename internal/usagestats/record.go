@@ -50,6 +50,12 @@ type Record struct {
 	// records the live failure-rate analysis needs and which success-only
 	// loggers drop.
 	Code int
+	// WireBytes is the raw data-channel byte count when it differs from
+	// SizeBytes: a resumed transfer that re-sent an overlap region moves
+	// more bytes on the wire than it delivers. Zero means wire ==
+	// delivered (the historical record shape; the WIRE= key is omitted),
+	// which keeps old logs byte-identical.
+	WireBytes int64
 }
 
 // Failed reports whether the record describes a failed or aborted
@@ -96,6 +102,8 @@ func (r Record) Validate() error {
 		return errors.New("usagestats: stripes must be >= 1")
 	case r.BufferBytes < 0 || r.BlockBytes < 0:
 		return errors.New("usagestats: negative buffer or block size")
+	case r.WireBytes < 0:
+		return errors.New("usagestats: negative wire byte count")
 	}
 	return nil
 }
@@ -129,6 +137,9 @@ func (r Record) Marshal() string {
 	}
 	if r.Code != 0 {
 		kv["CODE"] = strconv.Itoa(r.Code)
+	}
+	if r.WireBytes != 0 {
+		kv["WIRE"] = strconv.FormatInt(r.WireBytes, 10)
 	}
 	keys := make([]string, 0, len(kv))
 	for k := range kv {
@@ -174,6 +185,8 @@ func Unmarshal(line string) (Record, error) {
 			r.BlockBytes, err = strconv.ParseInt(v, 10, 64)
 		case "CODE":
 			r.Code, err = strconv.Atoi(v)
+		case "WIRE":
+			r.WireBytes, err = strconv.ParseInt(v, 10, 64)
 		default:
 			// Ignore unknown keys: newer servers add fields.
 		}

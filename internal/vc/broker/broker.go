@@ -448,22 +448,30 @@ func (b *Broker) decisionCtx(ctx context.Context) (context.Context, context.Canc
 	return context.WithTimeout(ctx, b.cfg.DecisionTimeout)
 }
 
-// predictedSeconds estimates how long the session still needs the
-// network for, from the bytes yet to move at the sizing rate.
-func (b *Broker) predictedSeconds(key pairKey, pendingBytes int64) float64 {
-	return float64(pendingBytes) * 8 / b.rateFor(key)
+// predictedSeconds estimates how long a transfer of pendingBytes still
+// needs the network for at the given sizing rate.
+func predictedSeconds(rateBps float64, pendingBytes int64) float64 {
+	return float64(pendingBytes) * 8 / rateBps
 }
 
 // decideLocked takes the reserve-or-not decision for a circuit-less
 // session. Called with s.mu held.
 func (b *Broker) decideLocked(ctx context.Context, s *session, sizeHint int64) {
+	// One rate snapshot drives the whole decision — the amortization
+	// threshold, the hold prediction, and the reserved rate. rateFor
+	// clamps the EWMA (or, on a pair's first transfer, the configured
+	// reference) to [MinRateBps, MaxRateBps] BEFORE any of those uses,
+	// and reading it once keeps the three consistent when a concurrent
+	// observe() moves the EWMA mid-decision: a circuit must never be
+	// sized at one rate but held for a duration predicted at another.
+	rate := b.rateFor(s.key)
 	// The amortization rule, applied to what the session looks like so
 	// far: bytes already moved plus the hint for the job at hand.
 	predicted := s.bytes + sizeHint
 	threshold := core.FeasibilityConfig{
 		SetupDelay:             b.cfg.SetupDelay,
 		OverheadFactor:         b.cfg.OverheadFactor,
-		ReferenceThroughputBps: b.rateFor(s.key),
+		ReferenceThroughputBps: rate,
 	}.MinSuitableSessionBytes()
 	if float64(predicted) < threshold {
 		// Too short to amortize: stay IP, but keep the door open — the
@@ -478,8 +486,7 @@ func (b *Broker) decideLocked(ctx context.Context, s *session, sizeHint int64) {
 		b.countFallback("unavailable")
 		return
 	}
-	rate := b.rateFor(s.key)
-	hold := b.predictedSeconds(s.key, predicted-s.bytes) +
+	hold := predictedSeconds(rate, predicted-s.bytes) +
 		b.cfg.HoldSlack.Seconds() + b.cfg.Gap.Seconds() + b.cfg.SetupDelay.Seconds()
 	start := svcNow + 1
 	began := time.Now()
@@ -515,12 +522,14 @@ func (b *Broker) extendLocked(ctx context.Context, s *session, sizeHint int64) {
 		b.dropCircuitLocked(s, "reservation service unavailable: "+err.Error())
 		return
 	}
-	need := svcNow + b.predictedSeconds(s.key, sizeHint) + b.cfg.HoldSlack.Seconds()
+	// As in decideLocked: one rate snapshot sizes the hold prediction
+	// and the re-booked rate together.
+	rate := b.rateFor(s.key)
+	need := svcNow + predictedSeconds(rate, sizeHint) + b.cfg.HoldSlack.Seconds()
 	if need <= s.circuit.endSvc {
 		return // current hold already covers this job
 	}
 	end := need + b.cfg.Gap.Seconds()
-	rate := b.rateFor(s.key) // re-size to the latest observed throughput
 	_, err = b.client.Modify(cctx, vc.ModifyRequest{
 		ID: s.circuit.id, RateBps: rate, Start: svcNow + 1, End: end,
 	})

@@ -163,6 +163,47 @@ func TestAmortizingSessionGetsCircuit(t *testing.T) {
 	}
 }
 
+// TestFirstTransferClampedRateDrivesThreshold is the decision-table
+// case for a pair's very first transfer: the EWMA is zero, so rateFor
+// falls back to the configured reference — which MinRateBps then
+// raises BEFORE the amortization test runs. With a 8 Mbps reference
+// clamped up to 800 Mbps, the threshold is 100 MB, not 1 MB: a 10 MB
+// session must stay IP (at 800 Mbps it cannot amortize the setup), and
+// only a session past the clamped threshold reserves.
+func TestFirstTransferClampedRateDrivesThreshold(t *testing.T) {
+	srv := startDaemon(t, 0.8)
+	c := dialClient(t, srv.Addr())
+	cfg := testConfig(nil)
+	cfg.ReferenceThroughputBps = 8e6 // unclamped threshold would be 1 MB
+	b := newBroker(t, c, cfg)
+	ctx := context.Background()
+
+	cases := []struct {
+		name     string
+		src, dst string // distinct pair per case: always a zero-EWMA first transfer
+		hint     int64
+		wantVC   bool
+	}{
+		// 10 MB clears the unclamped 1 MB threshold by 10x; if the
+		// clamp ran after the amortization test this would reserve.
+		{"below clamped threshold", "src:a", "dst:a", 10 << 20, false},
+		// 200 MB clears the clamped 100 MB threshold.
+		{"above clamped threshold", "src:b", "dst:b", 200 << 20, true},
+	}
+	for _, tc := range cases {
+		lease := b.Begin(ctx, tc.src, tc.dst, tc.hint)
+		disp := lease.Disposition()
+		gotVC := disp.Service == ServiceVC
+		if gotVC != tc.wantVC {
+			t.Errorf("%s: disposition %+v, want VC=%v", tc.name, disp, tc.wantVC)
+		}
+		if !tc.wantVC && disp.Fallback != "" {
+			t.Errorf("%s: sub-threshold session carries fallback %q, want none", tc.name, disp.Fallback)
+		}
+		lease.End(tc.hint, 100*time.Millisecond)
+	}
+}
+
 // TestRejectFallsBackToIP: when admission fails, jobs are dispatched
 // best-effort with the reject recorded, the session does not hammer the
 // daemon again, and a later session retries.

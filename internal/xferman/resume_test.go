@@ -1,0 +1,352 @@
+package xferman
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"gftpvc/internal/faultnet"
+	"gftpvc/internal/gridftp"
+	"gftpvc/internal/telemetry"
+)
+
+// serveCfg is serve with full control over the server config for the
+// fault-injection and windowing tests.
+func serveCfg(t *testing.T, cfg gridftp.Config) *gridftp.Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.AcceptTimeout == 0 {
+		cfg.AcceptTimeout = 300 * time.Millisecond
+	}
+	s, err := gridftp.Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// resetFirstConn builds a faultnet tracker that resets the first data
+// connection it ever accepts after `after` wire bytes; every later
+// connection is clean. The returned counter reports how many data
+// connections were opened.
+func resetFirstConn(after int64) (*faultnet.Tracker, *int) {
+	var mu sync.Mutex
+	conns := 0
+	tr := &faultnet.Tracker{PlanFor: func(i int) *faultnet.ConnPlan {
+		mu.Lock()
+		defer mu.Unlock()
+		conns++
+		if conns == 1 {
+			return &faultnet.ConnPlan{ResetReadAfter: after}
+		}
+		return nil
+	}}
+	return tr, &conns
+}
+
+// TestBackoffDelayBounds pins the jittered exponential schedule: every
+// delay sits in [base/2, cap], later attempts never shrink the
+// pre-jitter target, and the cap actually caps.
+func TestBackoffDelayBounds(t *testing.T) {
+	const base = 100 * time.Millisecond
+	const cap = time.Second
+	for attempt := 1; attempt <= 12; attempt++ {
+		for i := 0; i < 50; i++ {
+			d := backoffDelay(base, cap, attempt)
+			if d < base/2 || d > cap {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, base/2, cap)
+			}
+		}
+	}
+	// Deep attempts saturate: with jitter >= 50% of the capped target,
+	// attempt 10 can never be faster than cap/2.
+	for i := 0; i < 50; i++ {
+		if d := backoffDelay(base, cap, 10); d < cap/2 {
+			t.Fatalf("saturated attempt delay %v < %v", d, cap/2)
+		}
+	}
+}
+
+// TestRetriesBackOffAgainstDyingServer is the backoff-bugfix
+// regression: a job whose endpoint fails every attempt must spread its
+// retries over the jittered schedule instead of hammering the server
+// in a hot loop, and a cancelled context must cut a pending backoff
+// short instead of holding the worker for the full delay.
+func TestRetriesBackOffAgainstDyingServer(t *testing.T) {
+	src := serve(t, gridftp.NewMemStore()) // object never exists
+	dst := serve(t, gridftp.NewMemStore())
+	m, _ := New(1)
+	defer m.Close()
+
+	const base = 60 * time.Millisecond
+	start := time.Now()
+	id, err := m.Submit(context.Background(), Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "missing.bin", DstName: "copy.bin",
+		MaxAttempts:  3,
+		RetryBackoff: base, RetryBackoffMax: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := m.Wait(context.Background(), id)
+	elapsed := time.Since(start)
+	if res.Status != Failed || res.Attempts != 3 {
+		t.Fatalf("status=%v attempts=%d, want Failed after 3", res.Status, res.Attempts)
+	}
+	// Two backoffs fired: at least base/2 (attempt 1→2, minimum jitter)
+	// plus base (attempt 2→3, minimum jitter on the doubled target).
+	if min := base/2 + base; elapsed < min {
+		t.Fatalf("3 attempts in %v: backoff never waited (want >= %v)", elapsed, min)
+	}
+
+	// Cancellation mid-backoff: a huge backoff must not pin the worker.
+	ctx, cancel := context.WithCancel(context.Background())
+	id2, err := m.Submit(ctx, Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "missing.bin", DstName: "copy.bin",
+		MaxAttempts:  5,
+		RetryBackoff: 30 * time.Second, RetryBackoffMax: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond) // let attempt 1 fail and the backoff start
+	cancel()
+	start = time.Now()
+	res2, err := m.Wait(context.Background(), id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Status != Failed {
+		t.Fatalf("cancelled job status = %v", res2.Status)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("cancel took %v to break the backoff", waited)
+	}
+}
+
+// TestRetryResumesFromWatermark is the manager half of the tentpole:
+// the first third-party attempt dies from a mid-transfer connection
+// reset, the retry probes the destination's delivered watermark and
+// RESTs there, and the accounting shows no re-sent payload — WireBytes
+// equals the object size, where a restart-from-zero retry re-moves the
+// whole prefix.
+func TestRetryResumesFromWatermark(t *testing.T) {
+	const (
+		size   = 1 << 20
+		window = 64 << 10
+		block  = 16 << 10
+	)
+	want := payload(size)
+	srcStore := gridftp.NewMemStore()
+	srcStore.Put("data.bin", want)
+	dstStore := gridftp.NewMemStore()
+	tracker, conns := resetFirstConn(size * 6 / 10)
+	src := serveCfg(t, gridftp.Config{Store: srcStore, BlockSize: block})
+	dst := serveCfg(t, gridftp.Config{
+		Store: dstStore, WindowSize: window, BlockSize: block,
+		DataTimeout: 500 * time.Millisecond, DataListen: tracker.Listen,
+	})
+
+	hub := telemetry.NewHub()
+	m, _ := New(1, WithTelemetry(hub))
+	defer m.Close()
+	id, err := m.Submit(context.Background(), Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "data.bin", DstName: "copy.bin",
+		MaxAttempts: 3, Verify: true,
+		RetryBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := m.Wait(context.Background(), id)
+	if res.Status != Succeeded {
+		t.Fatalf("status=%v err=%s", res.Status, res.Err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts=%d, want 2 (reset, then resumed retry)", res.Attempts)
+	}
+	if *conns < 2 {
+		t.Fatalf("only %d data connections: the fault never fired", *conns)
+	}
+	got, err := dstStore.Get("copy.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed object differs from source")
+	}
+	if res.Bytes != size {
+		t.Fatalf("Bytes=%d, want %d", res.Bytes, size)
+	}
+	// The resumed retry re-sent nothing the watermark already covered:
+	// wire equals delivered exactly at the manager's watermark-derived
+	// granularity.
+	if res.WireBytes != size {
+		t.Fatalf("WireBytes=%d, want %d (resume must not re-send the prefix)", res.WireBytes, size)
+	}
+	if v := hub.Counter("xferman_resumed_attempts_total",
+		"Retry attempts that restarted from a destination watermark instead of byte zero.").Value(); v != 1 {
+		t.Fatalf("resumed_attempts=%v, want 1", v)
+	}
+	if v := hub.Counter("xferman_delivered_bytes_total",
+		"Payload bytes durably delivered to destinations exactly once.").Value(); v != size {
+		t.Fatalf("delivered_bytes=%v, want %d", v, size)
+	}
+}
+
+// TestNoResumeRetryReSendsPrefix is the A/B counterpart: the identical
+// fault with NoResume set restarts at byte zero, and WireBytes exposes
+// the redundant prefix that Result.Bytes alone hides.
+func TestNoResumeRetryReSendsPrefix(t *testing.T) {
+	const (
+		size   = 1 << 20
+		window = 64 << 10
+		block  = 16 << 10
+	)
+	want := payload(size)
+	srcStore := gridftp.NewMemStore()
+	srcStore.Put("data.bin", want)
+	dstStore := gridftp.NewMemStore()
+	tracker, _ := resetFirstConn(size * 6 / 10)
+	src := serveCfg(t, gridftp.Config{Store: srcStore, BlockSize: block})
+	dst := serveCfg(t, gridftp.Config{
+		Store: dstStore, WindowSize: window, BlockSize: block,
+		DataTimeout: 500 * time.Millisecond, DataListen: tracker.Listen,
+	})
+
+	m, _ := New(1)
+	defer m.Close()
+	id, err := m.Submit(context.Background(), Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "data.bin", DstName: "copy.bin",
+		MaxAttempts: 3, Verify: true, NoResume: true,
+		SizeHint:     size,
+		RetryBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := m.Wait(context.Background(), id)
+	if res.Status != Succeeded || res.Attempts != 2 {
+		t.Fatalf("status=%v attempts=%d err=%s", res.Status, res.Attempts, res.Err)
+	}
+	got, err := dstStore.Get("copy.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("restarted object differs from source")
+	}
+	// The failed attempt durably delivered a prefix, then the restart
+	// re-sent everything: wire strictly exceeds the object size by that
+	// prefix.
+	if res.WireBytes <= size {
+		t.Fatalf("WireBytes=%d, want > %d: restart-from-zero must show redundant traffic", res.WireBytes, size)
+	}
+}
+
+// TestStreamJobRelaysThroughManager: a Stream job moves the object
+// through the manager's own windowed data plane, byte-identical, with
+// exact wire accounting.
+func TestStreamJobRelaysThroughManager(t *testing.T) {
+	const size = 1 << 20
+	want := payload(size)
+	srcStore := gridftp.NewMemStore()
+	srcStore.Put("data.bin", want)
+	dstStore := gridftp.NewMemStore()
+	src := serveCfg(t, gridftp.Config{Store: srcStore, BlockSize: 16 << 10})
+	dst := serveCfg(t, gridftp.Config{Store: dstStore, WindowSize: 256 << 10})
+
+	m, _ := New(1)
+	defer m.Close()
+	id, err := m.Submit(context.Background(), Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "data.bin", DstName: "copy.bin",
+		Stream: true, WindowBytes: 128 << 10, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := m.Wait(context.Background(), id)
+	if res.Status != Succeeded {
+		t.Fatalf("status=%v err=%s", res.Status, res.Err)
+	}
+	got, err := dstStore.Get("copy.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("relayed object differs from source")
+	}
+	if res.Bytes != size || res.WireBytes != size {
+		t.Fatalf("Bytes=%d WireBytes=%d, want %d/%d", res.Bytes, res.WireBytes, size, size)
+	}
+}
+
+// TestStreamJobResumesAfterReset: the streaming relay hits the same
+// mid-transfer reset and resumes from the destination watermark; the
+// exact wire measurement shows the redundancy stayed under the
+// reassembly window (plus in-flight buffering) instead of the whole
+// delivered prefix.
+func TestStreamJobResumesAfterReset(t *testing.T) {
+	const (
+		size   = 1 << 20
+		window = 64 << 10
+	)
+	want := payload(size)
+	srcStore := gridftp.NewMemStore()
+	srcStore.Put("data.bin", want)
+	dstStore := gridftp.NewMemStore()
+	tracker, _ := resetFirstConn(size * 6 / 10)
+	src := serveCfg(t, gridftp.Config{Store: srcStore, BlockSize: 16 << 10})
+	dst := serveCfg(t, gridftp.Config{
+		Store: dstStore, WindowSize: window,
+		DataTimeout: 500 * time.Millisecond, DataListen: tracker.Listen,
+	})
+
+	m, _ := New(1)
+	defer m.Close()
+	id, err := m.Submit(context.Background(), Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "data.bin", DstName: "copy.bin",
+		Stream: true, WindowBytes: window, Verify: true,
+		MaxAttempts:  3,
+		RetryBackoff: 20 * time.Millisecond,
+		Timeout:      time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := m.Wait(context.Background(), id)
+	if res.Status != Succeeded {
+		t.Fatalf("status=%v err=%s", res.Status, res.Err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts=%d, want 2", res.Attempts)
+	}
+	got, err := dstStore.Get("copy.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed relay differs from source")
+	}
+	// Exact streaming measurement: some redundancy (bytes in flight
+	// when the connection died) but far less than the delivered prefix
+	// a restart would re-send. The slack term covers the destination
+	// window plus client- and kernel-side buffering on the dead conn.
+	if res.WireBytes <= size {
+		t.Fatalf("WireBytes=%d, want > %d: in-flight bytes at the reset are re-sent", res.WireBytes, size)
+	}
+	if slack := int64(window + 512<<10); res.WireBytes > size+slack {
+		t.Fatalf("WireBytes=%d re-sent more than window+slack (%d): resume did not take", res.WireBytes, size+slack)
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -64,6 +66,25 @@ type Job struct {
 	// this job expects to move without a SIZE round trip. Zero means
 	// probe the source.
 	SizeHint int64
+	// Stream relays the object through the manager's own data plane
+	// (streaming RETR into a pipe feeding a streaming STOR) instead of
+	// a server-to-server third-party transfer. Worker memory stays
+	// bounded by WindowBytes and Result.WireBytes is measured exactly
+	// rather than derived from destination watermarks.
+	Stream bool
+	// WindowBytes sizes the streaming reassembly window and upload
+	// chunks when Stream is set (default gridftp.DefaultWindowSize).
+	WindowBytes int
+	// NoResume disables restart-offset retries: every attempt restarts
+	// from byte zero, for destinations whose partial objects cannot be
+	// trusted. The default resumes at the destination's delivered
+	// watermark so a retry re-sends at most one reassembly window.
+	NoResume bool
+	// RetryBackoff is the base delay before the second attempt; each
+	// further attempt doubles it, jittered to 50–150%, capped at
+	// RetryBackoffMax. Defaults: 200ms base, 5s cap.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 }
 
 func (j *Job) normalize() error {
@@ -85,6 +106,18 @@ func (j *Job) normalize() error {
 	if j.SizeHint < 0 {
 		return errors.New("xferman: SizeHint must be >= 0")
 	}
+	if j.WindowBytes < 0 {
+		return errors.New("xferman: WindowBytes must be >= 0")
+	}
+	if j.RetryBackoff < 0 || j.RetryBackoffMax < 0 {
+		return errors.New("xferman: retry backoff must be >= 0")
+	}
+	if j.RetryBackoff == 0 {
+		j.RetryBackoff = 200 * time.Millisecond
+	}
+	if j.RetryBackoffMax == 0 {
+		j.RetryBackoffMax = 5 * time.Second
+	}
 	return nil
 }
 
@@ -103,6 +136,9 @@ func (j *Job) dialOpts(ctx context.Context) []gridftp.Option {
 			gridftp.WithControlTimeout(j.Timeout),
 			gridftp.WithDataTimeout(j.Timeout),
 		)
+	}
+	if j.Stream && j.WindowBytes > 0 {
+		opts = append(opts, gridftp.WithWindow(j.WindowBytes))
 	}
 	return opts
 }
@@ -153,6 +189,14 @@ type Result struct {
 	// Bytes is the object size the transfer moved (from SizeHint or a
 	// SIZE probe; zero when neither was available).
 	Bytes int64
+	// WireBytes is the payload the job pushed toward the destination
+	// summed across ALL attempts, duplicates included — the number
+	// Bytes hides when retries re-send data. Streaming jobs measure it
+	// exactly; third-party jobs derive it from destination watermark
+	// probes, which undercounts by at most one reassembly window per
+	// failed attempt. WireBytes - Bytes is the job's redundant wire
+	// traffic.
+	WireBytes int64
 	// Circuit records how the hybrid control plane dispatched this job:
 	// reserved circuit vs best-effort IP, the circuit ID, the setup wait
 	// this job paid, and the fallback reason when a wanted circuit was
@@ -191,6 +235,12 @@ type xmMetrics struct {
 	running    *telemetry.Gauge
 	retries    *telemetry.Counter
 	durations  *telemetry.Histogram
+	// wireBytes vs deliveredBytes is the manager-level redundancy
+	// signal: their gap is payload that crossed the network more than
+	// once because a retry re-sent it.
+	wireBytes      *telemetry.Counter
+	deliveredBytes *telemetry.Counter
+	resumed        *telemetry.Counter
 }
 
 // Option configures a Manager.
@@ -235,6 +285,12 @@ func New(workers int, opts ...Option) (*Manager, error) {
 				"Failed attempts that were retried with fresh control channels."),
 			durations: m.hub.Histogram("xferman_job_duration_seconds",
 				"End-to-end job latency including retries.", telemetry.DurationBuckets),
+			wireBytes: m.hub.Counter("xferman_wire_bytes_total",
+				"Payload bytes pushed toward destinations across all attempts, duplicates included."),
+			deliveredBytes: m.hub.Counter("xferman_delivered_bytes_total",
+				"Payload bytes durably delivered to destinations exactly once."),
+			resumed: m.hub.Counter("xferman_resumed_attempts_total",
+				"Retry attempts that restarted from a destination watermark instead of byte zero."),
 		}
 	}
 	for i := 0; i < workers; i++ {
@@ -384,6 +440,7 @@ func (m *Manager) worker() {
 		tr.result.Duration = time.Since(start)
 		tr.result.Checksum = out.checksum
 		tr.result.Bytes = out.bytes
+		tr.result.WireBytes = out.wire
 		tr.result.Circuit = out.circuit
 		if out.err != nil {
 			tr.result.Status = Failed
@@ -395,6 +452,8 @@ func (m *Manager) worker() {
 		m.mu.Unlock()
 		m.met.running.Dec()
 		m.met.durations.Observe(time.Since(start).Seconds())
+		m.met.wireBytes.Add(out.wire)
+		m.met.deliveredBytes.Add(out.delivered)
 		if m.hub != nil {
 			m.hub.Counter("xferman_jobs_completed_total",
 				"Jobs finished, by final status.",
@@ -408,17 +467,100 @@ func (m *Manager) worker() {
 type outcome struct {
 	checksum string
 	bytes    int64
+	// wire is payload pushed toward the destination across all
+	// attempts, duplicates included; delivered is what durably landed.
+	wire      int64
+	delivered int64
+	circuit   broker.Disposition
+	attempts  int
+	err       error
+}
+
+// attemptOut is one attempt's report back to the retry loop.
+type attemptOut struct {
+	checksum string
+	bytes    int64 // object size, when learned
+	moved    int64 // payload this attempt pushed (exact for streaming, else -1)
 	circuit  broker.Disposition
-	attempts int
-	err      error
+	// dataPhase: the transfer command sequence began, so a partial
+	// object at the destination is this job's own bytes and its SIZE is
+	// a trustworthy restart watermark.
+	dataPhase bool
+	err       error
+}
+
+// backoffDelay is the jittered exponential wait before the retry that
+// follows attempt n (n >= 1): base doubled per attempt, scaled by a
+// uniform 50-150% jitter so synchronized job fleets don't re-dial a
+// recovering server in lockstep, capped at max.
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d)+1))
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// sleepBackoff waits the backoff out, returning early if the job's
+// context is done — a cancelled job must not hold a worker hostage for
+// a multi-second backoff.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// isRestRejected reports whether the attempt died because the peer
+// refused the REST restart command, in which case resuming is off the
+// table and the retry must restart from byte zero.
+func isRestRejected(err error) bool {
+	var pe *gridftp.ProtocolError
+	return errors.As(err, &pe) && pe.Verb == "REST"
+}
+
+// probeWatermark asks the destination how many contiguous bytes of the
+// job's object it holds, over a fresh control channel (the failed
+// attempt's channel may be poisoned). Zero means "no usable partial" —
+// probing is best-effort and a failed probe only costs resumption.
+func (m *Manager) probeWatermark(ctx context.Context, job Job) int64 {
+	c, err := gridftp.Dial(job.Dst.Addr, job.dialOpts(ctx)...)
+	if err != nil {
+		return 0
+	}
+	defer c.Close()
+	if err := c.Login(job.Dst.User, job.Dst.Pass); err != nil {
+		return 0
+	}
+	n, err := c.Size(job.DstName)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // execute runs one job with retries; every attempt uses fresh control
-// channels (a failed transfer may have poisoned the old ones). A done
-// context stops further attempts.
+// channels (a failed transfer may have poisoned the old ones). Between
+// attempts it sleeps a jittered exponential backoff, and — unless the
+// job opts out — probes the destination's delivered watermark so the
+// next attempt restarts there instead of re-sending bytes that already
+// landed. A done context stops further attempts.
 func (m *Manager) execute(ctx context.Context, job Job) outcome {
 	var out outcome
 	out.circuit = broker.Disposition{Service: broker.ServiceIP}
+	resumeFrom := int64(0)
+	canResume := !job.NoResume
 	for attempt := 1; attempt <= job.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if out.err == nil {
@@ -427,12 +569,53 @@ func (m *Manager) execute(ctx context.Context, job Job) outcome {
 			return out
 		}
 		out.attempts = attempt
-		out.checksum, out.bytes, out.circuit, out.err = m.attempt(ctx, job)
-		if out.err == nil {
+		if resumeFrom > 0 {
+			m.met.resumed.Inc()
+		}
+		at := m.attempt(ctx, job, resumeFrom)
+		out.checksum, out.circuit, out.err = at.checksum, at.circuit, at.err
+		if at.bytes > 0 {
+			out.bytes = at.bytes
+		}
+		if at.moved >= 0 {
+			out.wire += at.moved
+		}
+		if at.err == nil {
+			// Third-party attempts can't see their own wire count; the
+			// delta from the restart offset to the object end is exact
+			// for a clean attempt (skipped when the size never became
+			// known — better to undercount than invent bytes).
+			if at.moved < 0 && out.bytes > resumeFrom {
+				out.wire += out.bytes - resumeFrom
+			}
+			out.delivered = out.bytes
 			return out
 		}
-		if attempt < job.MaxAttempts {
-			m.met.retries.Inc()
+		if attempt == job.MaxAttempts {
+			break
+		}
+		// Work out where the next attempt starts. The watermark probe
+		// doubles as wire accounting for third-party attempts: bytes
+		// that became durable during the failed attempt were moved by
+		// it.
+		if resumeFrom > 0 && isRestRejected(at.err) {
+			// The endpoint doesn't do restarts; stop asking.
+			canResume = false
+			resumeFrom = 0
+		} else if at.dataPhase {
+			if w := m.probeWatermark(ctx, job); w > resumeFrom && (out.bytes <= 0 || w < out.bytes) {
+				if at.moved < 0 {
+					out.wire += w - resumeFrom
+				}
+				if canResume {
+					resumeFrom = w
+				}
+			}
+		}
+		out.delivered = resumeFrom
+		m.met.retries.Inc()
+		if err := sleepBackoff(ctx, backoffDelay(job.RetryBackoff, job.RetryBackoffMax, attempt)); err != nil {
+			return out
 		}
 	}
 	return out
@@ -440,59 +623,112 @@ func (m *Manager) execute(ctx context.Context, job Job) outcome {
 
 // attempt runs one try of the transfer: dial and authenticate both
 // endpoints, size the object, let the broker take the circuit decision,
-// then move the data and verify.
-func (m *Manager) attempt(ctx context.Context, job Job) (string, int64, broker.Disposition, error) {
-	ip := broker.Disposition{Service: broker.ServiceIP}
+// then move the data — restarting at resumeFrom when a prior attempt
+// already delivered a prefix — and verify.
+func (m *Manager) attempt(ctx context.Context, job Job, resumeFrom int64) attemptOut {
+	out := attemptOut{circuit: broker.Disposition{Service: broker.ServiceIP}, moved: -1}
 	opts := job.dialOpts(ctx)
 	if m.hub != nil {
 		opts = append(opts, gridftp.WithTelemetry(m.hub))
 	}
 	src, err := gridftp.Dial(job.Src.Addr, opts...)
 	if err != nil {
-		return "", 0, ip, fmt.Errorf("dial src: %w", err)
+		out.err = fmt.Errorf("dial src: %w", err)
+		return out
 	}
 	defer src.Close()
 	if err := src.Login(job.Src.User, job.Src.Pass); err != nil {
-		return "", 0, ip, fmt.Errorf("login src: %w", err)
+		out.err = fmt.Errorf("login src: %w", err)
+		return out
 	}
 	dst, err := gridftp.Dial(job.Dst.Addr, opts...)
 	if err != nil {
-		return "", 0, ip, fmt.Errorf("dial dst: %w", err)
+		out.err = fmt.Errorf("dial dst: %w", err)
+		return out
 	}
 	defer dst.Close()
 	if err := dst.Login(job.Dst.User, job.Dst.Pass); err != nil {
-		return "", 0, ip, fmt.Errorf("login dst: %w", err)
+		out.err = fmt.Errorf("login dst: %w", err)
+		return out
 	}
-	bytes := job.SizeHint
-	if bytes <= 0 && m.broker != nil {
-		// The broker sizes circuits from bytes; a failed probe just means
+	out.bytes = job.SizeHint
+	if out.bytes <= 0 && (m.broker != nil || job.Stream || !job.NoResume) {
+		// The broker sizes circuits from bytes, the streaming relay
+		// needs the region length, and resume-aware retries clamp
+		// destination watermarks against it; a failed probe just means
 		// an unhinted decision, not a failed job.
 		if n, err := src.Size(job.SrcName); err == nil {
-			bytes = n
+			out.bytes = n
 		}
 	}
-	lease := m.broker.Begin(ctx, job.Src.Addr, job.Dst.Addr, bytes)
-	disp := lease.Disposition()
+	lease := m.broker.Begin(ctx, job.Src.Addr, job.Dst.Addr, out.bytes)
+	out.circuit = lease.Disposition()
 	xferStart := time.Now()
-	err = gridftp.ThirdParty(src, dst, job.SrcName, job.DstName)
+	out.dataPhase = true
+	if job.Stream {
+		out.moved, err = m.streamRelay(ctx, src, dst, job, resumeFrom, out.bytes)
+	} else {
+		err = gridftp.ThirdPartyFrom(src, dst, job.SrcName, job.DstName, resumeFrom)
+	}
 	if err != nil {
 		lease.End(0, time.Since(xferStart))
-		return "", bytes, disp, fmt.Errorf("transfer: %w", err)
+		out.err = fmt.Errorf("transfer: %w", err)
+		return out
 	}
-	lease.End(bytes, time.Since(xferStart))
+	lease.End(out.bytes, time.Since(xferStart))
 	if !job.Verify {
-		return "", bytes, disp, nil
+		return out
 	}
 	want, err := src.Checksum(job.SrcName)
 	if err != nil {
-		return "", bytes, disp, fmt.Errorf("src checksum: %w", err)
+		out.err = fmt.Errorf("src checksum: %w", err)
+		return out
 	}
 	got, err := dst.Checksum(job.DstName)
 	if err != nil {
-		return "", bytes, disp, fmt.Errorf("dst checksum: %w", err)
+		out.err = fmt.Errorf("dst checksum: %w", err)
+		return out
 	}
 	if want != got {
-		return "", bytes, disp, fmt.Errorf("checksum mismatch: src %s, dst %s", want, got)
+		out.err = fmt.Errorf("checksum mismatch: src %s, dst %s", want, got)
+		return out
 	}
-	return got, bytes, disp, nil
+	out.checksum = got
+	return out
+}
+
+// streamRelay moves srcName through this process: a streaming RETR
+// feeds an io.Pipe that a streaming STOR drains, both restarting at
+// base. Memory is bounded by the client window on the read side and a
+// few blocks on the write side. Returns the payload pushed to dst
+// (duplicates included), which is exact even on failure.
+func (m *Manager) streamRelay(ctx context.Context, src, dst *gridftp.Client, job Job, base, size int64) (int64, error) {
+	pr, pw := io.Pipe()
+	region := int64(-1)
+	if size > 0 {
+		region = size - base
+	}
+	type storDone struct {
+		stats gridftp.TransferStats
+		err   error
+	}
+	done := make(chan storDone, 1)
+	go func() {
+		stats, err := dst.StorFromAt(ctx, job.DstName, pr, base, region)
+		// Unblock the RETR side if the STOR leg died first.
+		pr.CloseWithError(err)
+		done <- storDone{stats, err}
+	}()
+	_, retrErr := src.RetrToAt(ctx, job.SrcName, pw, base)
+	// nil closes the pipe cleanly (EOF): the STOR leg finishes its
+	// drain; an error propagates to its reader as the source failure.
+	pw.CloseWithError(retrErr)
+	stor := <-done
+	if retrErr != nil {
+		return stor.stats.WireBytes, fmt.Errorf("retr leg: %w", retrErr)
+	}
+	if stor.err != nil {
+		return stor.stats.WireBytes, fmt.Errorf("stor leg: %w", stor.err)
+	}
+	return stor.stats.WireBytes, nil
 }
