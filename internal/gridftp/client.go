@@ -405,6 +405,12 @@ type TransferStats struct {
 	// the streaming APIs (RetrTo/StorFrom families) populate it — the
 	// buffered APIs leave it zero.
 	WireBytes int64
+	// StorAccepted reports that the server accepted this upload's STOR
+	// command; StorFrom/StorFromAt set it even when the transfer later
+	// fails. Until acceptance the server has not touched the named
+	// object, so resume logic must not read a pre-existing object's
+	// SIZE as this transfer's delivered watermark.
+	StorAccepted bool
 }
 
 // Retr fetches an object using the configured parallelism over a single
@@ -649,7 +655,8 @@ func (c *Client) stats(size int64, start time.Time, conns int, striped bool) Tra
 // timeout, so both clients remain usable — a failed transfer must not
 // poison the sessions that retry managers like xferman reuse.
 func ThirdParty(src, dst *Client, srcName, dstName string) error {
-	return ThirdPartyFrom(src, dst, srcName, dstName, 0)
+	_, err := ThirdPartyFrom(src, dst, srcName, dstName, 0)
+	return err
 }
 
 // ThirdPartyFrom is ThirdParty resuming at a byte offset: REST is
@@ -657,36 +664,43 @@ func ThirdParty(src, dst *Client, srcName, dstName string) error {
 // and dst appends it to the partial object whose Size is the offset —
 // the resume-aware retry path that re-sends at most one reassembly
 // window of duplicates instead of the whole object.
-func ThirdPartyFrom(src, dst *Client, srcName, dstName string, offset int64) error {
+//
+// dstEngaged reports whether dst accepted the STOR command. A
+// resume-aware retry may only trust the destination object's SIZE as
+// this job's delivered watermark once that happened — before
+// acceptance a failure leaves any pre-existing object under dstName
+// untouched, and resuming at its stale size would splice old bytes
+// under new ones.
+func ThirdPartyFrom(src, dst *Client, srcName, dstName string, offset int64) (dstEngaged bool, err error) {
 	if offset < 0 {
-		return errors.New("gridftp: negative restart offset")
+		return false, errors.New("gridftp: negative restart offset")
 	}
 	// dst opens a passive data port; src connects to it actively.
 	addr, err := dst.passive()
 	if err != nil {
-		return err
+		return false, err
 	}
 	tcp, err := net.ResolveTCPAddr("tcp", addr)
 	if err != nil {
-		return err
+		return false, err
 	}
 	port := fmt.Sprintf("%d,%d", tcp.Port/256, tcp.Port%256)
 	ip4 := tcp.IP.To4()
 	if ip4 == nil {
-		return errors.New("gridftp: third-party requires IPv4 data address")
+		return false, errors.New("gridftp: third-party requires IPv4 data address")
 	}
 	hostPort := fmt.Sprintf("%d,%d,%d,%d,%s", ip4[0], ip4[1], ip4[2], ip4[3], port)
 	if _, err := src.do("PORT", "PORT "+hostPort, 200); err != nil {
-		return err
+		return false, err
 	}
 	if offset > 0 {
 		if _, err := dst.do("REST", fmt.Sprintf("REST %d", offset), 350); err != nil {
-			return err
+			return false, err
 		}
 	}
 	// Start the receiver first, then the sender.
 	if _, err := dst.do("STOR", "STOR "+dstName, 150); err != nil {
-		return err
+		return false, err
 	}
 	// From here dst is mid-transfer and owes a completion reply; every
 	// early exit must drain it or the next command on dst would read a
@@ -694,17 +708,17 @@ func ThirdPartyFrom(src, dst *Client, srcName, dstName string, offset int64) err
 	if offset > 0 {
 		if _, err := src.do("REST", fmt.Sprintf("REST %d", offset), 350); err != nil {
 			dst.drainReply()
-			return err
+			return true, err
 		}
 	}
 	if _, err := src.do("RETR", "RETR "+srcName, 150); err != nil {
 		dst.drainReply()
-		return err
+		return true, err
 	}
 	if _, err := src.expect("RETR-complete", 226); err != nil {
 		dst.drainReply()
-		return err
+		return true, err
 	}
 	_, err = dst.expect("STOR-complete", 226)
-	return err
+	return true, err
 }

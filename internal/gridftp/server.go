@@ -700,18 +700,29 @@ func (sess *session) cmdRetr(name string, offset, length int64) {
 	// A ReaderAtStore backend streams stripes straight from the store —
 	// per-connection memory is one block, not the object. The wire
 	// geometry matches SendFileAt exactly (stripe i sends blocks i,
-	// i+n, i+2n, ...), so receivers cannot tell the paths apart. Other
-	// backends keep the whole-object Get path.
+	// i+n, i+2n, ...), so receivers cannot tell the paths apart. A
+	// SnapshotStore pins one object version for the whole transfer, so
+	// a concurrent Put can't interleave versions the way per-block
+	// store lookups would. Other backends keep the whole-object Get
+	// path, which snapshots by copying.
 	ras, streaming := sess.srv.cfg.Store.(ReaderAtStore)
 	var data []byte
 	var size int64
-	if streaming {
+	var src io.ReaderAt
+	if ss, ok := sess.srv.cfg.Store.(SnapshotStore); ok {
+		r, n, err := ss.SnapshotObject(name)
+		if err != nil {
+			sess.failTransfer(tx, 550, err.Error())
+			return
+		}
+		src, size, streaming = r, n, true
+	} else if streaming {
 		n, err := sess.srv.cfg.Store.Size(name)
 		if err != nil {
 			sess.failTransfer(tx, 550, err.Error())
 			return
 		}
-		size = n
+		src, size = storeReaderAt{s: ras, name: name}, n
 	} else {
 		d, err := sess.srv.cfg.Store.Get(name)
 		if err != nil {
@@ -748,7 +759,7 @@ func (sess *session) cmdRetr(name string, offset, length int64) {
 			defer c.Close()
 			bw := bufio.NewWriterSize(c, 64<<10)
 			if streaming {
-				errs[i] = sendStoreRegion(ras, name, bw, offset, regionLen, bs, i*bs, len(conns)*bs)
+				errs[i] = sendStoreRegion(src, bw, offset, regionLen, bs, i*bs, len(conns)*bs)
 			} else {
 				errs[i] = SendFileAt(bw, data[offset:end], uint64(offset), bs, i*bs, len(conns)*bs)
 			}
@@ -768,12 +779,23 @@ func (sess *session) cmdRetr(name string, offset, length int64) {
 	sess.finishTransfer(tx, regionLen)
 }
 
+// storeReaderAt adapts one object of a ReaderAtStore to io.ReaderAt,
+// for stores that stream but don't offer snapshots.
+type storeReaderAt struct {
+	s    ReaderAtStore
+	name string
+}
+
+func (r storeReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	return r.s.ReadObjectAt(r.name, p, off)
+}
+
 // sendStoreRegion streams the object region [offset, offset+length) as
 // MODE E blocks read directly from the store, with SendFileAt's stripe
 // geometry: region-relative offsets base, base+step, base+2*step, ...
 // each carrying up to blockSize bytes framed at absolute file offsets.
 // One blockSize buffer is the whole memory footprint.
-func sendStoreRegion(s ReaderAtStore, name string, w io.Writer, offset, length int64, blockSize, base, step int) error {
+func sendStoreRegion(s io.ReaderAt, w io.Writer, offset, length int64, blockSize, base, step int) error {
 	if blockSize <= 0 {
 		return fmt.Errorf("%w: non-positive block size", ErrDataProtocol)
 	}
@@ -786,7 +808,7 @@ func sendStoreRegion(s ReaderAtStore, name string, w io.Writer, offset, length i
 		if rem := length - off; n > rem {
 			n = rem
 		}
-		m, err := s.ReadObjectAt(name, buf[:n], offset+off)
+		m, err := s.ReadAt(buf[:n], offset+off)
 		if int64(m) < n {
 			if err == nil || err == io.EOF {
 				err = io.ErrUnexpectedEOF

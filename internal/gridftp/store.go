@@ -1,6 +1,7 @@
 package gridftp
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -34,6 +35,18 @@ var ErrNotFound = errors.New("gridftp: object not found")
 // (short reads at the object's tail return io.EOF with n > 0).
 type ReaderAtStore interface {
 	ReadObjectAt(name string, p []byte, off int64) (int, error)
+}
+
+// SnapshotStore is an optional refinement of ReaderAtStore. Each
+// ReadObjectAt resolves the object anew, so a RETR overlapping a
+// concurrent Put can interleave old- and new-version bytes in one
+// response. SnapshotObject instead pins one immutable view of the
+// object that the server reads for the transfer's whole duration,
+// restoring the consistent-version semantics the buffered Get path
+// had. Stores whose ReadObjectAt is already version-stable (stateless
+// generators, copy-on-write files) don't need it.
+type SnapshotStore interface {
+	SnapshotObject(name string) (r io.ReaderAt, size int64, err error)
 }
 
 // StreamPutter is the optional streaming write side of a Store: a
@@ -91,6 +104,22 @@ func (m *MemStore) Put(name string, data []byte) error {
 	return nil
 }
 
+// SnapshotObject implements SnapshotStore without copying: the
+// returned reader aliases the stored slice, which stays immutable
+// because writers never scribble over a published array — Put swaps in
+// a fresh copy, and BeginPut pins the partial's capacity at its base
+// so the first PutRegion growth reallocates away from any aliased
+// array before bytes land.
+func (m *MemStore) SnapshotObject(name string) (io.ReaderAt, int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.objects[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return bytes.NewReader(data), int64(len(data)), nil
+}
+
 // ReadObjectAt implements ReaderAtStore.
 func (m *MemStore) ReadObjectAt(name string, p []byte, off int64) (int, error) {
 	m.mu.RLock()
@@ -110,7 +139,10 @@ func (m *MemStore) ReadObjectAt(name string, p []byte, off int64) (int, error) {
 }
 
 // BeginPut implements StreamPutter: the object is truncated to base so
-// its Size tracks the delivered watermark during a streaming STOR.
+// its Size tracks the delivered watermark during a streaming STOR. The
+// full slice expression pins capacity at base on purpose — the first
+// region appended afterwards must reallocate, so arrays aliased by
+// earlier SnapshotObject readers are never written in place.
 func (m *MemStore) BeginPut(name string, base int64) error {
 	if name == "" {
 		return errors.New("gridftp: empty object name")
@@ -128,7 +160,12 @@ func (m *MemStore) BeginPut(name string, base int64) error {
 	return nil
 }
 
-// PutRegion implements StreamPutter.
+// PutRegion implements StreamPutter. Regions must arrive in ascending
+// contiguous order from the BeginPut base, as the windowed receiver
+// flushes them — rewriting already-committed bytes would be visible to
+// concurrent SnapshotObject readers. Growth doubles the capacity so a
+// streaming STOR of an N-byte object copies O(N) total, not a full
+// object per flushed window.
 func (m *MemStore) PutRegion(name string, off int64, p []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -141,9 +178,17 @@ func (m *MemStore) PutRegion(name string, off int64, p []byte) error {
 		return fmt.Errorf("gridftp: non-contiguous region at %d (have %d bytes)", off, len(data))
 	}
 	if end > int64(len(data)) {
-		grown := make([]byte, end)
-		copy(grown, data)
-		data = grown
+		if end > int64(cap(data)) {
+			newCap := int64(cap(data)) * 2
+			if newCap < end {
+				newCap = end
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, data)
+			data = grown
+		} else {
+			data = data[:end]
+		}
 	}
 	copy(data[off:end], p)
 	m.objects[name] = data

@@ -325,9 +325,20 @@ func (c *Client) storFromInner(ctx context.Context, name string, r io.Reader, of
 				return
 			}
 			defer conn.Close()
+			// The buffer coalesces each block's header and payload into
+			// one write; it is flushed per block so the sent counter
+			// only ever covers bytes that reached the socket.
 			bw := bufio.NewWriterSize(conn, 64<<10)
 			for ck := range chunks {
 				err := WriteBlock(bw, Block{Offset: ck.off, Data: ck.buf[:ck.n]})
+				if err == nil {
+					// Count payload only after a successful flush: a
+					// block parked in the bufio buffer when the
+					// transfer dies never crossed the wire, and
+					// WireBytes promises exact accounting even on
+					// failure.
+					err = bw.Flush()
+				}
 				if err != nil {
 					errs[i] = err
 					stopSend()
@@ -356,6 +367,11 @@ func (c *Client) storFromInner(ctx context.Context, name string, r io.Reader, of
 	sp.Phase(telemetry.PhaseTeardown)
 	stats := c.stats(sent, start, n, false)
 	stats.WireBytes = sent
+	// Every path past the STOR exchange above lands here, so the
+	// server has accepted the upload and begun (or truncated) the named
+	// object — the signal resume logic needs before trusting the
+	// destination's SIZE as this transfer's watermark.
+	stats.StorAccepted = true
 	if err := firstError(ctx, errs); err != nil {
 		c.drainReply()
 		return stats, err

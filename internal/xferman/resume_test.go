@@ -3,6 +3,7 @@ package xferman
 import (
 	"bytes"
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -348,5 +349,138 @@ func TestStreamJobResumesAfterReset(t *testing.T) {
 	}
 	if slack := int64(window + 512<<10); res.WireBytes > size+slack {
 		t.Fatalf("WireBytes=%d re-sent more than window+slack (%d): resume did not take", res.WireBytes, size+slack)
+	}
+}
+
+// flakyBeginPutStore fails the first BeginPut calls, so the server
+// rejects the STOR command before touching the object — the shape of a
+// destination-side failure that never engages the transfer.
+type flakyBeginPutStore struct {
+	*gridftp.MemStore
+	mu    sync.Mutex
+	fails int
+}
+
+func (s *flakyBeginPutStore) BeginPut(name string, base int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fails > 0 {
+		s.fails--
+		return errors.New("injected BeginPut failure")
+	}
+	return s.MemStore.BeginPut(name, base)
+}
+
+// TestStaleDestinationNotTrustedAsWatermark is the stale-watermark
+// regression: the destination already holds an unrelated object under
+// DstName, and the first attempt dies before the destination accepts
+// STOR — so that object is untouched. The retry must NOT read its SIZE
+// as a delivered watermark and REST there: with Verify off (the
+// default), doing so would silently splice the stale prefix under the
+// new object's suffix.
+func TestStaleDestinationNotTrustedAsWatermark(t *testing.T) {
+	const (
+		size      = 1 << 20
+		staleSize = 512 << 10
+	)
+	want := payload(size)
+	srcStore := gridftp.NewMemStore()
+	srcStore.Put("data.bin", want)
+	dstStore := &flakyBeginPutStore{MemStore: gridftp.NewMemStore(), fails: 1}
+	dstStore.Put("copy.bin", bytes.Repeat([]byte{0xAA}, staleSize))
+	src := serveCfg(t, gridftp.Config{Store: srcStore, BlockSize: 16 << 10})
+	dst := serveCfg(t, gridftp.Config{Store: dstStore, WindowSize: 64 << 10, BlockSize: 16 << 10})
+
+	m, _ := New(1)
+	defer m.Close()
+	// Verify deliberately off: the corruption this test pins slips
+	// through exactly when nothing checksums the result.
+	id, err := m.Submit(context.Background(), Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "data.bin", DstName: "copy.bin",
+		MaxAttempts:  3,
+		RetryBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := m.Wait(context.Background(), id)
+	if res.Status != Succeeded {
+		t.Fatalf("status=%v err=%s", res.Status, res.Err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts=%d, want 2 (rejected STOR, then restart from zero)", res.Attempts)
+	}
+	got, err := dstStore.Get("copy.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("destination object differs from source (len=%d, want %d): stale SIZE was resumed as a watermark", len(got), size)
+	}
+	if res.WireBytes != size {
+		t.Fatalf("WireBytes=%d, want %d (nothing moved before the rejection)", res.WireBytes, size)
+	}
+}
+
+// bufferedStore strips MemStore down to the plain Store interface so
+// the server falls back to whole-object buffered STOR.
+type bufferedStore struct {
+	m *gridftp.MemStore
+}
+
+func (b bufferedStore) Get(name string) ([]byte, error)      { return b.m.Get(name) }
+func (b bufferedStore) Put(name string, data []byte) error   { return b.m.Put(name, data) }
+func (b bufferedStore) Size(name string) (int64, error)      { return b.m.Size(name) }
+func (b bufferedStore) List(prefix string) ([]string, error) { return b.m.List(prefix) }
+
+// TestBufferedRestRejectionDemotesToRestart is the REST-demotion
+// regression against this repo's own buffered-STOR server, which
+// accepts REST with 350 and only rejects the resumed STOR with 501: a
+// job whose first attempt engaged the destination but left a stale
+// object probes a bogus watermark, gets the 501 on its resumed second
+// attempt, and must demote to restart-from-zero instead of re-sending
+// the doomed REST+STOR until MaxAttempts.
+func TestBufferedRestRejectionDemotesToRestart(t *testing.T) {
+	const (
+		size      = 1 << 20
+		staleSize = 256 << 10
+	)
+	want := payload(size)
+	srcStore := gridftp.NewMemStore()
+	srcStore.Put("data.bin", want)
+	dstMem := gridftp.NewMemStore()
+	dstMem.Put("copy.bin", bytes.Repeat([]byte{0xEE}, staleSize))
+	tracker, _ := resetFirstConn(size * 6 / 10)
+	src := serveCfg(t, gridftp.Config{Store: srcStore, BlockSize: 16 << 10})
+	dst := serveCfg(t, gridftp.Config{
+		Store:       bufferedStore{m: dstMem},
+		DataTimeout: 500 * time.Millisecond, DataListen: tracker.Listen,
+	})
+
+	m, _ := New(1)
+	defer m.Close()
+	id, err := m.Submit(context.Background(), Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "data.bin", DstName: "copy.bin",
+		MaxAttempts:  4,
+		RetryBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := m.Wait(context.Background(), id)
+	if res.Status != Succeeded {
+		t.Fatalf("status=%v attempts=%d err=%s", res.Status, res.Attempts, res.Err)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts=%d, want 3 (reset, 501 on resumed STOR, restart from zero)", res.Attempts)
+	}
+	got, err := dstMem.Get("copy.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("restarted object differs from source")
 	}
 }

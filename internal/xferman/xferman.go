@@ -482,11 +482,14 @@ type attemptOut struct {
 	bytes    int64 // object size, when learned
 	moved    int64 // payload this attempt pushed (exact for streaming, else -1)
 	circuit  broker.Disposition
-	// dataPhase: the transfer command sequence began, so a partial
-	// object at the destination is this job's own bytes and its SIZE is
-	// a trustworthy restart watermark.
-	dataPhase bool
-	err       error
+	// dstEngaged: the destination accepted this attempt's STOR, so the
+	// object under DstName now reflects this job's own transfer (the
+	// windowed server truncates it to the restart base on acceptance)
+	// and its SIZE is a trustworthy restart watermark. A failure before
+	// acceptance leaves any pre-existing destination object untouched —
+	// resuming at its stale SIZE would splice old bytes under new ones.
+	dstEngaged bool
+	err        error
 }
 
 // backoffDelay is the jittered exponential wait before the retry that
@@ -522,12 +525,28 @@ func sleepBackoff(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// isRestRejected reports whether the attempt died because the peer
-// refused the REST restart command, in which case resuming is off the
-// table and the retry must restart from byte zero.
+// isRestRejected reports whether a resumed attempt died because the
+// peer refused to restart mid-object, in which case resuming is off
+// the table and the retry must restart from byte zero. Refusal takes
+// two shapes: the REST verb itself bounces, or REST is accepted (350)
+// and the transfer verb that consumes it bounces — this repo's own
+// buffered-STOR server does the latter, answering the resumed STOR
+// with 501 "REST not supported", and the windowed server answers 554
+// when the restart offset outruns its stored partial. The caller only
+// consults this after a nonzero-REST attempt, so a 501/554 on
+// STOR/RETR here is a restart rejection, not a syntax quibble.
 func isRestRejected(err error) bool {
 	var pe *gridftp.ProtocolError
-	return errors.As(err, &pe) && pe.Verb == "REST"
+	if !errors.As(err, &pe) {
+		return false
+	}
+	switch pe.Verb {
+	case "REST":
+		return true
+	case "STOR", "RETR":
+		return pe.Reply.Code == 501 || pe.Reply.Code == 554
+	}
+	return false
 }
 
 // probeWatermark asks the destination how many contiguous bytes of the
@@ -602,7 +621,7 @@ func (m *Manager) execute(ctx context.Context, job Job) outcome {
 			// The endpoint doesn't do restarts; stop asking.
 			canResume = false
 			resumeFrom = 0
-		} else if at.dataPhase {
+		} else if at.dstEngaged {
 			if w := m.probeWatermark(ctx, job); w > resumeFrom && (out.bytes <= 0 || w < out.bytes) {
 				if at.moved < 0 {
 					out.wire += w - resumeFrom
@@ -664,11 +683,10 @@ func (m *Manager) attempt(ctx context.Context, job Job, resumeFrom int64) attemp
 	lease := m.broker.Begin(ctx, job.Src.Addr, job.Dst.Addr, out.bytes)
 	out.circuit = lease.Disposition()
 	xferStart := time.Now()
-	out.dataPhase = true
 	if job.Stream {
-		out.moved, err = m.streamRelay(ctx, src, dst, job, resumeFrom, out.bytes)
+		out.moved, out.dstEngaged, err = m.streamRelay(ctx, src, dst, job, resumeFrom, out.bytes)
 	} else {
-		err = gridftp.ThirdPartyFrom(src, dst, job.SrcName, job.DstName, resumeFrom)
+		out.dstEngaged, err = gridftp.ThirdPartyFrom(src, dst, job.SrcName, job.DstName, resumeFrom)
 	}
 	if err != nil {
 		lease.End(0, time.Since(xferStart))
@@ -701,8 +719,10 @@ func (m *Manager) attempt(ctx context.Context, job Job, resumeFrom int64) attemp
 // feeds an io.Pipe that a streaming STOR drains, both restarting at
 // base. Memory is bounded by the client window on the read side and a
 // few blocks on the write side. Returns the payload pushed to dst
-// (duplicates included), which is exact even on failure.
-func (m *Manager) streamRelay(ctx context.Context, src, dst *gridftp.Client, job Job, base, size int64) (int64, error) {
+// (duplicates included), which is exact even on failure, plus whether
+// dst accepted the STOR — the precondition for trusting its SIZE as
+// this job's watermark on the next attempt.
+func (m *Manager) streamRelay(ctx context.Context, src, dst *gridftp.Client, job Job, base, size int64) (int64, bool, error) {
 	pr, pw := io.Pipe()
 	region := int64(-1)
 	if size > 0 {
@@ -725,10 +745,10 @@ func (m *Manager) streamRelay(ctx context.Context, src, dst *gridftp.Client, job
 	pw.CloseWithError(retrErr)
 	stor := <-done
 	if retrErr != nil {
-		return stor.stats.WireBytes, fmt.Errorf("retr leg: %w", retrErr)
+		return stor.stats.WireBytes, stor.stats.StorAccepted, fmt.Errorf("retr leg: %w", retrErr)
 	}
 	if stor.err != nil {
-		return stor.stats.WireBytes, fmt.Errorf("stor leg: %w", stor.err)
+		return stor.stats.WireBytes, stor.stats.StorAccepted, fmt.Errorf("stor leg: %w", stor.err)
 	}
-	return stor.stats.WireBytes, nil
+	return stor.stats.WireBytes, stor.stats.StorAccepted, nil
 }
