@@ -3,14 +3,16 @@ GO ?= go
 # Packages exercised by the concurrency-sensitive paths (parallel exhibit
 # runner, memoized workloads, allocator scratch state) plus the live
 # transfer engine, its fault-injection harness, the telemetry layer
-# (whose tests scrape the registry while the data path mutates it), and
-# the hybrid control plane: the pooled vc client, the session broker,
-# and the xferman pool that dispatches through them.
+# (whose tests scrape the registry while the data path mutates it), the
+# hybrid control plane (the pooled vc client, the session broker, and
+# the xferman pool that dispatches through them), the control-channel
+# connection pool, and the root package whose C10k rig hammers the
+# sharded session registry and shared passive demux.
 RACE_PKGS = ./internal/netsim ./internal/experiments ./internal/sessions \
 	./internal/gridftp/... ./internal/faultnet/... ./internal/telemetry \
-	./internal/vc/... ./internal/xferman
+	./internal/vc/... ./internal/xferman ./internal/connpool .
 
-.PHONY: check vet vet-ctx race bench fuzz-smoke all
+.PHONY: check vet vet-ctx race bench bench-c10k fuzz-smoke all
 
 all: check
 
@@ -24,7 +26,8 @@ check:
 	$(MAKE) vet-ctx
 	$(GO) test ./...
 	$(GO) test -race -count=1 ./internal/gridftp/... ./internal/faultnet/... \
-		./internal/telemetry ./internal/vc/... ./internal/xferman
+		./internal/telemetry ./internal/vc/... ./internal/xferman \
+		./internal/connpool .
 	$(MAKE) fuzz-smoke
 
 # Fuzz smoke: run each data-plane fuzz target briefly on top of its
@@ -70,3 +73,10 @@ race:
 BENCH_OUT ?= BENCH_3.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -json . | tee $(BENCH_OUT)
+
+# The C10k live-engine ramp: thousands of in-memory control sessions
+# against one server, dial/first-byte percentiles from telemetry spans,
+# and the pooled-vs-redial A/B. Set C10K_XL=1 for a 100k plateau.
+C10K_OUT ?= BENCH_6.json
+bench-c10k:
+	C10K_OUT=$(C10K_OUT) $(GO) test -run '^TestC10kReport$$' -count=1 -v -timeout 20m .

@@ -39,6 +39,8 @@ func main() {
 		dataTO   = flag.Duration("data-timeout", 0, "per-operation data I/O deadline (0: default 30s, negative: none)")
 		acceptTO = flag.Duration("accept-timeout", 0, "data-connection accept deadline (0: default 10s)")
 		maxObj   = flag.Int64("max-object", 0, "largest object accepted by STOR in bytes (0: default 4GiB)")
+		maxSess  = flag.Int("max-sessions", 0, "concurrent control-channel session cap; excess connections are shed with a 421 greeting (0: unlimited)")
+		pasv     = flag.String("pasv-range", "", "shared passive data port range \"lo-hi\": pre-open these listeners at startup and demultiplex data connections to transfers by token, instead of one listener per transfer (empty: per-transfer listeners)")
 	)
 	flag.Parse()
 	store, err := gridftp.NewDirStore(*root)
@@ -59,6 +61,8 @@ func main() {
 		DataTimeout:   *dataTO,
 		AcceptTimeout: *acceptTO,
 		MaxObjectSize: *maxObj,
+		MaxSessions:   *maxSess,
+		PasvPortRange: *pasv,
 	}
 	if *metrics != "" {
 		hub := telemetry.NewHub()

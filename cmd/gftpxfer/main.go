@@ -23,6 +23,8 @@ import (
 	"strings"
 	"time"
 
+	"gftpvc/internal/connpool"
+	"gftpvc/internal/gridftp"
 	"gftpvc/internal/telemetry"
 	"gftpvc/internal/vc"
 	"gftpvc/internal/vc/broker"
@@ -45,7 +47,9 @@ func main() {
 		stream   = flag.Bool("stream", false, "relay objects through this process's streaming data plane (bounded memory, exact wire accounting) instead of server-to-server third-party transfers")
 		window   = flag.Int("window", 0, "streaming reassembly window in bytes with -stream (0: gridftp default, 4 MiB); bounds relay memory and worst-case re-sent bytes on resume")
 		noResume = flag.Bool("no-resume", false, "restart failed transfers from byte zero instead of resuming at the destination's delivered watermark")
-		metrics  = flag.String("metrics-addr", "", "telemetry HTTP listen address serving /metrics, /spans, /counters, /healthz (optional)")
+		poolIdle = flag.Int("pool-idle", 0, "pool control channels per endpoint, keeping up to this many idle (0: dial fresh per attempt, the historical behavior)")
+		keepal   = flag.Duration("keepalive", 30*time.Second, "NOOP interval for pooled idle control channels with -pool-idle (keep below the servers' idle timeout)")
+		metrics  = flag.String("metrics-addr", "", "telemetry HTTP listen address serving /metrics, /spans, /counters, /healthz, /debug/pprof (optional)")
 
 		oscars  = flag.String("oscars", "", "oscarsd reservation daemon address; enables hybrid VC/IP dispatch (optional)")
 		gap     = flag.Duration("gap", 60*time.Second, "session gap parameter g: back-to-back jobs closer than this share one session/circuit")
@@ -94,6 +98,26 @@ func main() {
 		opts = append(opts, xferman.WithBroker(bk))
 		fmt.Fprintf(os.Stderr, "gftpxfer: hybrid dispatch via %s (protocol v%d, gap %v)\n",
 			*oscars, client.ProtocolVersion(), *gap)
+	}
+	if *poolIdle > 0 {
+		pool := connpool.New(connpool.Config{
+			MaxIdlePerEndpoint: *poolIdle,
+			KeepAlive:          *keepal,
+			Telemetry:          hub,
+			Opts: func(string) []gridftp.Option {
+				var o []gridftp.Option
+				if *timeout > 0 {
+					o = append(o, gridftp.WithControlTimeout(*timeout), gridftp.WithDataTimeout(*timeout))
+				}
+				if hub != nil {
+					o = append(o, gridftp.WithTelemetry(hub))
+				}
+				return o
+			},
+		})
+		defer pool.Close()
+		opts = append(opts, xferman.WithPool(pool))
+		fmt.Fprintf(os.Stderr, "gftpxfer: pooling control channels (idle %d/endpoint, keepalive %v)\n", *poolIdle, *keepal)
 	}
 	m, err := xferman.New(*workers, opts...)
 	if err != nil {

@@ -16,11 +16,16 @@
 // /metrics exposition, and the live transfer spans are folded into a
 // paper-style VC-vs-IP comparison at the end.
 //
-//	go run ./examples/livehybrid
+// The worker pool dials fresh control channels per attempt by default;
+// -pool-idle N pools them per endpoint with a -keepalive NOOP interval
+// instead (output is byte-identical with pooling off).
+//
+//	go run ./examples/livehybrid [-pool-idle 2] [-keepalive 30s]
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -29,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"gftpvc/internal/connpool"
 	"gftpvc/internal/gridftp"
 	"gftpvc/internal/oscarsd"
 	"gftpvc/internal/telemetry"
@@ -47,6 +53,9 @@ const (
 )
 
 func main() {
+	poolIdle := flag.Int("pool-idle", 0, "pool control channels per endpoint, keeping up to this many idle (0: dial fresh per attempt)")
+	keepalive := flag.Duration("keepalive", 30*time.Second, "NOOP interval for pooled idle control channels with -pool-idle")
+	flag.Parse()
 	ctx := context.Background()
 	hub := telemetry.NewHub()
 	ms, err := hub.ListenAndServe("127.0.0.1:0")
@@ -112,7 +121,20 @@ func main() {
 	}
 	defer bk.Close()
 
-	m, err := xferman.New(2, xferman.WithTelemetry(hub), xferman.WithBroker(bk))
+	xmOpts := []xferman.Option{xferman.WithTelemetry(hub), xferman.WithBroker(bk)}
+	if *poolIdle > 0 {
+		pool := connpool.New(connpool.Config{
+			MaxIdlePerEndpoint: *poolIdle,
+			KeepAlive:          *keepalive,
+			Telemetry:          hub,
+			Opts: func(string) []gridftp.Option {
+				return []gridftp.Option{gridftp.WithTelemetry(hub)}
+			},
+		})
+		defer pool.Close()
+		xmOpts = append(xmOpts, xferman.WithPool(pool))
+	}
+	m, err := xferman.New(2, xmOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -160,10 +160,19 @@ func (c *Client) dial(addr string) (net.Conn, error) {
 
 // dataConn dials one data endpoint, applies the data timeout, and
 // counts wire bytes into the transfer span (a nil span counts nothing).
-func (c *Client) dataConn(addr string, sp *telemetry.Span) (net.Conn, error) {
+// A nonzero token means the endpoint is a shared passive listener: the
+// demux routing preamble is sent first, on the raw connection so it
+// never lands in the wire-byte tally.
+func (c *Client) dataConn(addr string, token uint64, sp *telemetry.Span) (net.Conn, error) {
 	conn, err := c.dial(addr)
 	if err != nil {
 		return nil, err
+	}
+	if token != 0 {
+		if err := writeDemuxPreamble(conn, token, c.dataTimeout); err != nil {
+			conn.Close()
+			return nil, err
+		}
 	}
 	return &countingConn{Conn: withIdleTimeout(conn, c.dataTimeout), span: sp}, nil
 }
@@ -284,6 +293,46 @@ func (c *Client) Login(user, pass string) error {
 	return err
 }
 
+// Noop sends NOOP, the keepalive probe: it both verifies the control
+// channel end to end and resets the server's idle clock.
+func (c *Client) Noop() error {
+	_, err := c.do("NOOP", "NOOP", 200)
+	return err
+}
+
+// Desynced reports whether the control channel has been poisoned by an
+// undrained failure; a pool must discard such a connection rather than
+// hand it to the next job.
+func (c *Client) Desynced() bool { return c.desynced }
+
+// SetTimeouts rebinds the control and data deadlines (zero keeps the
+// current value; negative disables). A pooled connection outlives any
+// one job, so each checkout re-applies the job's own deadlines.
+func (c *Client) SetTimeouts(control, data time.Duration) {
+	if control != 0 {
+		c.controlTimeout = control
+	}
+	if control < 0 {
+		c.controlTimeout = 0
+	}
+	if data != 0 {
+		c.dataTimeout = data
+	}
+	if data < 0 {
+		c.dataTimeout = 0
+	}
+}
+
+// SetWindow rebinds the streaming reassembly window (see WithWindow)
+// for the jobs a pooled connection serves next.
+func (c *Client) SetWindow(bytes int) error {
+	if bytes < 1 {
+		return errors.New("gridftp: window must be positive")
+	}
+	c.windowSize = bytes
+	return nil
+}
+
 // SetParallelism sets the number of parallel TCP streams for subsequent
 // transfers (the Globus -p flag; OPTS RETR Parallelism).
 func (c *Client) SetParallelism(n int) error {
@@ -354,42 +403,54 @@ func (c *Client) Features() ([]string, error) {
 	return rep.Lines, nil
 }
 
-// passive requests PASV and returns the single data address.
-func (c *Client) passive() (string, error) {
+// passive requests PASV and returns the single data address plus the
+// demux token a shared-passive server advertises (0 when the server
+// uses per-transfer listeners).
+func (c *Client) passive() (string, uint64, error) {
 	rep, err := c.do("PASV", "PASV", 227)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	open := strings.Index(rep.Text, "(")
 	close := strings.LastIndex(rep.Text, ")")
 	if open < 0 || close <= open {
-		return "", fmt.Errorf("gridftp: malformed PASV reply %q", rep.Text)
+		return "", 0, fmt.Errorf("gridftp: malformed PASV reply %q", rep.Text)
 	}
-	return parseHostPort(rep.Text[open+1 : close])
+	addr, err := parseHostPort(rep.Text[open+1 : close])
+	if err != nil {
+		return "", 0, err
+	}
+	return addr, parseDemuxToken(rep.Text[:open]), nil
 }
 
-// stripedPassive requests SPAS and returns one data address per stripe.
-func (c *Client) stripedPassive() ([]string, error) {
+// stripedPassive requests SPAS and returns one data address per stripe
+// plus the demux token (0 when absent). The token rides the comma-free
+// header line, the addresses the comma lines.
+func (c *Client) stripedPassive() ([]string, uint64, error) {
 	rep, err := c.do("SPAS", "SPAS", 229)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var addrs []string
+	var token uint64
 	for _, l := range rep.Lines {
 		l = strings.TrimSpace(l)
 		if !strings.Contains(l, ",") {
+			if t := parseDemuxToken(l); t != 0 {
+				token = t
+			}
 			continue
 		}
 		a, err := parseHostPort(l)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		addrs = append(addrs, a)
 	}
 	if len(addrs) == 0 {
-		return nil, errors.New("gridftp: SPAS returned no addresses")
+		return nil, 0, errors.New("gridftp: SPAS returned no addresses")
 	}
-	return addrs, nil
+	return addrs, token, nil
 }
 
 // TransferStats describes one completed client-side transfer.
@@ -477,11 +538,12 @@ func (c *Client) retrInner(name string, striped bool, offset, length int64, rest
 		regionLen = length
 	}
 	var addrs []string
+	var token uint64
 	if striped {
-		addrs, err = c.stripedPassive()
+		addrs, token, err = c.stripedPassive()
 	} else {
 		var a string
-		a, err = c.passive()
+		a, token, err = c.passive()
 		if err == nil {
 			for i := 0; i < c.parallelism; i++ {
 				addrs = append(addrs, a)
@@ -522,7 +584,7 @@ func (c *Client) retrInner(name string, striped bool, offset, length int64, rest
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			conn, err := c.dataConn(addr, sp)
+			conn, err := c.dataConn(addr, token, sp)
 			if err != nil {
 				errs[i] = err
 				return
@@ -551,7 +613,7 @@ func (c *Client) retrInner(name string, striped bool, offset, length int64, rest
 
 // Stor uploads an object using the configured parallelism.
 func (c *Client) Stor(name string, data []byte) (TransferStats, error) {
-	addr, err := c.passive()
+	addr, token, err := c.passive()
 	if err != nil {
 		return TransferStats{}, err
 	}
@@ -559,35 +621,35 @@ func (c *Client) Stor(name string, data []byte) (TransferStats, error) {
 	for i := range addrs {
 		addrs[i] = addr
 	}
-	return c.stor(name, data, addrs, false)
+	return c.stor(name, data, addrs, token, false)
 }
 
 // StorStriped uploads an object in striped mode: one data connection per
 // server stripe (SPAS), blocks interleaved round-robin.
 func (c *Client) StorStriped(name string, data []byte) (TransferStats, error) {
-	addrs, err := c.stripedPassive()
+	addrs, token, err := c.stripedPassive()
 	if err != nil {
 		return TransferStats{}, err
 	}
-	return c.stor(name, data, addrs, true)
+	return c.stor(name, data, addrs, token, true)
 }
 
 // stor wraps storInner with the same per-transfer instrumentation as
 // retr.
-func (c *Client) stor(name string, data []byte, addrs []string, striped bool) (TransferStats, error) {
+func (c *Client) stor(name string, data []byte, addrs []string, token uint64, striped bool) (TransferStats, error) {
 	op := "stor"
 	if striped {
 		op = "stor_striped"
 	}
 	sp := c.hub.Span(op, name, telemetry.PhaseSetup)
 	start := time.Now()
-	stats, err := c.storInner(name, data, addrs, striped, sp)
+	stats, err := c.storInner(name, data, addrs, token, striped, sp)
 	c.met.transferDone(op, err, sp.Bytes(), time.Since(start).Seconds())
 	sp.End(err)
 	return stats, err
 }
 
-func (c *Client) storInner(name string, data []byte, addrs []string, striped bool, sp *telemetry.Span) (TransferStats, error) {
+func (c *Client) storInner(name string, data []byte, addrs []string, token uint64, striped bool, sp *telemetry.Span) (TransferStats, error) {
 	start := time.Now()
 	if _, err := c.do("STOR", "STOR "+name, 150); err != nil {
 		return TransferStats{}, err
@@ -602,7 +664,7 @@ func (c *Client) storInner(name string, data []byte, addrs []string, striped boo
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			conn, err := c.dataConn(addr, sp)
+			conn, err := c.dataConn(addr, token, sp)
 			if err != nil {
 				errs[i] = err
 				return
@@ -676,7 +738,7 @@ func ThirdPartyFrom(src, dst *Client, srcName, dstName string, offset int64) (ds
 		return false, errors.New("gridftp: negative restart offset")
 	}
 	// dst opens a passive data port; src connects to it actively.
-	addr, err := dst.passive()
+	addr, token, err := dst.passive()
 	if err != nil {
 		return false, err
 	}
@@ -690,6 +752,11 @@ func ThirdPartyFrom(src, dst *Client, srcName, dstName string, offset int64) (ds
 		return false, errors.New("gridftp: third-party requires IPv4 data address")
 	}
 	hostPort := fmt.Sprintf("%d,%d,%d,%d,%s", ip4[0], ip4[1], ip4[2], ip4[3], port)
+	if token != 0 {
+		// dst's port is a shared passive listener: src must present its
+		// demux token, carried as PORT's second field.
+		hostPort += fmt.Sprintf(" %016x", token)
+	}
 	if _, err := src.do("PORT", "PORT "+hostPort, 200); err != nil {
 		return false, err
 	}

@@ -1,0 +1,312 @@
+package gridftp
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the shared passive-listener data plane: instead of
+// opening a fresh ephemeral listener per transfer (two syscalls and a
+// kernel socket per RETR/STOR, and an fd-table race at C10k
+// concurrency), a server configured with Config.PasvPortRange pre-opens
+// a fixed set of data listeners at Serve time and demultiplexes every
+// accepted data connection to the transfer that is waiting for it.
+//
+// Routing works by token match: each PASV/SPAS claim mints a 64-bit
+// random token, advertised in the control reply ("token=<16 hex>"),
+// and whoever connects to a shared listener sends a 16-byte preamble
+// (magic + token) as its first bytes. The demux reads the preamble
+// under the accept deadline, matches the token against the pending
+// claims, and hands the connection — preamble consumed, payload
+// untouched — to the owning transfer through a bounded queue.
+//
+// The source address of every routed connection is checked against the
+// address the claim expects (the claimant's control-channel peer).
+// Third-party transfers are the deliberate exception: there the
+// connector is the source *server*, whose address the destination
+// cannot predict, so a mismatch with a valid token is delivered anyway
+// and surfaced on gridftp_pasv_demux_foreign_total rather than dropped
+// — the 64-bit random token remains the authenticator.
+
+const (
+	// demuxMagic opens the preamble; 8 bytes so the whole preamble is a
+	// single aligned 16-byte read.
+	demuxMagic = "GFTPMX1\n"
+	// demuxPreambleLen is magic + big-endian token.
+	demuxPreambleLen = 16
+	// demuxQueueSlack bounds how many routed connections may queue for
+	// one claim beyond its expected count before the demux sheds them.
+	demuxQueueSlack = 64
+)
+
+// writeDemuxPreamble sends the shared-listener routing preamble as the
+// connection's first bytes, bounded by timeout so a dead peer cannot
+// pin the dialer.
+func writeDemuxPreamble(c net.Conn, token uint64, timeout time.Duration) error {
+	var buf [demuxPreambleLen]byte
+	copy(buf[:8], demuxMagic)
+	binary.BigEndian.PutUint64(buf[8:], token)
+	if timeout > 0 {
+		c.SetWriteDeadline(time.Now().Add(timeout))
+		defer c.SetWriteDeadline(time.Time{})
+	}
+	_, err := c.Write(buf[:])
+	return err
+}
+
+// parseDemuxToken extracts a "token=<16 hex>" clause from a control
+// reply; 0 (never minted) means no token present.
+func parseDemuxToken(s string) uint64 {
+	i := strings.Index(s, "token=")
+	if i < 0 {
+		return 0
+	}
+	hex := s[i+len("token="):]
+	if len(hex) < 16 {
+		return 0
+	}
+	tok, err := strconv.ParseUint(hex[:16], 16, 64)
+	if err != nil {
+		return 0
+	}
+	return tok
+}
+
+// parsePasvPortRange parses Config.PasvPortRange ("lo-hi"). lo == 0
+// requests hi-lo+1 ephemeral listeners (ports chosen by the kernel),
+// which is what tests and single-host benches use; a nonzero range
+// binds exactly those ports, for deployments that must match firewall
+// pinholes.
+func parsePasvPortRange(s string) (lo, hi int, err error) {
+	los, his, ok := strings.Cut(s, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("gridftp: PasvPortRange %q must be \"lo-hi\"", s)
+	}
+	lo, err1 := strconv.Atoi(strings.TrimSpace(los))
+	hi, err2 := strconv.Atoi(strings.TrimSpace(his))
+	if err1 != nil || err2 != nil || lo < 0 || hi > 65535 || hi < lo {
+		return 0, 0, fmt.Errorf("gridftp: bad PasvPortRange %q", s)
+	}
+	return lo, hi, nil
+}
+
+// pasvClaim is one transfer-to-be's registration with the demux: the
+// token its data connections must carry and the queue they arrive on.
+type pasvClaim struct {
+	pool  *pasvPool
+	token uint64
+	// host is the claimant's control-channel peer host; a routed
+	// connection from another host is counted as foreign.
+	host string
+	// addrs are the shared listener addresses advertised for this claim
+	// (one for PASV, one per stripe for SPAS).
+	addrs []net.Addr
+	ch    chan net.Conn
+}
+
+// next hands out the claim's queued (or soon-to-arrive) connections in
+// arrival order, bounded by timeout.
+func (cl *pasvClaim) next(timeout time.Duration) (net.Conn, error) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case c, ok := <-cl.ch:
+		if !ok {
+			return nil, errors.New("gridftp: demux claim released")
+		}
+		return c, nil
+	case <-t.C:
+		return nil, fmt.Errorf("gridftp: timed out waiting for demuxed data connection (token %016x)", cl.token)
+	}
+}
+
+// release unregisters the claim and closes any connections still
+// queued. Delivery happens under the pool mutex, so after release
+// returns no connection can be stranded in the queue.
+func (cl *pasvClaim) release() {
+	if cl == nil {
+		return
+	}
+	p := cl.pool
+	p.mu.Lock()
+	delete(p.claims, cl.token)
+	for {
+		select {
+		case c := <-cl.ch:
+			c.Close()
+		default:
+			p.mu.Unlock()
+			return
+		}
+	}
+}
+
+// pasvPool owns the shared passive listeners and the claim table.
+type pasvPool struct {
+	met           *srvMetrics
+	acceptTimeout time.Duration
+	listeners     []net.Listener
+
+	next uint64 // round-robin listener cursor, under mu
+
+	mu     sync.Mutex
+	claims map[uint64]*pasvClaim
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// newPasvPool opens one shared listener per port in [lo, hi] on host
+// (lo == 0: hi-lo+1 ephemeral ports) through the listen hook, and
+// starts their accept loops.
+func newPasvPool(listen func(network, addr string) (net.Listener, error), host string, lo, hi int, acceptTimeout time.Duration, met *srvMetrics) (*pasvPool, error) {
+	p := &pasvPool{
+		met:           met,
+		acceptTimeout: acceptTimeout,
+		claims:        make(map[uint64]*pasvClaim),
+	}
+	for port := lo; port <= hi; port++ {
+		bind := port
+		if lo == 0 {
+			bind = 0
+		}
+		ln, err := listen("tcp", net.JoinHostPort(host, strconv.Itoa(bind)))
+		if err != nil {
+			p.close()
+			return nil, fmt.Errorf("gridftp: shared passive listener %s:%d: %w", host, bind, err)
+		}
+		p.listeners = append(p.listeners, ln)
+	}
+	met.sharedListeners.Set(int64(len(p.listeners)))
+	for _, ln := range p.listeners {
+		p.wg.Add(1)
+		go p.acceptLoop(ln)
+	}
+	return p, nil
+}
+
+// close stops the accept loops and waits out in-flight preamble reads
+// (each bounded by the accept deadline).
+func (p *pasvPool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	for _, ln := range p.listeners {
+		ln.Close()
+	}
+	p.wg.Wait()
+	if p.met != nil {
+		p.met.sharedListeners.Set(0)
+	}
+}
+
+// claim registers a transfer expecting up to expect data connections
+// and returns the listener addresses to advertise: one for PASV,
+// stripes cycling round-robin across the shared listeners for SPAS.
+func (p *pasvPool) claim(n int, host string, expect int) (*pasvClaim, error) {
+	if expect < 1 {
+		expect = 1
+	}
+	cl := &pasvClaim{
+		pool: p,
+		host: host,
+		ch:   make(chan net.Conn, expect+demuxQueueSlack),
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, errors.New("gridftp: server closed")
+	}
+	for {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return nil, err
+		}
+		tok := binary.BigEndian.Uint64(b[:])
+		if tok == 0 {
+			continue
+		}
+		if _, dup := p.claims[tok]; dup {
+			continue
+		}
+		cl.token = tok
+		break
+	}
+	for i := 0; i < n; i++ {
+		ln := p.listeners[p.next%uint64(len(p.listeners))]
+		p.next++
+		cl.addrs = append(cl.addrs, ln.Addr())
+	}
+	p.claims[cl.token] = cl
+	return cl, nil
+}
+
+// acceptLoop accepts on one shared listener until it closes, routing
+// each connection on its own goroutine so one slow preamble cannot
+// head-of-line-block the listener.
+func (p *pasvPool) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.route(c)
+	}
+}
+
+// route reads the 16-byte preamble under the accept deadline and hands
+// the connection to the claim owning its token. Unroutable connections
+// are closed and counted by reason; a valid token from an unexpected
+// source address is delivered but counted foreign (the third-party
+// case — see the file comment).
+func (p *pasvPool) route(c net.Conn) {
+	defer p.wg.Done()
+	if p.acceptTimeout > 0 {
+		c.SetReadDeadline(time.Now().Add(p.acceptTimeout))
+	}
+	var buf [demuxPreambleLen]byte
+	if _, err := io.ReadFull(c, buf[:]); err != nil {
+		p.shed(c, "preamble")
+		return
+	}
+	if string(buf[:8]) != demuxMagic {
+		p.shed(c, "magic")
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	token := binary.BigEndian.Uint64(buf[8:])
+	p.mu.Lock()
+	cl := p.claims[token]
+	if cl == nil {
+		p.mu.Unlock()
+		p.shed(c, "unknown_token")
+		return
+	}
+	if host, _, err := net.SplitHostPort(c.RemoteAddr().String()); err == nil && cl.host != "" && host != cl.host {
+		p.met.demuxForeign.Inc()
+	}
+	select {
+	case cl.ch <- c:
+		p.mu.Unlock()
+		p.met.demuxRouted.Inc()
+	default:
+		p.mu.Unlock()
+		p.shed(c, "queue_full")
+	}
+}
+
+// shed closes an unroutable connection and counts why.
+func (p *pasvPool) shed(c net.Conn, reason string) {
+	c.Close()
+	p.met.demuxShed(reason)
+}

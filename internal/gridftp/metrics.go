@@ -2,6 +2,7 @@ package gridftp
 
 import (
 	"net"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -17,14 +18,19 @@ import (
 type srvMetrics struct {
 	hub *telemetry.Hub
 
-	sessionsActive *telemetry.Gauge
-	sessionsTotal  *telemetry.Counter
-	listenersOpen  *telemetry.Gauge
-	dataConns      *telemetry.Counter
-	acceptErrors   *telemetry.Counter
-	durations      *telemetry.Histogram
-	sizes          *telemetry.Histogram
-	usageRecords   *telemetry.Counter
+	sessionsActive   *telemetry.Gauge
+	sessionsTotal    *telemetry.Counter
+	sessionsRejected *telemetry.Counter
+	shardActive      [nConnShards]*telemetry.Gauge
+	listenersOpen    *telemetry.Gauge
+	sharedListeners  *telemetry.Gauge
+	demuxRouted      *telemetry.Counter
+	demuxForeign     *telemetry.Counter
+	dataConns        *telemetry.Counter
+	acceptErrors     *telemetry.Counter
+	durations        *telemetry.Histogram
+	sizes            *telemetry.Histogram
+	usageRecords     *telemetry.Counter
 }
 
 func newSrvMetrics(hub *telemetry.Hub) *srvMetrics {
@@ -36,8 +42,21 @@ func newSrvMetrics(hub *telemetry.Hub) *srvMetrics {
 		"Control-channel sessions currently open.")
 	m.sessionsTotal = hub.Counter("gridftp_server_sessions_total",
 		"Control-channel sessions accepted.")
+	m.sessionsRejected = hub.Counter("gridftp_sessions_rejected_total",
+		"Connections shed with a 421 greeting by the MaxSessions cap.")
+	for i := range m.shardActive {
+		m.shardActive[i] = hub.Gauge("gridftp_sessions_active",
+			"Control-channel sessions currently open, by registry shard.",
+			telemetry.L("shard", strconv.Itoa(i)))
+	}
 	m.listenersOpen = hub.Gauge("gridftp_server_passive_listeners_open",
-		"Passive data listeners currently open.")
+		"Per-transfer passive data listeners currently open.")
+	m.sharedListeners = hub.Gauge("gridftp_server_shared_passive_listeners",
+		"Pre-opened shared passive data listeners (PasvPortRange pool).")
+	m.demuxRouted = hub.Counter("gridftp_pasv_demux_routed_total",
+		"Data connections routed to a waiting transfer by token match.")
+	m.demuxForeign = hub.Counter("gridftp_pasv_demux_foreign_total",
+		"Token-matched data connections arriving from an address other than the claimant's (expected for third-party transfers).")
 	m.dataConns = hub.Counter("gridftp_server_data_connections_total",
 		"Data connections established for transfers.")
 	m.acceptErrors = hub.Counter("gridftp_server_data_accept_errors_total",
@@ -58,6 +77,32 @@ var knownVerbs = map[string]bool{
 	"FEAT": true, "TYPE": true, "MODE": true, "SBUF": true, "OPTS": true,
 	"PASV": true, "SPAS": true, "PORT": true, "SIZE": true, "CKSM": true,
 	"NLST": true, "REST": true, "RETR": true, "ERET": true, "STOR": true,
+}
+
+// shardSession moves one session in or out of a registry shard's gauge.
+func (m *srvMetrics) shardSession(idx int, delta int64) {
+	if m.hub == nil {
+		return
+	}
+	m.shardActive[idx].Add(delta)
+}
+
+// sessionRejected counts one connection shed by the MaxSessions cap.
+func (m *srvMetrics) sessionRejected() {
+	if m.hub == nil {
+		return
+	}
+	m.sessionsRejected.Inc()
+}
+
+// demuxShed counts one unroutable shared-listener connection by reason.
+func (m *srvMetrics) demuxShed(reason string) {
+	if m == nil || m.hub == nil {
+		return
+	}
+	m.hub.Counter("gridftp_pasv_demux_rejected_total",
+		"Shared-listener data connections closed unrouted, by reason.",
+		telemetry.L("reason", reason)).Inc()
 }
 
 // command counts one dispatched control-channel command.

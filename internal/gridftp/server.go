@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gftpvc/internal/telemetry"
@@ -64,10 +65,36 @@ type Config struct {
 	// DataListen opens the passive data listeners (default net.Listen).
 	// Fault-injection and listener-leak tests substitute wrappers here.
 	DataListen func(network, addr string) (net.Listener, error)
+	// ControlListen opens the control-channel listener (default
+	// net.Listen). The C10k bench substitutes an in-memory listener here
+	// so session counts are not bounded by the fd table.
+	ControlListen func(network, addr string) (net.Listener, error)
+	// MaxSessions caps concurrent control-channel sessions; connections
+	// beyond the cap are shed with a 421 greeting instead of growing the
+	// session table without bound (0 = unlimited).
+	MaxSessions int
+	// PasvPortRange, when set ("lo-hi"), switches the server from one
+	// passive listener per transfer to a pre-opened shared listener pool
+	// spanning the range; accepted data connections are demultiplexed to
+	// transfers by token match (see demux.go). "0-N" binds N+1 ephemeral
+	// ports. Empty keeps the per-transfer listener path.
+	PasvPortRange string
 	// Telemetry, when set, receives the server's live instrument
 	// streams: registry metrics, per-transfer phase spans, and the
 	// 30-second per-stripe byte counters. Nil disables instrumentation.
 	Telemetry *telemetry.Hub
+}
+
+// nConnShards stripes the session registry. At C10k concurrency a
+// single registration mutex is the hottest lock in the accept path;
+// sixteen shards keyed round-robin cut that contention 16x while Close
+// still reaches every session with a bounded sweep.
+const nConnShards = 16
+
+// connShard is one stripe of the session registry.
+type connShard struct {
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
 }
 
 // Server is a GridFTP server.
@@ -76,12 +103,47 @@ type Server struct {
 	ln     net.Listener
 	sender *usagestats.Sender
 	met    *srvMetrics
+	pasv   *pasvPool
 
-	wg     sync.WaitGroup
-	mu     sync.Mutex
-	logs   []usagestats.Record
-	conns  map[net.Conn]bool
-	closed bool
+	wg      sync.WaitGroup
+	connSeq atomic.Uint64
+	active  atomic.Int64
+	closed  atomic.Bool
+	shards  [nConnShards]connShard
+
+	mu   sync.Mutex // guards logs only
+	logs []usagestats.Record
+}
+
+// addConn registers a session connection into its shard; false means
+// the server is closing and the connection must not be served.
+func (s *Server) addConn(c net.Conn) (int, bool) {
+	idx := int(s.connSeq.Add(1) % nConnShards)
+	sh := &s.shards[idx]
+	sh.mu.Lock()
+	// Re-check closed under the shard lock: Close sweeps each shard
+	// after storing the flag, so a registration that saw closed==false
+	// here is guaranteed to be swept.
+	if s.closed.Load() {
+		sh.mu.Unlock()
+		return 0, false
+	}
+	if sh.conns == nil {
+		sh.conns = make(map[net.Conn]struct{})
+	}
+	sh.conns[c] = struct{}{}
+	sh.mu.Unlock()
+	s.met.shardSession(idx, 1)
+	return idx, true
+}
+
+// dropConn removes a session connection from its shard.
+func (s *Server) dropConn(idx int, c net.Conn) {
+	sh := &s.shards[idx]
+	sh.mu.Lock()
+	delete(sh.conns, c)
+	sh.mu.Unlock()
+	s.met.shardSession(idx, -1)
 }
 
 // Serve starts a server. Callers must Close it.
@@ -131,17 +193,36 @@ func Serve(cfg Config) (*Server, error) {
 	if cfg.DataListen == nil {
 		cfg.DataListen = net.Listen
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
+	if cfg.ControlListen == nil {
+		cfg.ControlListen = net.Listen
+	}
+	ln, err := cfg.ControlListen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.ServerHost == "" {
 		cfg.ServerHost = ln.Addr().String()
 	}
-	s := &Server{cfg: cfg, ln: ln, conns: make(map[net.Conn]bool), met: newSrvMetrics(cfg.Telemetry)}
+	s := &Server{cfg: cfg, ln: ln, met: newSrvMetrics(cfg.Telemetry)}
+	if cfg.PasvPortRange != "" {
+		lo, hi, err := parsePasvPortRange(cfg.PasvPortRange)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		pool, err := newPasvPool(cfg.DataListen, dataHost(ln.Addr()), lo, hi, cfg.AcceptTimeout, s.met)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.pasv = pool
+	}
 	if cfg.UsageAddr != "" {
 		snd, err := usagestats.NewSender(cfg.UsageAddr)
 		if err != nil {
+			if s.pasv != nil {
+				s.pasv.close()
+			}
 			ln.Close()
 			return nil, err
 		}
@@ -166,19 +247,25 @@ func (s *Server) Records() []usagestats.Record {
 
 // Close stops the server and waits for in-flight sessions.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.closed = true
-	// Unblock sessions parked on control-channel reads.
-	for c := range s.conns {
-		c.Close()
+	// Unblock sessions parked on control-channel reads. Registrations
+	// racing Close re-check the flag under their shard lock, so every
+	// admitted connection is either swept here or refused there.
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for c := range sh.conns {
+			c.Close()
+		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
+	if s.pasv != nil {
+		s.pasv.close()
+	}
 	if s.sender != nil {
 		s.sender.Close()
 	}
@@ -188,6 +275,20 @@ func (s *Server) Close() error {
 	return err
 }
 
+// reject sheds an over-limit connection with a 421 greeting on its own
+// goroutine (deadline-bounded) so a blocked writer cannot stall accept.
+func (s *Server) reject(conn net.Conn) {
+	s.met.sessionRejected()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer conn.Close()
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.AcceptTimeout))
+		fmt.Fprintf(conn, "421 too many sessions (%d active, limit %d), try again later\r\n",
+			s.active.Load(), s.cfg.MaxSessions)
+	}()
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -195,23 +296,34 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
+		if max := int64(s.cfg.MaxSessions); max > 0 && s.active.Load() >= max {
+			s.reject(conn)
+			continue
+		}
+		idx, ok := s.addConn(conn)
+		if !ok {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = true
-		s.mu.Unlock()
+		s.active.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
-			s.mu.Lock()
-			delete(s.conns, conn)
-			s.mu.Unlock()
+			s.active.Add(-1)
+			s.dropConn(idx, conn)
 		}()
 	}
+}
+
+// dataHost is the host passive data listeners bind and advertise: the
+// control listener's IP when it is TCP, loopback otherwise (in-memory
+// control listeners have no bindable address).
+func dataHost(a net.Addr) string {
+	if ta, ok := a.(*net.TCPAddr); ok && ta.IP != nil && !ta.IP.IsUnspecified() {
+		return ta.IP.String()
+	}
+	return "127.0.0.1"
 }
 
 // session is one control-channel connection's state.
@@ -228,10 +340,17 @@ type session struct {
 	parallelism int
 	bufferBytes int64
 
-	// passive data listeners, one per stripe.
+	// passive data listeners, one per stripe (per-transfer listener path).
 	passive []net.Listener
+	// claim is the shared-listener demux registration for the next
+	// transfer (shared passive path, mutually exclusive with passive).
+	claim *pasvClaim
 	// active mode target (PORT), mutually exclusive with passive.
 	activeAddr string
+	// activeToken, when nonzero, is the demux token to send as the
+	// preamble when dialing activeAddr (the third-party leg toward a
+	// shared-passive destination).
+	activeToken uint64
 	// restartOffset is set by REST and consumed by the next RETR or
 	// STOR (resumed sends deliver from the offset onward).
 	restartOffset int64
@@ -432,15 +551,46 @@ func (sess *session) cmdOpts(arg string) {
 	sess.reply(200, "options accepted")
 }
 
-// cmdPassive opens n data listeners and reports their addresses: PASV
-// (n=1) uses the classic 227 host-port encoding; SPAS uses the 229
-// multi-line form with one address per stripe.
+// cmdPassive arranges data-connection targets for the next transfer
+// and reports their addresses: PASV (n=1) uses the classic 227
+// host-port encoding; SPAS uses the 229 multi-line form with one
+// address per stripe. With a shared passive pool the addresses are the
+// pre-opened listeners and the reply additionally carries the demux
+// token (outside the parenthesized tuple / on a comma-free line, so
+// token-unaware parsers still read the addresses); otherwise the
+// session opens per-transfer listeners as before.
 func (sess *session) cmdPassive(n int) {
-	sess.closePassive()
-	sess.activeAddr = ""
-	host := sess.conn.LocalAddr().(*net.TCPAddr).IP
+	sess.endTransfer()
+	if pool := sess.srv.pasv; pool != nil {
+		host, _, _ := net.SplitHostPort(sess.conn.RemoteAddr().String())
+		expect := sess.parallelism
+		if n > 1 {
+			expect = n
+		}
+		cl, err := pool.claim(n, host, expect)
+		if err != nil {
+			sess.reply(425, "cannot claim data listener: "+err.Error())
+			return
+		}
+		sess.claim = cl
+		if n == 1 {
+			sess.reply(227, fmt.Sprintf("entering passive mode; token=%016x (%s)",
+				cl.token, hostPortString(cl.addrs[0])))
+			return
+		}
+		lines := []string{fmt.Sprintf("Entering striped passive mode token=%016x", cl.token)}
+		for _, a := range cl.addrs {
+			lines = append(lines, " "+hostPortString(a))
+		}
+		sess.replyLines(229, lines, "end")
+		return
+	}
+	host := "127.0.0.1"
+	if ta, ok := sess.conn.LocalAddr().(*net.TCPAddr); ok {
+		host = ta.IP.String()
+	}
 	for i := 0; i < n; i++ {
-		ln, err := sess.srv.cfg.DataListen("tcp", net.JoinHostPort(host.String(), "0"))
+		ln, err := sess.srv.cfg.DataListen("tcp", net.JoinHostPort(host, "0"))
 		if err != nil {
 			sess.closePassive()
 			sess.reply(425, "cannot open data listener")
@@ -461,15 +611,28 @@ func (sess *session) cmdPassive(n int) {
 }
 
 // cmdPort records an active-mode target in h1,h2,h3,h4,p1,p2 form; the
-// server will dial it for the next transfer (the third-party-transfer leg).
+// server will dial it for the next transfer (the third-party-transfer
+// leg). An optional second field carries the destination's demux token
+// in hex, to be sent as the preamble when the target is a shared
+// passive listener.
 func (sess *session) cmdPort(arg string) {
-	addr, err := parseHostPort(arg)
+	tuple, tokenHex, _ := strings.Cut(strings.TrimSpace(arg), " ")
+	addr, err := parseHostPort(tuple)
 	if err != nil {
 		sess.reply(501, err.Error())
 		return
 	}
-	sess.closePassive()
+	var token uint64
+	if tokenHex != "" {
+		token, err = strconv.ParseUint(strings.TrimSpace(tokenHex), 16, 64)
+		if err != nil {
+			sess.reply(501, "bad data-channel token")
+			return
+		}
+	}
+	sess.endTransfer()
 	sess.activeAddr = addr
+	sess.activeToken = token
 	sess.reply(200, "PORT command successful")
 }
 
@@ -525,7 +688,42 @@ func (sess *session) dataConns(tx *transferCtx) ([]net.Conn, error) {
 			met.acceptErrors.Inc()
 			return nil, err
 		}
+		if sess.activeToken != 0 {
+			// The target is a shared passive listener: route the
+			// connection before any payload bytes.
+			if err := writeDemuxPreamble(c, sess.activeToken, sess.srv.cfg.AcceptTimeout); err != nil {
+				c.Close()
+				met.acceptErrors.Inc()
+				return nil, err
+			}
+		}
 		return []net.Conn{wrap(c, "active")}, nil
+	}
+	if cl := sess.claim; cl != nil {
+		// Shared passive path: the demux routes this transfer's
+		// connections onto the claim queue; drain the expected count.
+		want := sess.parallelism
+		striped := len(cl.addrs) > 1
+		if striped {
+			want = len(cl.addrs)
+		}
+		var conns []net.Conn
+		for i := 0; i < want; i++ {
+			c, err := cl.next(sess.srv.cfg.AcceptTimeout)
+			if err != nil {
+				met.acceptErrors.Inc()
+				for _, open := range conns {
+					open.Close()
+				}
+				return nil, err
+			}
+			stripe := "stripe0"
+			if striped {
+				stripe = fmt.Sprintf("stripe%d", i)
+			}
+			conns = append(conns, wrap(c, stripe))
+		}
+		return conns, nil
 	}
 	if len(sess.passive) == 0 {
 		return nil, errors.New("no PASV/SPAS/PORT before transfer")
@@ -569,15 +767,19 @@ func (sess *session) closePassive() {
 	}
 	sess.srv.met.listenersOpen.Add(-int64(len(sess.passive)))
 	sess.passive = nil
+	sess.claim.release()
+	sess.claim = nil
 }
 
-// endTransfer releases a transfer's data targets: every passive
-// listener is closed — win or lose, so a session looping transfers does
-// not accumulate open sockets — and the PORT target is cleared. Both
-// are valid for exactly one transfer attempt.
+// endTransfer releases a transfer's data targets: every per-transfer
+// passive listener is closed and every demux claim is unregistered —
+// win or lose, so a session looping transfers does not accumulate open
+// sockets or stranded claims — and the PORT target is cleared. All are
+// valid for exactly one transfer attempt.
 func (sess *session) endTransfer() {
 	sess.closePassive()
 	sess.activeAddr = ""
+	sess.activeToken = 0
 }
 
 // beginTransfer opens one transfer attempt's instrumentation: the
@@ -1042,8 +1244,11 @@ func (sess *session) logTransfer(tx *transferCtx, size int64, code int) {
 	t, start, conns := tx.typ, tx.start, tx.conns
 	streams := conns
 	stripes := 1
-	if len(sess.passive) > 1 {
-		stripes = len(sess.passive)
+	if n := len(sess.passive); n > 1 {
+		stripes = n
+		streams = 1
+	} else if sess.claim != nil && len(sess.claim.addrs) > 1 {
+		stripes = len(sess.claim.addrs)
 		streams = 1
 	}
 	if streams < 1 {

@@ -128,7 +128,7 @@ func (c *Client) retrToInner(ctx context.Context, name string, w io.Writer, offs
 		return TransferStats{}, errors.New("gridftp: offset beyond object size")
 	}
 	regionLen := size - offset
-	addr, err := c.passive()
+	addr, token, err := c.passive()
 	if err != nil {
 		return TransferStats{}, err
 	}
@@ -157,7 +157,7 @@ func (c *Client) retrToInner(ctx context.Context, name string, w io.Writer, offs
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			conn, err := c.dataConn(addr, sp)
+			conn, err := c.dataConn(addr, token, sp)
 			if err != nil {
 				errs[i] = err
 				asm.Abort(err)
@@ -231,7 +231,7 @@ func (c *Client) storFromInner(ctx context.Context, name string, r io.Reader, of
 	if err := ctx.Err(); err != nil {
 		return TransferStats{}, err
 	}
-	addr, err := c.passive()
+	addr, token, err := c.passive()
 	if err != nil {
 		return TransferStats{}, err
 	}
@@ -314,7 +314,7 @@ func (c *Client) storFromInner(ctx context.Context, name string, r io.Reader, of
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			conn, err := c.dataConn(addr, sp)
+			conn, err := c.dataConn(addr, token, sp)
 			if err != nil {
 				errs[i] = err
 				stopSend()

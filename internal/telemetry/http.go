@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"time"
 )
 
@@ -19,12 +21,23 @@ type CounterSnapshot struct {
 
 // Handler serves the hub's instrument streams:
 //
-//	/metrics  Prometheus text exposition (version 0.0.4)
-//	/healthz  liveness probe ("ok")
-//	/spans    JSON {active, spans:[...]} — completed transfer spans
-//	/counters JSON [{name, origin_sec, bin_sec, bytes}] — live 30-s bins
+//	/metrics      Prometheus text exposition (version 0.0.4)
+//	/healthz      liveness probe ("ok")
+//	/spans        JSON {active, spans:[...]} — completed transfer spans
+//	/counters     JSON [{name, origin_sec, bin_sec, bytes}] — live 30-s bins
+//	/debug/pprof  Go profiles (cpu, heap, goroutine, mutex, block, ...)
+//
+// Mutex and block profiling are sampled at fixed low rates (see
+// EnableContentionProfiling) so the contention profiles the C10k work
+// leans on are populated without a per-process opt-in dance.
 func (h *Hub) Handler() http.Handler {
+	EnableContentionProfiling()
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		h.Registry().WriteProm(w)
@@ -55,6 +68,17 @@ func (h *Hub) Handler() http.Handler {
 		json.NewEncoder(w).Encode(out)
 	})
 	return mux
+}
+
+// EnableContentionProfiling turns on the runtime's mutex and block
+// samplers at rates cheap enough to leave on in production: one mutex
+// contention event in 16 and one blocking event per millisecond of
+// blocked time. /debug/pprof/{mutex,block} are empty without this.
+// Handler calls it automatically; it is exported for processes that
+// serve profiles off their own mux.
+func EnableContentionProfiling() {
+	runtime.SetMutexProfileFraction(16)
+	runtime.SetBlockProfileRate(int(time.Millisecond))
 }
 
 // MetricsServer is a running telemetry HTTP endpoint.

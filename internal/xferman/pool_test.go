@@ -1,0 +1,205 @@
+package xferman
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"gftpvc/internal/connpool"
+	"gftpvc/internal/faultnet"
+	"gftpvc/internal/gridftp"
+)
+
+// TestPooledManagerReusesChannels runs a batch of jobs through a
+// manager wired to a connection pool: after warmup every attempt's two
+// control channels come from the pool, and when the batch drains no
+// channel is leaked in the leased state.
+func TestPooledManagerReusesChannels(t *testing.T) {
+	srcStore := gridftp.NewMemStore()
+	want := payload(256 << 10)
+	for i := 0; i < 6; i++ {
+		srcStore.Put(fmt.Sprintf("obj%d", i), want)
+	}
+	dstStore := gridftp.NewMemStore()
+	src := serve(t, srcStore)
+	dst := serve(t, dstStore)
+
+	pool := connpool.New(connpool.Config{MaxIdlePerEndpoint: 2})
+	defer pool.Close()
+	m, err := New(1, WithPool(pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx := context.Background()
+	var ids []JobID
+	for i := 0; i < 6; i++ {
+		id, err := m.Submit(ctx, Job{
+			Src: ep(src), Dst: ep(dst),
+			SrcName: fmt.Sprintf("obj%d", i), DstName: fmt.Sprintf("copy%d", i),
+			Verify: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		res, err := m.Wait(ctx, id)
+		if err != nil || res.Status != Succeeded {
+			t.Fatalf("job %d: %+v, %v", id, res, err)
+		}
+	}
+	got, _ := dstStore.Get("copy5")
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload corrupted through pooled channels")
+	}
+	st := pool.Stats()
+	// 6 jobs x 2 endpoints with 1 worker: the first job dials two
+	// channels, the rest reuse them.
+	if st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (one dial per endpoint)", st.Misses)
+	}
+	if st.Hits != 10 {
+		t.Errorf("hits = %d, want 10 (five reusing jobs x two endpoints)", st.Hits)
+	}
+	if st.Leased != 0 {
+		t.Errorf("leased = %d after batch drained, want 0", st.Leased)
+	}
+}
+
+// TestPooledManagerSurvivesIdleKill kills the pooled channels between
+// jobs (the faultnet proxy resets every conn); the next job must
+// succeed on transparently redialed channels, with the misses counter
+// the only evidence anything happened.
+func TestPooledManagerSurvivesIdleKill(t *testing.T) {
+	srcStore := gridftp.NewMemStore()
+	want := payload(128 << 10)
+	srcStore.Put("a", want)
+	srcStore.Put("b", want)
+	dstStore := gridftp.NewMemStore()
+	src := serve(t, srcStore)
+	dst := serve(t, dstStore)
+	proxy, err := faultnet.NewProxy(src.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	pool := connpool.New(connpool.Config{KeepAlive: -1})
+	defer pool.Close()
+	m, err := New(1, WithPool(pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx := context.Background()
+	srcEP := Endpoint{Addr: proxy.Addr(), User: "u", Pass: "p"}
+	run := func(name string) {
+		t.Helper()
+		id, err := m.Submit(ctx, Job{
+			Src: srcEP, Dst: ep(dst), SrcName: name, DstName: name, Verify: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Wait(ctx, id)
+		if err != nil || res.Status != Succeeded {
+			t.Fatalf("job %s: %+v, %v", name, res, err)
+		}
+		if res.Attempts != 1 {
+			t.Fatalf("job %s took %d attempts; the redial should be invisible", name, res.Attempts)
+		}
+	}
+	run("a")
+	misses := pool.Stats().Misses
+	proxy.Reset() // the parked src channel dies while idle
+	run("b")
+	st := pool.Stats()
+	if st.Misses != misses+1 {
+		t.Errorf("misses = %d, want %d (one transparent redial)", st.Misses, misses+1)
+	}
+	if st.Leased != 0 {
+		t.Errorf("leased = %d, want 0", st.Leased)
+	}
+	got, _ := dstStore.Get("b")
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload corrupted after redial")
+	}
+}
+
+// TestPooledManagerDiscardsAfterFailure: when an attempt fails, the
+// channels it used must be discarded, not parked — the retry and all
+// later jobs get verified-healthy channels and still succeed.
+func TestPooledManagerDiscardsAfterFailure(t *testing.T) {
+	store := &flakyStore{Store: gridftp.NewMemStore(), failures: 1}
+	want := payload(64 << 10)
+	store.Put("data.bin", want)
+	dstStore := gridftp.NewMemStore()
+	src := serve(t, store)
+	dst := serve(t, dstStore)
+
+	pool := connpool.New(connpool.Config{})
+	defer pool.Close()
+	m, err := New(1, WithPool(pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx := context.Background()
+	id, err := m.Submit(ctx, Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "data.bin", DstName: "copy.bin",
+		Verify: true, MaxAttempts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Wait(ctx, id)
+	if err != nil || res.Status != Succeeded {
+		t.Fatalf("%+v, %v", res, err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Attempts)
+	}
+	st := pool.Stats()
+	if st.Leased != 0 {
+		t.Errorf("leased = %d after retryed job, want 0", st.Leased)
+	}
+	if st.Evictions == 0 {
+		t.Error("failed attempt's channels were parked, not discarded")
+	}
+	got, _ := dstStore.Get("copy.bin")
+	if !bytes.Equal(got, want) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+// TestPooledManagerCloseOrder: closing the manager then the pool (the
+// documented order) strands nothing even with jobs recently finished.
+func TestPooledManagerCloseOrder(t *testing.T) {
+	srcStore := gridftp.NewMemStore()
+	srcStore.Put("x", payload(4 << 10))
+	src := serve(t, srcStore)
+	dst := serve(t, gridftp.NewMemStore())
+	pool := connpool.New(connpool.Config{KeepAlive: 10 * time.Millisecond})
+	m, err := New(2, WithPool(pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	id, err := m.Submit(ctx, Job{Src: ep(src), Dst: ep(dst), SrcName: "x", DstName: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := m.Wait(ctx, id); err != nil || res.Status != Succeeded {
+		t.Fatalf("%+v, %v", res, err)
+	}
+	m.Close()
+	pool.Close()
+	if st := pool.Stats(); st.Leased != 0 || st.Idle != 0 {
+		t.Fatalf("close left channels behind: %+v", st)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"gftpvc/internal/connpool"
 	"gftpvc/internal/gridftp"
 	"gftpvc/internal/telemetry"
 	"gftpvc/internal/vc/broker"
@@ -224,6 +225,7 @@ type Manager struct {
 
 	hub    *telemetry.Hub
 	broker *broker.Broker
+	pool   *connpool.Pool
 	met    xmMetrics
 }
 
@@ -251,6 +253,19 @@ type Option func(*Manager)
 // worker-driven transfers show up as client spans and metrics too.
 func WithTelemetry(hub *telemetry.Hub) Option {
 	return func(m *Manager) { m.hub = hub }
+}
+
+// WithPool draws workers' control channels from an endpoint-keyed pool
+// instead of dialing fresh per attempt: checkout costs a NOOP round
+// trip on a live channel rather than a dial + login handshake, and the
+// post-failure watermark probe reuses a pooled channel too. The manager
+// does not own the pool — close the manager first, then the pool.
+//
+// Pooled channels outlive any one job, so they dial with the pool's own
+// dialer, not the job context's; cancellation still aborts the job
+// between operations and bounds every I/O with the job Timeout.
+func WithPool(p *connpool.Pool) Option {
+	return func(m *Manager) { m.pool = p }
 }
 
 // WithBroker offers every job to a session-aware circuit broker before
@@ -549,28 +564,78 @@ func isRestRejected(err error) bool {
 	return false
 }
 
+// checkout obtains one attempt's control channel to ep: from the pool
+// when the manager has one (the failed previous attempt's channel was
+// discarded, so a pooled checkout is always either a healthy reused
+// channel or a fresh dial), a plain dial + login otherwise. The
+// returned finish func must be called exactly once with the attempt's
+// final error: a clean pooled channel parks for the next job, anything
+// else closes.
+func (m *Manager) checkout(ctx context.Context, ep Endpoint, job Job, opts []gridftp.Option) (*gridftp.Client, func(error), error) {
+	if m.pool != nil {
+		pc, err := m.pool.Get(ctx, ep.Addr, ep.User, ep.Pass)
+		if err != nil {
+			return nil, nil, err
+		}
+		// A pooled channel keeps the deadlines of whoever used it last;
+		// rebind them to this job's (falling back to the client
+		// defaults, which a fresh Dial would have applied).
+		ctl, data := gridftp.DefaultControlTimeout, gridftp.DefaultDataTimeout
+		if job.Timeout > 0 {
+			ctl, data = job.Timeout, job.Timeout
+		}
+		pc.SetTimeouts(ctl, data)
+		if job.Stream {
+			w := job.WindowBytes
+			if w <= 0 {
+				w = gridftp.DefaultWindowSize
+			}
+			if err := pc.SetWindow(w); err != nil {
+				pc.Discard()
+				return nil, nil, err
+			}
+		}
+		return pc.Client, func(err error) {
+			if err != nil {
+				pc.Discard()
+				return
+			}
+			pc.Release()
+		}, nil
+	}
+	c, err := gridftp.Dial(ep.Addr, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.Login(ep.User, ep.Pass); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	return c, func(error) { c.Close() }, nil
+}
+
 // probeWatermark asks the destination how many contiguous bytes of the
-// job's object it holds, over a fresh control channel (the failed
-// attempt's channel may be poisoned). Zero means "no usable partial" —
+// job's object it holds, over a channel that is not the failed
+// attempt's (which may be poisoned): a pooled checkout when the manager
+// has a pool, a fresh dial otherwise. Zero means "no usable partial" —
 // probing is best-effort and a failed probe only costs resumption.
 func (m *Manager) probeWatermark(ctx context.Context, job Job) int64 {
-	c, err := gridftp.Dial(job.Dst.Addr, job.dialOpts(ctx)...)
+	c, finish, err := m.checkout(ctx, job.Dst, job, job.dialOpts(ctx))
 	if err != nil {
 		return 0
 	}
-	defer c.Close()
-	if err := c.Login(job.Dst.User, job.Dst.Pass); err != nil {
-		return 0
-	}
 	n, err := c.Size(job.DstName)
+	finish(err)
 	if err != nil || n < 0 {
 		return 0
 	}
 	return n
 }
 
-// execute runs one job with retries; every attempt uses fresh control
-// channels (a failed transfer may have poisoned the old ones). Between
+// execute runs one job with retries; every attempt uses control
+// channels the failed previous attempt never touched — its own are
+// discarded, not recycled, because a failed transfer may have poisoned
+// them (pooled checkouts enforce this via Discard-on-error). Between
 // attempts it sleeps a jittered exponential backoff, and — unless the
 // job opts out — probes the destination's delivered watermark so the
 // next attempt restarts there instead of re-sending bytes that already
@@ -650,26 +715,18 @@ func (m *Manager) attempt(ctx context.Context, job Job, resumeFrom int64) attemp
 	if m.hub != nil {
 		opts = append(opts, gridftp.WithTelemetry(m.hub))
 	}
-	src, err := gridftp.Dial(job.Src.Addr, opts...)
+	src, srcFinish, err := m.checkout(ctx, job.Src, job, opts)
 	if err != nil {
 		out.err = fmt.Errorf("dial src: %w", err)
 		return out
 	}
-	defer src.Close()
-	if err := src.Login(job.Src.User, job.Src.Pass); err != nil {
-		out.err = fmt.Errorf("login src: %w", err)
-		return out
-	}
-	dst, err := gridftp.Dial(job.Dst.Addr, opts...)
+	defer func() { srcFinish(out.err) }()
+	dst, dstFinish, err := m.checkout(ctx, job.Dst, job, opts)
 	if err != nil {
 		out.err = fmt.Errorf("dial dst: %w", err)
 		return out
 	}
-	defer dst.Close()
-	if err := dst.Login(job.Dst.User, job.Dst.Pass); err != nil {
-		out.err = fmt.Errorf("login dst: %w", err)
-		return out
-	}
+	defer func() { dstFinish(out.err) }()
 	out.bytes = job.SizeHint
 	if out.bytes <= 0 && (m.broker != nil || job.Stream || !job.NoResume) {
 		// The broker sizes circuits from bytes, the streaming relay
