@@ -2,17 +2,20 @@ GO ?= go
 
 # Packages exercised by the concurrency-sensitive paths (parallel exhibit
 # runner, memoized workloads, allocator scratch state) plus the live
-# transfer engine, its fault-injection harness, the telemetry layer
-# (whose tests scrape the registry while the data path mutates it), the
-# hybrid control plane (the pooled vc client, the session broker, and
-# the xferman pool that dispatches through them), the control-channel
-# connection pool, and the root package whose C10k rig hammers the
-# sharded session registry and shared passive demux.
+# transfer engine — including the disk (DirStore partial-sidecar
+# streaming) and tiered (LRU hot cache over disk) store backends, whose
+# tests race concurrent Puts against List walks and snapshots — its
+# fault-injection harness, the telemetry layer (whose tests scrape the
+# registry while the data path mutates it), the hybrid control plane
+# (the pooled vc client, the session broker, and the xferman pool that
+# dispatches through them), the control-channel connection pool, and the
+# root package whose C10k rig hammers the sharded session registry and
+# shared passive demux.
 RACE_PKGS = ./internal/netsim ./internal/experiments ./internal/sessions \
 	./internal/gridftp/... ./internal/faultnet/... ./internal/telemetry \
 	./internal/vc/... ./internal/xferman ./internal/connpool .
 
-.PHONY: check vet vet-ctx race bench bench-c10k fuzz-smoke all
+.PHONY: check vet vet-ctx race bench bench-c10k bench-store fuzz-smoke all
 
 all: check
 
@@ -36,7 +39,7 @@ check:
 # (e.g. make fuzz-smoke FUZZ_TIME=5m).
 FUZZ_TIME ?= 10s
 FUZZ_TARGETS = FuzzReadBlock FuzzReadBlockInto FuzzWindowAssembler \
-	FuzzAssembler FuzzDrainConn FuzzParseHostPort
+	FuzzAssembler FuzzDrainConn FuzzParseHostPort FuzzDirStorePutRegion
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
 		echo "fuzz-smoke: $$t ($(FUZZ_TIME))"; \
@@ -73,6 +76,15 @@ race:
 BENCH_OUT ?= BENCH_3.json
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -json . | tee $(BENCH_OUT)
+
+# Storage-backend throughput: streaming RETR/STOR of an 8 MiB object
+# against mem, dir, and tiered stores — the server-side half of the
+# paper's endpoint quadrants. Machine-readable snapshot for cross-PR
+# comparison; override STORE_BENCH_OUT to re-record.
+STORE_BENCH_OUT ?= BENCH_7.json
+bench-store:
+	$(GO) test ./internal/gridftp/ -run '^$$' -bench '^BenchmarkStore' \
+		-benchmem -count=1 -json | tee $(STORE_BENCH_OUT)
 
 # The C10k live-engine ramp: thousands of in-memory control sessions
 # against one server, dial/first-byte percentiles from telemetry spans,

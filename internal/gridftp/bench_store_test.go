@@ -1,0 +1,116 @@
+package gridftp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// benchStores is the backend axis of the storage benchmark: the same
+// streaming STOR/RETR workload against RAM, disk, and the tiered cache,
+// which is the server-side half of the paper's endpoint quadrants
+// (memory vs disk endpoints in Fig. 1).
+func benchStores(b *testing.B) []struct {
+	name string
+	make func(b *testing.B) Store
+} {
+	return []struct {
+		name string
+		make func(b *testing.B) Store
+	}{
+		{"mem", func(b *testing.B) Store { return NewMemStore() }},
+		{"dir", func(b *testing.B) Store {
+			d, err := NewDirStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d
+		}},
+		{"tiered", func(b *testing.B) Store {
+			d, err := NewDirStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts, err := NewTieredStore(d, TieredOptions{MaxHotBytes: 64 << 20, MaxHotObjectBytes: 32 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return ts
+		}},
+	}
+}
+
+// benchClient starts a server over the store and returns a logged-in
+// streaming client.
+func benchClient(b *testing.B, store Store, size int) *Client {
+	b.Helper()
+	s, err := Serve(Config{Addr: "127.0.0.1:0", Store: store,
+		BlockSize: 256 << 10, WindowSize: 4 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	c, err := Dial(s.Addr(), WithWindow(4<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	if err := c.Login("u", "p"); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkStoreRetr streams an 8 MiB object down repeatedly. The dir
+// case measures the pread/snapshot path; tiered converges to hot-tier
+// reads after the first iteration.
+func BenchmarkStoreRetr(b *testing.B) {
+	const size = 8 << 20
+	for _, sf := range benchStores(b) {
+		b.Run(sf.name, func(b *testing.B) {
+			store := sf.make(b)
+			payload := randomPayload(size)
+			if err := store.Put("bench.bin", payload); err != nil {
+				b.Fatal(err)
+			}
+			c := benchClient(b, store, size)
+			ctx := context.Background()
+			b.SetBytes(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := c.RetrTo(ctx, "bench.bin", io.Discard)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Bytes != size {
+					b.Fatal("short read")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreStor streams an 8 MiB object up repeatedly; the dir and
+// tiered cases exercise the partial-sidecar write path end to end
+// (BeginPut, contiguous WriteAt flushes, fsync, rename).
+func BenchmarkStoreStor(b *testing.B) {
+	const size = 8 << 20
+	for _, sf := range benchStores(b) {
+		b.Run(sf.name, func(b *testing.B) {
+			store := sf.make(b)
+			c := benchClient(b, store, size)
+			payload := randomPayload(size)
+			ctx := context.Background()
+			b.SetBytes(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := fmt.Sprintf("up-%d.bin", i)
+				if _, err := c.StorFrom(ctx, name, bytes.NewReader(payload), size); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

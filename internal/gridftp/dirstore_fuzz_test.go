@@ -1,0 +1,158 @@
+package gridftp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDirStorePutRegion drives the DirStore streaming-put state machine
+// (BeginPut / PutRegion / FinishPut / AbortPut) with arbitrary op
+// sequences and checks it against an in-memory model after every step.
+// The invariant under test is the commit ordering the resume contract
+// rests on: the partial sidecar's size equals the contiguous delivered
+// watermark at all times (Size never runs ahead of or behind the bytes
+// actually accepted), a commit replaces the object atomically with
+// exactly the assembled bytes, and no op sequence — overlapping
+// restarts, aborts, wrong finish sizes, out-of-order regions — can make
+// the store and the model disagree about success, size, or content.
+//
+// Ops are 4 bytes each: [kind, a, b, fill] with kind%5 selecting
+// BeginPut(base=(a|b<<8)%1500), a contiguous PutRegion of a%300 fill
+// bytes, a PutRegion at arbitrary offset (a|b<<8)%2000, FinishPut with
+// a correct or perturbed size, or AbortPut.
+func FuzzDirStorePutRegion(f *testing.F) {
+	// Clean upload: begin, two regions, exact finish.
+	f.Add([]byte{0, 0, 0, 0, 1, 100, 0, 7, 1, 50, 0, 9, 3, 0, 0, 0})
+	// Failed attempt then resume: regions, abort, begin at a base the
+	// sidecar covers, more regions, finish.
+	f.Add([]byte{0, 0, 0, 0, 1, 200, 0, 1, 4, 0, 0, 0, 0, 150, 0, 0, 1, 80, 0, 2, 3, 0, 0, 0})
+	// Restart offset beyond everything on disk.
+	f.Add([]byte{0, 220, 5, 0})
+	// Region before any BeginPut, then an out-of-order region.
+	f.Add([]byte{1, 10, 0, 3, 0, 0, 0, 0, 2, 77, 3, 4})
+	// Wrong finish size, then a superseding BeginPut mid-flight.
+	f.Add([]byte{0, 0, 0, 0, 1, 60, 0, 5, 3, 9, 1, 0, 0, 30, 0, 0, 1, 20, 0, 6, 3, 0, 0, 0})
+	// Commit, then a second upload over the committed object seeded from
+	// its prefix.
+	f.Add([]byte{0, 0, 0, 0, 1, 90, 0, 8, 3, 0, 0, 0, 0, 40, 0, 0, 1, 10, 0, 1, 3, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		store, err := NewDirStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const name = "obj"
+		// The model: committed object bytes, sidecar bytes (nil = no
+		// sidecar on disk), and the open-put state.
+		var committed, sidecar []byte
+		began := false
+		var expect int64
+
+		check := func(step int, op string, gotErr error, wantOK bool) {
+			t.Helper()
+			if (gotErr == nil) != wantOK {
+				t.Fatalf("step %d %s: err=%v, model wants ok=%v", step, op, gotErr, wantOK)
+			}
+			// Size is the resume watermark: sidecar first, else committed.
+			wantSize, wantSizeOK := int64(-1), false
+			switch {
+			case sidecar != nil:
+				wantSize, wantSizeOK = int64(len(sidecar)), true
+			case committed != nil:
+				wantSize, wantSizeOK = int64(len(committed)), true
+			}
+			n, serr := store.Size(name)
+			if (serr == nil) != wantSizeOK {
+				t.Fatalf("step %d %s: Size err=%v, model wants ok=%v", step, op, serr, wantSizeOK)
+			}
+			if serr == nil && n != wantSize {
+				t.Fatalf("step %d %s: Size=%d, model watermark %d", step, op, n, wantSize)
+			}
+		}
+
+		for step := 0; len(ops) >= 4; step++ {
+			kind, a, b, fill := ops[0]%5, ops[1], ops[2], ops[3]
+			ops = ops[4:]
+			switch kind {
+			case 0: // BeginPut
+				base := int64(uint16(a)|uint16(b)<<8) % 1500
+				// Model: a superseded open put keeps its sidecar bytes. The
+				// base must be covered by the sidecar when one exists, else
+				// by the committed object (which seeds a fresh sidecar); a
+				// rejected begin with no prior sidecar must not create one.
+				began = false
+				wantOK := false
+				switch {
+				case sidecar != nil:
+					wantOK = int64(len(sidecar)) >= base
+				case base == 0:
+					wantOK = true
+				case committed != nil && int64(len(committed)) >= base:
+					wantOK = true
+				}
+				err := store.BeginPut(name, base)
+				if err == nil {
+					if sidecar == nil {
+						if base > 0 {
+							sidecar = append([]byte(nil), committed[:base]...)
+						} else {
+							sidecar = []byte{}
+						}
+					}
+					sidecar = sidecar[:base]
+					began, expect = true, base
+				}
+				check(step, "BeginPut", err, wantOK)
+			case 1: // contiguous PutRegion at the model's watermark
+				n := int(a) % 300
+				data := bytes.Repeat([]byte{fill}, n)
+				err := store.PutRegion(name, expect, data)
+				if began {
+					sidecar = append(sidecar, data...)
+					expect += int64(n)
+				}
+				check(step, "PutRegion", err, began)
+			case 2: // PutRegion at an arbitrary offset
+				off := int64(uint16(a)|uint16(b)<<8) % 2000
+				data := bytes.Repeat([]byte{fill}, 64)
+				wantOK := began && off == expect
+				err := store.PutRegion(name, off, data)
+				if wantOK {
+					sidecar = append(sidecar, data...)
+					expect += 64
+				}
+				check(step, "PutRegion(off)", err, wantOK)
+			case 3: // FinishPut, exact or perturbed size
+				size := expect
+				if b%2 == 1 {
+					size += 1 + int64(a)
+				}
+				wantOK := began && size == expect
+				err := store.FinishPut(name, size)
+				began = false // the store drops the open state either way
+				if wantOK {
+					committed, sidecar = sidecar, nil
+				}
+				check(step, "FinishPut", err, wantOK)
+			case 4: // AbortPut: always succeeds, watermark survives
+				err := store.AbortPut(name)
+				began = false
+				check(step, "AbortPut", err, true)
+			}
+		}
+		// Terminal state: the committed object is exactly the model's, and
+		// an uncommitted partial is never served as an object.
+		got, err := store.Get(name)
+		if committed == nil {
+			if err == nil {
+				t.Fatalf("Get served %d bytes but nothing was ever committed", len(got))
+			}
+		} else {
+			if err != nil {
+				t.Fatalf("Get after commit: %v", err)
+			}
+			if !bytes.Equal(got, committed) {
+				t.Fatalf("committed object diverged from model: got %d bytes, want %d", len(got), len(committed))
+			}
+		}
+	})
+}

@@ -41,15 +41,32 @@ func fmLogin(t *testing.T, addr string) *Client {
 }
 
 // TestFaultMatrix crosses every client transfer entry point with every
-// injected fault. Each cell must (a) return an error, (b) do so within
-// the configured deadlines, and (c) for data-path faults, leave the
-// control channel in sync so the session remains usable — the paper's
-// REST-restart and setup-delay failure scenarios in miniature.
+// injected fault, against both a RAM-backed and a disk-backed server.
+// Each cell must (a) return an error, (b) do so within the configured
+// deadlines, and (c) for data-path faults, leave the control channel in
+// sync so the session remains usable — the paper's REST-restart and
+// setup-delay failure scenarios in miniature. The store axis pins that
+// the DirStore's streaming write path fails exactly as gracefully as
+// the in-memory one: no deadline escape, no desync, no stuck partial
+// handle blocking the next command.
 func TestFaultMatrix(t *testing.T) {
 	planned := func(plan faultnet.ConnPlan) func() *faultnet.Tracker {
 		return func() *faultnet.Tracker {
 			return &faultnet.Tracker{PlanFor: func(int) *faultnet.ConnPlan { p := plan; return &p }}
 		}
+	}
+	stores := []struct {
+		name string
+		make func(t *testing.T) Store
+	}{
+		{"mem", func(t *testing.T) Store { return NewMemStore() }},
+		{"dir", func(t *testing.T) Store {
+			d, err := NewDirStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
 	}
 	faults := []struct {
 		name     string
@@ -78,88 +95,92 @@ func TestFaultMatrix(t *testing.T) {
 		{name: "stor-striped", run: func(c *Client) error { _, err := c.StorStriped("up.bin", payload); return err }},
 		{name: "third-party", thirdParty: true},
 	}
-	for _, fault := range faults {
-		for _, op := range ops {
-			fault, op := fault, op
-			t.Run(op.name+"/"+fault.name, func(t *testing.T) {
-				t.Parallel()
-				newServer := func(faulted bool) *Server {
-					store := NewMemStore()
-					store.Put("x", payload)
-					cfg := Config{Store: store, Stripes: 2, BlockSize: 4 << 10,
-						AcceptTimeout: fmAccept, DataTimeout: fmData}
-					if faulted && fault.tracker != nil {
-						cfg.DataListen = fault.tracker().Listen
-					}
-					return startServer(t, cfg)
-				}
-				var clients []*Client
-				var run func() error
-				if op.thirdParty {
-					src := newServer(false)
-					dst := newServer(true) // data faults land on the receiving side
-					var dstProxy *faultnet.Proxy
-					dstAddr := dst.Addr()
-					if fault.stallCtl {
-						p, err := faultnet.NewProxy(dstAddr)
-						if err != nil {
+	for _, st := range stores {
+		for _, fault := range faults {
+			for _, op := range ops {
+				st, fault, op := st, fault, op
+				t.Run(st.name+"/"+op.name+"/"+fault.name, func(t *testing.T) {
+					t.Parallel()
+					newServer := func(faulted bool) *Server {
+						store := st.make(t)
+						if err := store.Put("x", payload); err != nil {
 							t.Fatal(err)
 						}
-						t.Cleanup(func() { p.Close() })
-						dstProxy = p
-						dstAddr = p.Addr()
+						cfg := Config{Store: store, Stripes: 2, BlockSize: 4 << 10,
+							AcceptTimeout: fmAccept, DataTimeout: fmData}
+						if faulted && fault.tracker != nil {
+							cfg.DataListen = fault.tracker().Listen
+						}
+						return startServer(t, cfg)
 					}
-					cSrc := fmLogin(t, src.Addr())
-					cDst := fmLogin(t, dstAddr)
-					clients = []*Client{cSrc, cDst}
-					if dstProxy != nil {
-						dstProxy.Stall()
-					}
-					run = func() error { return ThirdParty(cSrc, cDst, "x", "out.bin") }
-				} else {
-					s := newServer(true)
-					addr := s.Addr()
-					var proxy *faultnet.Proxy
-					if fault.stallCtl {
-						p, err := faultnet.NewProxy(addr)
-						if err != nil {
+					var clients []*Client
+					var run func() error
+					if op.thirdParty {
+						src := newServer(false)
+						dst := newServer(true) // data faults land on the receiving side
+						var dstProxy *faultnet.Proxy
+						dstAddr := dst.Addr()
+						if fault.stallCtl {
+							p, err := faultnet.NewProxy(dstAddr)
+							if err != nil {
+								t.Fatal(err)
+							}
+							t.Cleanup(func() { p.Close() })
+							dstProxy = p
+							dstAddr = p.Addr()
+						}
+						cSrc := fmLogin(t, src.Addr())
+						cDst := fmLogin(t, dstAddr)
+						clients = []*Client{cSrc, cDst}
+						if dstProxy != nil {
+							dstProxy.Stall()
+						}
+						run = func() error { return ThirdParty(cSrc, cDst, "x", "out.bin") }
+					} else {
+						s := newServer(true)
+						addr := s.Addr()
+						var proxy *faultnet.Proxy
+						if fault.stallCtl {
+							p, err := faultnet.NewProxy(addr)
+							if err != nil {
+								t.Fatal(err)
+							}
+							t.Cleanup(func() { p.Close() })
+							proxy = p
+							addr = p.Addr()
+						}
+						c := fmLogin(t, addr)
+						if err := c.SetParallelism(2); err != nil {
 							t.Fatal(err)
 						}
-						t.Cleanup(func() { p.Close() })
-						proxy = p
-						addr = p.Addr()
+						clients = []*Client{c}
+						if proxy != nil {
+							proxy.Stall()
+						}
+						run = func() error { return op.run(c) }
 					}
-					c := fmLogin(t, addr)
-					if err := c.SetParallelism(2); err != nil {
-						t.Fatal(err)
+					start := time.Now()
+					err := run()
+					elapsed := time.Since(start)
+					if err == nil {
+						t.Fatal("operation succeeded under injected fault")
 					}
-					clients = []*Client{c}
-					if proxy != nil {
-						proxy.Stall()
+					if elapsed > 3*time.Second {
+						t.Fatalf("operation took %v under fault; deadlines did not bound it", elapsed)
 					}
-					run = func() error { return op.run(c) }
-				}
-				start := time.Now()
-				err := run()
-				elapsed := time.Since(start)
-				if err == nil {
-					t.Fatal("operation succeeded under injected fault")
-				}
-				if elapsed > 3*time.Second {
-					t.Fatalf("operation took %v under fault; deadlines did not bound it", elapsed)
-				}
-				if !fault.stallCtl {
-					// Data-path faults must leave every control channel in
-					// sync: the next command gets its own reply, not a stale
-					// transfer status.
-					for i, c := range clients {
-						rep, err := c.cmd("NOOP")
-						if err != nil || rep.Code != 200 {
-							t.Fatalf("client %d desynced after fault: %+v, %v", i, rep, err)
+					if !fault.stallCtl {
+						// Data-path faults must leave every control channel in
+						// sync: the next command gets its own reply, not a stale
+						// transfer status.
+						for i, c := range clients {
+							rep, err := c.cmd("NOOP")
+							if err != nil || rep.Code != 200 {
+								t.Fatalf("client %d desynced after fault: %+v, %v", i, rep, err)
+							}
 						}
 					}
-				}
-			})
+				})
+			}
 		}
 	}
 }

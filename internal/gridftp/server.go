@@ -917,6 +917,11 @@ func (sess *session) cmdRetr(name string, offset, length int64) {
 			sess.failTransfer(tx, 550, err.Error())
 			return
 		}
+		if closer, ok := r.(io.Closer); ok {
+			// Disk-backed snapshots are open file handles; release the
+			// pinned version when the transfer ends, win or lose.
+			defer closer.Close()
+		}
 		src, size, streaming = r, n, true
 	} else if streaming {
 		n, err := sess.srv.cfg.Store.Size(name)
@@ -1160,15 +1165,26 @@ func (sess *session) cmdStorWindowed(tx *transferCtx, sp StreamPutter, name stri
 		sess.failTransfer(tx, 554, "restart rejected: "+err.Error())
 		return
 	}
+	// Once BeginPut engaged, every failure path must release the store's
+	// per-put resources (DirStore's open partial handle). The flushed
+	// watermark itself survives the abort — it is the restart offset a
+	// resume probes via SIZE.
+	abortPut := func() {
+		if pa, ok := sp.(PutAborter); ok {
+			_ = pa.AbortPut(name)
+		}
+	}
 	sink := &regionSink{sp: sp, name: name, off: offset}
 	asm, err := NewWindowAssembler(sink, uint64(offset), -1, sess.srv.cfg.WindowSize, sess.srv.cfg.DataTimeout)
 	if err != nil {
+		abortPut()
 		sess.failTransfer(tx, 451, err.Error())
 		return
 	}
 	sess.reply(150, "opening data connection")
 	conns, err := sess.dataConns(tx)
 	if err != nil {
+		abortPut()
 		sess.failTransfer(tx, 425, "data connection failed: "+err.Error())
 		return
 	}
@@ -1219,16 +1235,19 @@ func (sess *session) cmdStorWindowed(tx *transferCtx, sp StreamPutter, name stri
 	}
 	for _, e := range errs {
 		if e != nil {
+			abortPut()
 			sess.failTransfer(tx, 426, "transfer aborted: "+e.Error())
 			return
 		}
 	}
 	if err := asm.Finish(); err != nil {
+		abortPut()
 		sess.failTransfer(tx, 426, "transfer aborted: "+err.Error())
 		return
 	}
 	size := int64(asm.Flushed())
 	if err := sp.FinishPut(name, size); err != nil {
+		abortPut()
 		sess.failTransfer(tx, 552, "store failed: "+err.Error())
 		return
 	}

@@ -67,6 +67,17 @@ type StreamPutter interface {
 	FinishPut(name string, size int64) error
 }
 
+// PutAborter is an optional companion to StreamPutter: the server
+// calls AbortPut when a streaming STOR fails after BeginPut engaged,
+// so stores holding per-put resources (an open partial file) can
+// release them. The delivered watermark must survive the abort —
+// Size keeps reporting it, because it is the REST offset a
+// resume-aware retry probes. Stores without per-put state (MemStore)
+// don't need it.
+type PutAborter interface {
+	AbortPut(name string) error
+}
+
 // MemStore is an in-memory Store, safe for concurrent use.
 type MemStore struct {
 	mu      sync.RWMutex

@@ -132,13 +132,43 @@ func TestRetriesBackOffAgainstDyingServer(t *testing.T) {
 	}
 }
 
+// dstStoreFactories is the destination-store axis of the resume A/B
+// drill: the watermark contract must hold whether the delivered prefix
+// lives in RAM (MemStore truncation) or on disk (DirStore's partial
+// sidecar, whose file size IS the watermark).
+func dstStoreFactories() []struct {
+	name string
+	make func(t *testing.T) gridftp.Store
+} {
+	return []struct {
+		name string
+		make func(t *testing.T) gridftp.Store
+	}{
+		{"mem", func(t *testing.T) gridftp.Store { return gridftp.NewMemStore() }},
+		{"dir", func(t *testing.T) gridftp.Store {
+			d, err := gridftp.NewDirStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+	}
+}
+
 // TestRetryResumesFromWatermark is the manager half of the tentpole:
 // the first third-party attempt dies from a mid-transfer connection
 // reset, the retry probes the destination's delivered watermark and
 // RESTs there, and the accounting shows no re-sent payload — WireBytes
 // equals the object size, where a restart-from-zero retry re-moves the
-// whole prefix.
+// whole prefix. Runs against both RAM and disk destinations.
 func TestRetryResumesFromWatermark(t *testing.T) {
+	for _, sf := range dstStoreFactories() {
+		sf := sf
+		t.Run(sf.name, func(t *testing.T) { testRetryResumesFromWatermark(t, sf.make(t)) })
+	}
+}
+
+func testRetryResumesFromWatermark(t *testing.T, dstStore gridftp.Store) {
 	const (
 		size   = 1 << 20
 		window = 64 << 10
@@ -147,7 +177,6 @@ func TestRetryResumesFromWatermark(t *testing.T) {
 	want := payload(size)
 	srcStore := gridftp.NewMemStore()
 	srcStore.Put("data.bin", want)
-	dstStore := gridftp.NewMemStore()
 	tracker, conns := resetFirstConn(size * 6 / 10)
 	src := serveCfg(t, gridftp.Config{Store: srcStore, BlockSize: block})
 	dst := serveCfg(t, gridftp.Config{
@@ -205,8 +234,16 @@ func TestRetryResumesFromWatermark(t *testing.T) {
 
 // TestNoResumeRetryReSendsPrefix is the A/B counterpart: the identical
 // fault with NoResume set restarts at byte zero, and WireBytes exposes
-// the redundant prefix that Result.Bytes alone hides.
+// the redundant prefix that Result.Bytes alone hides. Runs against both
+// RAM and disk destinations.
 func TestNoResumeRetryReSendsPrefix(t *testing.T) {
+	for _, sf := range dstStoreFactories() {
+		sf := sf
+		t.Run(sf.name, func(t *testing.T) { testNoResumeRetryReSendsPrefix(t, sf.make(t)) })
+	}
+}
+
+func testNoResumeRetryReSendsPrefix(t *testing.T, dstStore gridftp.Store) {
 	const (
 		size   = 1 << 20
 		window = 64 << 10
@@ -215,7 +252,6 @@ func TestNoResumeRetryReSendsPrefix(t *testing.T) {
 	want := payload(size)
 	srcStore := gridftp.NewMemStore()
 	srcStore.Put("data.bin", want)
-	dstStore := gridftp.NewMemStore()
 	tracker, _ := resetFirstConn(size * 6 / 10)
 	src := serveCfg(t, gridftp.Config{Store: srcStore, BlockSize: block})
 	dst := serveCfg(t, gridftp.Config{
