@@ -15,7 +15,7 @@ RACE_PKGS = ./internal/netsim ./internal/experiments ./internal/sessions \
 	./internal/gridftp/... ./internal/faultnet/... ./internal/telemetry \
 	./internal/vc/... ./internal/xferman ./internal/connpool .
 
-.PHONY: check vet vet-ctx race bench bench-c10k bench-store fuzz-smoke all
+.PHONY: check vet vet-ctx race bench bench-c10k bench-store bench-trace fuzz-smoke all
 
 all: check
 
@@ -92,3 +92,10 @@ bench-store:
 C10K_OUT ?= BENCH_6.json
 bench-c10k:
 	C10K_OUT=$(C10K_OUT) $(GO) test -run '^TestC10kReport$$' -count=1 -v -timeout 20m .
+
+# Tracing overhead A/B: the same pooled transfer workload with tracing
+# off and on, per-job latency percentiles and the overhead on the mean
+# (budget: <= 5%). Machine-readable snapshot for cross-PR comparison.
+TRACE_OUT ?= BENCH_8.json
+bench-trace:
+	TRACE_OUT=$(TRACE_OUT) $(GO) test -run '^TestTraceOverheadReport$$' -count=1 -v -timeout 10m .

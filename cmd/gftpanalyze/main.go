@@ -3,10 +3,17 @@
 // five-number summaries, and runs the Table IV virtual-circuit feasibility
 // analysis.
 //
+// With -spans it instead reads a /spans JSON dump from a telemetry hub
+// and prints a live variance-attribution report: for each operation,
+// the p99-slowest span's phase profile against the per-phase medians,
+// charging the tail slowdown to the phases that grew (the measured
+// analogue of the paper's Figs 7-8 / Eq. 2 decomposition).
+//
 // Usage:
 //
 //	gftpanalyze -g 1m -setup 1m < transfers.log
 //	gftpsim -path slac-bnl -scale 0.01 | gftpanalyze -g 1m -setup 50ms
+//	curl -s http://127.0.0.1:9999/spans > spans.json && gftpanalyze -spans spans.json
 package main
 
 import (
@@ -30,8 +37,17 @@ func main() {
 		setup  = flag.Duration("setup", time.Minute, "VC setup delay for the feasibility analysis")
 		factor = flag.Float64("factor", 10, "required session-duration/setup-delay ratio")
 		sweep  = flag.Bool("sweep", false, "also print a Table III-style sweep over g in {0, 30s, 1m, 2m, 10m}")
+		spans  = flag.String("spans", "", "variance-attribution mode: read a /spans JSON dump and decompose each operation's p99 slowness by phase (ignores the usage-log flags)")
+		minSp  = flag.Int("min-spans", 4, "with -spans, skip operations with fewer completed spans than this")
 	)
 	flag.Parse()
+	if *spans != "" {
+		if err := runVariance(*spans, *minSp); err != nil {
+			fmt.Fprintf(os.Stderr, "gftpanalyze: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*in, *gFlag, *setup, *factor, *sweep); err != nil {
 		fmt.Fprintf(os.Stderr, "gftpanalyze: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"gftpvc/internal/telemetry"
+)
+
+// spansDump is the JSON document served by a telemetry hub's /spans
+// endpoint (curl http://host:port/spans > spans.json).
+type spansDump struct {
+	Active int                      `json:"active"`
+	Spans  []telemetry.SpanSnapshot `json:"spans"`
+}
+
+// runVariance is the -spans mode: a live variance-attribution report
+// over a /spans dump, the measured-engine analogue of the paper's
+// throughput-variance analysis (Figs 7-8 / Eq. 2). Where the paper
+// decomposes end-to-end transfer time into setup and streaming terms
+// analytically, the span log records the terms directly — every span's
+// phases are contiguous and sum exactly to its wall time — so the p99
+// slowdown can be attributed phase by phase: for each operation, the
+// report compares the phase profile of the p99-slowest span against
+// the per-phase medians and charges the extra time to the phases that
+// actually grew.
+func runVariance(path string, minSpans int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var dump spansDump
+	if err := json.NewDecoder(f).Decode(&dump); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	byOp := make(map[string][]telemetry.SpanSnapshot)
+	for _, sp := range dump.Spans {
+		if sp.Err != "" {
+			// Failed spans end in a zero-length error phase and their
+			// duration measures the failure, not the transfer; variance
+			// attribution is about slow successes.
+			continue
+		}
+		byOp[sp.Op] = append(byOp[sp.Op], sp)
+	}
+	ops := make([]string, 0, len(byOp))
+	for op := range byOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	reported := 0
+	for _, op := range ops {
+		spans := byOp[op]
+		if len(spans) < minSpans {
+			continue
+		}
+		reported++
+		reportOp(op, spans)
+	}
+	if reported == 0 {
+		return fmt.Errorf("%s: no operation has >= %d completed spans", path, minSpans)
+	}
+	return nil
+}
+
+// reportOp prints one operation's attribution table.
+func reportOp(op string, spans []telemetry.SpanSnapshot) {
+	sort.Slice(spans, func(i, j int) bool {
+		return spans[i].DurationSec < spans[j].DurationSec
+	})
+	durs := make([]float64, len(spans))
+	for i, sp := range spans {
+		durs[i] = sp.DurationSec
+	}
+	p50 := percentile(durs, 0.50)
+	p99 := percentile(durs, 0.99)
+	slow := spans[rank(len(spans), 0.99)]
+
+	// Per-phase medians across the cohort. A span missing a phase
+	// contributes zero for it — not having to do the work is the fast
+	// path, and the attribution must account for it.
+	phaseSet := make(map[telemetry.Phase]bool)
+	perSpan := make([]map[telemetry.Phase]float64, len(spans))
+	for i, sp := range spans {
+		perSpan[i] = phaseTotals(sp)
+		for ph := range perSpan[i] {
+			phaseSet[ph] = true
+		}
+	}
+	phases := make([]telemetry.Phase, 0, len(phaseSet))
+	for ph := range phaseSet {
+		phases = append(phases, ph)
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i] < phases[j] })
+
+	slowTotals := phaseTotals(slow)
+	var totalDelta float64
+	deltas := make(map[telemetry.Phase]float64, len(phases))
+	medians := make(map[telemetry.Phase]float64, len(phases))
+	for _, ph := range phases {
+		vals := make([]float64, len(spans))
+		for i := range spans {
+			vals[i] = perSpan[i][ph]
+		}
+		med := percentile(vals, 0.50)
+		d := slowTotals[ph] - med
+		medians[ph], deltas[ph] = med, d
+		if d > 0 {
+			totalDelta += d
+		}
+	}
+
+	fmt.Printf("%s: %d spans, p50 %.4gs, p99 %.4gs (x%.2f; slowest-percentile span: %s)\n",
+		op, len(spans), p50, p99, ratio(p99, p50), slow.Target)
+	fmt.Printf("  %-14s %10s %10s %10s %8s\n", "phase", "p50 (s)", "p99-span", "delta", "share")
+	for _, ph := range phases {
+		share := "-"
+		if d := deltas[ph]; d > 0 && totalDelta > 0 {
+			share = fmt.Sprintf("%.1f%%", 100*d/totalDelta)
+		}
+		fmt.Printf("  %-14s %10.4g %10.4g %+10.4g %8s\n",
+			string(ph), medians[ph], slowTotals[ph], deltas[ph], share)
+	}
+	fmt.Println()
+}
+
+// phaseTotals sums a span's phase durations by name (a phase can recur,
+// e.g. stream/idle alternating across retries).
+func phaseTotals(sp telemetry.SpanSnapshot) map[telemetry.Phase]float64 {
+	out := make(map[telemetry.Phase]float64, len(sp.Phases))
+	for _, ph := range sp.Phases {
+		out[ph.Name] += ph.DurationSec
+	}
+	return out
+}
+
+// percentile returns the q-quantile of vals by nearest-rank on a sorted
+// copy; vals must be non-empty.
+func percentile(vals []float64, q float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	return s[rank(len(s), q)]
+}
+
+// rank maps a quantile to a nearest-rank index in [0, n).
+func rank(n int, q float64) int {
+	i := int(q*float64(n)+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -28,9 +28,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"gftpvc/internal/gridftp"
 	"gftpvc/internal/telemetry"
@@ -62,6 +64,7 @@ func main() {
 	var hub *telemetry.Hub
 	if *metrics != "" {
 		hub = telemetry.NewHub()
+		hub.SetProcessName("gftpd")
 		ms, err := hub.ListenAndServe(*metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gftpd: metrics: %v\n", err)
@@ -74,6 +77,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gftpd: %v\n", err)
 		os.Exit(1)
+	}
+	if hub != nil && (*storeKind == "dir" || *storeKind == "tiered") {
+		rootDir := *root
+		hub.RegisterHealth("store", func() error {
+			fi, err := os.Stat(rootDir)
+			if err != nil {
+				return err
+			}
+			if !fi.IsDir() {
+				return fmt.Errorf("%s: not a directory", rootDir)
+			}
+			return nil
+		})
 	}
 	cfg := gridftp.Config{
 		Addr:          *addr,
@@ -104,6 +120,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gftpd: %v\n", err)
 		os.Exit(1)
+	}
+	if hub != nil {
+		ctrl := srv.Addr()
+		hub.RegisterHealth("control", func() error {
+			c, err := net.DialTimeout("tcp", ctrl, 2*time.Second)
+			if err != nil {
+				return err
+			}
+			return c.Close()
+		})
 	}
 	fmt.Fprintf(os.Stderr, "gftpd: serving %s on %s (%d stripes)\n", desc, srv.Addr(), *stripes)
 	sig := make(chan os.Signal, 1)

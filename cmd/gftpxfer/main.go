@@ -33,23 +33,25 @@ import (
 
 func main() {
 	var (
-		srcAddr  = flag.String("src", "", "source GridFTP server address")
-		dstAddr  = flag.String("dst", "", "destination GridFTP server address")
-		files    = flag.String("files", "", "comma-separated object names to transfer")
-		all      = flag.String("all", "", "transfer every object under this prefix (NLST); use '/' for everything")
-		prefix   = flag.String("prefix", "", "prefix for destination names (default: same names)")
-		workers  = flag.Int("workers", 2, "concurrent transfers")
-		attempts = flag.Int("attempts", 3, "max attempts per transfer")
-		verify   = flag.Bool("verify", true, "verify CRC32 checksums after each transfer")
-		user     = flag.String("user", "anonymous", "username for both servers")
-		pass     = flag.String("pass", "gftpxfer@", "password for both servers")
-		timeout  = flag.Duration("timeout", 0, "per-operation control/data I/O deadline (0: gridftp default, 30s)")
-		stream   = flag.Bool("stream", false, "relay objects through this process's streaming data plane (bounded memory, exact wire accounting) instead of server-to-server third-party transfers")
-		window   = flag.Int("window", 0, "streaming reassembly window in bytes with -stream (0: gridftp default, 4 MiB); bounds relay memory and worst-case re-sent bytes on resume")
-		noResume = flag.Bool("no-resume", false, "restart failed transfers from byte zero instead of resuming at the destination's delivered watermark")
-		poolIdle = flag.Int("pool-idle", 0, "pool control channels per endpoint, keeping up to this many idle (0: dial fresh per attempt, the historical behavior)")
-		keepal   = flag.Duration("keepalive", 30*time.Second, "NOOP interval for pooled idle control channels with -pool-idle (keep below the servers' idle timeout)")
-		metrics  = flag.String("metrics-addr", "", "telemetry HTTP listen address serving /metrics, /spans, /counters, /healthz, /debug/pprof (optional)")
+		srcAddr   = flag.String("src", "", "source GridFTP server address")
+		dstAddr   = flag.String("dst", "", "destination GridFTP server address")
+		files     = flag.String("files", "", "comma-separated object names to transfer")
+		all       = flag.String("all", "", "transfer every object under this prefix (NLST); use '/' for everything")
+		prefix    = flag.String("prefix", "", "prefix for destination names (default: same names)")
+		workers   = flag.Int("workers", 2, "concurrent transfers")
+		attempts  = flag.Int("attempts", 3, "max attempts per transfer")
+		verify    = flag.Bool("verify", true, "verify CRC32 checksums after each transfer")
+		user      = flag.String("user", "anonymous", "username for both servers")
+		pass      = flag.String("pass", "gftpxfer@", "password for both servers")
+		timeout   = flag.Duration("timeout", 0, "per-operation control/data I/O deadline (0: gridftp default, 30s)")
+		stream    = flag.Bool("stream", false, "relay objects through this process's streaming data plane (bounded memory, exact wire accounting) instead of server-to-server third-party transfers")
+		window    = flag.Int("window", 0, "streaming reassembly window in bytes with -stream (0: gridftp default, 4 MiB); bounds relay memory and worst-case re-sent bytes on resume")
+		noResume  = flag.Bool("no-resume", false, "restart failed transfers from byte zero instead of resuming at the destination's delivered watermark")
+		poolIdle  = flag.Int("pool-idle", 0, "pool control channels per endpoint, keeping up to this many idle (0: dial fresh per attempt, the historical behavior)")
+		keepal    = flag.Duration("keepalive", 30*time.Second, "NOOP interval for pooled idle control channels with -pool-idle (keep below the servers' idle timeout)")
+		metrics   = flag.String("metrics-addr", "", "telemetry HTTP listen address serving /metrics, /spans, /counters, /healthz, /trace, /events, /debug/pprof (optional)")
+		trace     = flag.Bool("trace", false, "mint a trace ID per job, propagate it to both servers (SITE TRID), the broker and the pool, and report it per result line; requires -metrics-addr")
+		tracePeer = flag.String("trace-peers", "", "comma-separated name=http://host:port telemetry bases of the servers/daemons this client talks to; /trace/<id> stitches their spans into one tree")
 
 		oscars  = flag.String("oscars", "", "oscarsd reservation daemon address; enables hybrid VC/IP dispatch (optional)")
 		gap     = flag.Duration("gap", 60*time.Second, "session gap parameter g: back-to-back jobs closer than this share one session/circuit")
@@ -62,11 +64,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gftpxfer: -src, -dst and one of -files/-all are required")
 		os.Exit(2)
 	}
+	if *trace && *metrics == "" {
+		fmt.Fprintln(os.Stderr, "gftpxfer: -trace requires -metrics-addr (traces are served over the telemetry endpoint)")
+		os.Exit(2)
+	}
 	ctx := context.Background()
 	var opts []xferman.Option
 	var hub *telemetry.Hub
 	if *metrics != "" {
 		hub = telemetry.NewHub()
+		hub.SetProcessName("gftpxfer")
+		for _, peer := range strings.Split(*tracePeer, ",") {
+			peer = strings.TrimSpace(peer)
+			if peer == "" {
+				continue
+			}
+			name, base, ok := strings.Cut(peer, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gftpxfer: -trace-peers entry %q is not name=url\n", peer)
+				os.Exit(2)
+			}
+			hub.AddTracePeer(name, base)
+		}
 		ms, err := hub.ListenAndServe(*metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gftpxfer: metrics: %v\n", err)
@@ -74,6 +93,9 @@ func main() {
 		}
 		defer ms.Close()
 		opts = append(opts, xferman.WithTelemetry(hub))
+		if *trace {
+			opts = append(opts, xferman.WithTracing())
+		}
 		fmt.Fprintf(os.Stderr, "gftpxfer: telemetry on http://%s/metrics\n", ms.Addr())
 	}
 	hybrid := *oscars != ""
@@ -96,6 +118,12 @@ func main() {
 		}
 		defer bk.Close()
 		opts = append(opts, xferman.WithBroker(bk))
+		hub.RegisterHealth("oscarsd", func() error {
+			pctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_, err := client.Now(pctx)
+			return err
+		})
 		fmt.Fprintf(os.Stderr, "gftpxfer: hybrid dispatch via %s (protocol v%d, gap %v)\n",
 			*oscars, client.ProtocolVersion(), *gap)
 	}
@@ -171,18 +199,27 @@ func main() {
 			if sum == "" {
 				sum = "-"
 			}
-			fmt.Printf("ok   %-30s -> %-30s attempts=%d crc32=%s %v%s\n",
+			fmt.Printf("ok   %-30s -> %-30s attempts=%d crc32=%s %v%s%s\n",
 				res.Job.SrcName, res.Job.DstName, res.Attempts, sum,
-				res.Duration.Round(1e6), via(hybrid, res))
+				res.Duration.Round(1e6), via(hybrid, res), traceSuffix(res))
 		default:
 			failed++
-			fmt.Printf("FAIL %-30s -> %-30s attempts=%d: %s\n",
-				res.Job.SrcName, res.Job.DstName, res.Attempts, res.Err)
+			fmt.Printf("FAIL %-30s -> %-30s attempts=%d: %s%s\n",
+				res.Job.SrcName, res.Job.DstName, res.Attempts, res.Err, traceSuffix(res))
 		}
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// traceSuffix renders the job's trace ID when tracing is on; without
+// -trace no ID is minted and the output stays byte-identical.
+func traceSuffix(res xferman.Result) string {
+	if res.TraceID == "" {
+		return ""
+	}
+	return " trace=" + res.TraceID
 }
 
 // via renders the dispatch disposition suffix for hybrid runs; without

@@ -41,7 +41,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"time"
 
 	"gftpvc/internal/oscarsd"
 	"gftpvc/internal/telemetry"
@@ -60,8 +62,10 @@ func main() {
 		Scenario:           *scenario,
 		ReservableFraction: *reservable,
 	}
+	var hub *telemetry.Hub
 	if *metrics != "" {
-		hub := telemetry.NewHub()
+		hub = telemetry.NewHub()
+		hub.SetProcessName("oscarsd")
 		ms, err := hub.ListenAndServe(*metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "oscarsd: metrics: %v\n", err)
@@ -75,6 +79,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oscarsd: %v\n", err)
 		os.Exit(1)
+	}
+	if hub != nil {
+		ledger := srv.Addr()
+		hub.RegisterHealth("ledger", func() error {
+			c, err := net.DialTimeout("tcp", ledger, 2*time.Second)
+			if err != nil {
+				return err
+			}
+			return c.Close()
+		})
 	}
 	fmt.Printf("oscarsd: serving %s topology on %s\n", *scenario, srv.Addr())
 	srv.Wait()

@@ -165,10 +165,12 @@ func (p *Pool) Get(ctx context.Context, addr, user, pass string) (*Conn, error) 
 		return nil, ErrClosed
 	}
 	k := key{addr, user, pass}
+	trace := telemetry.TraceIDFrom(ctx)
 	if pc, ok := p.popIdle(k); ok {
 		if err := pc.cli.Noop(); err == nil {
 			p.hits.Add(1)
 			p.met.hits.Inc()
+			p.cfg.Telemetry.Event(trace, "pool_hit", addr)
 			p.lease(1)
 			return &Conn{Client: pc.cli, pool: p, key: k, born: pc.born}, nil
 		}
@@ -180,6 +182,7 @@ func (p *Pool) Get(ctx context.Context, addr, user, pass string) (*Conn, error) 
 	}
 	p.misses.Add(1)
 	p.met.misses.Inc()
+	p.cfg.Telemetry.Event(trace, "pool_miss", addr)
 	cli, err := p.dial(k)
 	if err != nil {
 		return nil, err
@@ -258,6 +261,10 @@ func (c *Conn) Release() {
 	c.done = true
 	p := c.pool
 	p.lease(-1)
+	// Drop any trace binding before parking: the next checkout is a
+	// different job and must not inherit this one's trace ID. Clearing
+	// is client-side only — no bytes hit the wire.
+	_ = c.Client.SetTrace(telemetry.TraceContext{})
 	if c.Client.Desynced() || p.expired(c.born) {
 		p.evict(c.Client)
 		return

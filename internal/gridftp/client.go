@@ -50,6 +50,11 @@ type Client struct {
 	hub  *telemetry.Hub
 	met  *cliMetrics
 	sess *telemetry.Span // session-scoped span: control_dial, auth, idle, teardown
+
+	// trace is the end-to-end context bound by SetTrace; zero when
+	// tracing is off (the default), in which case nothing trace-related
+	// touches the wire.
+	trace telemetry.TraceContext
 }
 
 // Option configures a Client at Dial time.
@@ -300,6 +305,43 @@ func (c *Client) Noop() error {
 	return err
 }
 
+// SetTrace binds an end-to-end trace context to the session: the
+// server is told via SITE TRID so its transfer spans and events link
+// back to the caller's span, and this client's own transfer spans are
+// tagged locally. A server that predates SITE TRID replies 500/502;
+// the client degrades silently — local spans stay tagged, the server
+// side simply contributes nothing to the trace. A zero TraceContext
+// clears the binding without touching the wire, so untraced sessions
+// remain byte-identical. Call again with a fresh context per job on
+// pooled connections.
+func (c *Client) SetTrace(tc telemetry.TraceContext) error {
+	if tc.TraceID == "" {
+		c.trace = telemetry.TraceContext{}
+		return nil
+	}
+	if !tc.Valid() {
+		return fmt.Errorf("gridftp: invalid trace context %q", tc.WireToken())
+	}
+	c.trace = tc
+	if _, err := c.do("SITE", "SITE TRID "+tc.WireToken(), 200); err != nil {
+		var pe *ProtocolError
+		if errors.As(err, &pe) {
+			// Old server: SITE unimplemented (502) or TRID unknown (500).
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// tagTransferSpan links a transfer span into the bound trace (no-op
+// when tracing is off or telemetry is absent).
+func (c *Client) tagTransferSpan(sp *telemetry.Span) {
+	if c.trace.TraceID != "" {
+		sp.SetTrace(c.trace.TraceID, c.trace.ParentSID)
+	}
+}
+
 // Desynced reports whether the control channel has been poisoned by an
 // undrained failure; a pool must discard such a connection rather than
 // hand it to the next job.
@@ -518,6 +560,7 @@ func (c *Client) retr(name string, striped bool, offset, length int64, restart b
 		op = "rest_retr"
 	}
 	sp := c.hub.Span(op, name, telemetry.PhaseSetup)
+	c.tagTransferSpan(sp)
 	start := time.Now()
 	data, stats, err := c.retrInner(name, striped, offset, length, restart, sp)
 	c.met.transferDone(op, err, sp.Bytes(), time.Since(start).Seconds())
@@ -642,6 +685,7 @@ func (c *Client) stor(name string, data []byte, addrs []string, token uint64, st
 		op = "stor_striped"
 	}
 	sp := c.hub.Span(op, name, telemetry.PhaseSetup)
+	c.tagTransferSpan(sp)
 	start := time.Now()
 	stats, err := c.storInner(name, data, addrs, token, striped, sp)
 	c.met.transferDone(op, err, sp.Bytes(), time.Since(start).Seconds())

@@ -77,6 +77,7 @@ var knownVerbs = map[string]bool{
 	"FEAT": true, "TYPE": true, "MODE": true, "SBUF": true, "OPTS": true,
 	"PASV": true, "SPAS": true, "PORT": true, "SIZE": true, "CKSM": true,
 	"NLST": true, "REST": true, "RETR": true, "ERET": true, "STOR": true,
+	"SITE": true,
 }
 
 // shardSession moves one session in or out of a registry shard's gauge.

@@ -354,6 +354,9 @@ type session struct {
 	// restartOffset is set by REST and consumed by the next RETR or
 	// STOR (resumed sends deliver from the offset onward).
 	restartOffset int64
+	// trace is the end-to-end trace context bound by SITE TRID; transfer
+	// spans on this session link back to the sender's span through it.
+	trace telemetry.TraceContext
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -366,6 +369,7 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	s.met.sessionsTotal.Inc()
 	s.met.sessionsActive.Inc()
+	s.met.hub.Event("", "session_accepted", conn.RemoteAddr().String())
 	defer s.met.sessionsActive.Dec()
 	defer sess.closePassive()
 	defer conn.Close()
@@ -510,6 +514,7 @@ func (sess *session) dispatch(verb, arg string) bool {
 			break
 		}
 		sess.restartOffset = n
+		sess.srv.met.hub.Event(sess.trace.TraceID, "rest", "offset="+arg)
 		sess.reply(350, "restarting at "+arg+"; send RETR or STOR")
 	case "RETR":
 		offset := sess.restartOffset
@@ -521,10 +526,35 @@ func (sess *session) dispatch(verb, arg string) bool {
 		offset := sess.restartOffset
 		sess.restartOffset = 0
 		sess.cmdStor(arg, offset)
+	case "SITE":
+		sess.cmdSite(arg)
 	default:
 		sess.reply(502, "command not implemented: "+verb)
 	}
 	return false
+}
+
+// cmdSite handles SITE extensions. SITE TRID <token> binds an
+// end-to-end trace context to the session, so subsequent transfer
+// spans and flight-recorder events on this server link back to the
+// sending process's span. Unknown subcommands get a 500 — the reply
+// family clients treat as "old server, degrade silently" — which is
+// also what pre-TRID builds of this server said to SITE itself (502).
+func (sess *session) cmdSite(arg string) {
+	sub, rest, _ := strings.Cut(arg, " ")
+	switch strings.ToUpper(sub) {
+	case "TRID":
+		tc, err := telemetry.ParseTraceToken(strings.TrimSpace(rest))
+		if err != nil {
+			sess.reply(501, "bad trace token")
+			return
+		}
+		sess.trace = tc
+		sess.srv.met.hub.Event(tc.TraceID, "trid_bound", "parent="+tc.ParentSID)
+		sess.reply(200, "trace "+tc.TraceID+" bound")
+	default:
+		sess.reply(500, "SITE "+sub+" not understood")
+	}
 }
 
 // cmdOpts handles "OPTS RETR Parallelism=n;" (the Globus client syntax).
@@ -787,12 +817,16 @@ func (sess *session) endTransfer() {
 // tally the failure path reports as the partial count. With telemetry
 // off the span is nil and every operation on it is a no-op.
 func (sess *session) beginTransfer(op string, typ usagestats.TransferType, target string) *transferCtx {
-	return &transferCtx{
+	tx := &transferCtx{
 		op:    op,
 		typ:   typ,
 		start: time.Now(),
 		span:  sess.srv.met.hub.Span(op, target, telemetry.PhaseSetup),
 	}
+	if sess.trace.TraceID != "" {
+		tx.span.SetTrace(sess.trace.TraceID, sess.trace.ParentSID)
+	}
+	return tx
 }
 
 // failTransfer replies with the failure code and — unlike success-only
@@ -801,6 +835,8 @@ func (sess *session) beginTransfer(op string, typ usagestats.TransferType, targe
 // records the result metrics, so live failure rates are observable.
 func (sess *session) failTransfer(tx *transferCtx, code int, msg string) {
 	sess.reply(code, msg)
+	sess.srv.met.hub.Event(sess.trace.TraceID, "reply_error",
+		fmt.Sprintf("%s: %d %s", tx.op, code, msg))
 	partial := tx.wire.Load()
 	sess.srv.met.transferDone(tx.op, code, partial, time.Since(tx.start).Seconds())
 	sess.srv.met.deliveredBytes(tx.op, tx.delivered)
@@ -1180,6 +1216,12 @@ func (sess *session) cmdStorWindowed(tx *transferCtx, sp StreamPutter, name stri
 		abortPut()
 		sess.failTransfer(tx, 451, err.Error())
 		return
+	}
+	if hub := sess.srv.met.hub; hub != nil {
+		trace := sess.trace.TraceID
+		asm.OnPark = func(off uint64) {
+			hub.Event(trace, "block_parked", fmt.Sprintf("%s offset=%d", name, off))
+		}
 	}
 	sess.reply(150, "opening data connection")
 	conns, err := sess.dataConns(tx)

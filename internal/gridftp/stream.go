@@ -102,6 +102,7 @@ func (c *Client) RetrTo(ctx context.Context, name string, w io.Writer) (Transfer
 func (c *Client) RetrToAt(ctx context.Context, name string, w io.Writer, offset int64) (TransferStats, error) {
 	const op = "retr_stream"
 	sp := c.hub.Span(op, name, telemetry.PhaseSetup)
+	c.tagTransferSpan(sp)
 	start := time.Now()
 	stats, err := c.retrToInner(ctx, name, w, offset, sp)
 	c.met.transferDone(op, err, sp.Bytes(), time.Since(start).Seconds())
@@ -205,6 +206,7 @@ func (c *Client) StorFrom(ctx context.Context, name string, r io.Reader, size in
 func (c *Client) StorFromAt(ctx context.Context, name string, r io.Reader, offset, size int64) (TransferStats, error) {
 	const op = "stor_stream"
 	sp := c.hub.Span(op, name, telemetry.PhaseSetup)
+	c.tagTransferSpan(sp)
 	start := time.Now()
 	stats, err := c.storFromInner(ctx, name, r, offset, sp)
 	c.met.transferDone(op, err, sp.Bytes(), time.Since(start).Seconds())

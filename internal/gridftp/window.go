@@ -57,6 +57,12 @@ type WindowAssembler struct {
 
 	parkMax time.Duration
 	failed  error
+
+	// OnPark, when set, is invoked (under the assembler lock) the first
+	// time a PlaceBlocking call parks waiting for the window to slide,
+	// with the blocked block's offset — the flight-recorder hook for
+	// receiver-side backpressure. Set it before any data arrives.
+	OnPark func(offset uint64)
 }
 
 // unboundedEnd marks a region whose total size is unknown (a STOR
@@ -310,6 +316,9 @@ func (a *WindowAssembler) PlaceBlocking(b Block) error {
 			return ErrWindowStalled
 		}
 		if timer == nil {
+			if a.OnPark != nil {
+				a.OnPark(b.Offset)
+			}
 			timer = time.AfterFunc(a.parkMax, func() {
 				a.mu.Lock()
 				timedOut = true

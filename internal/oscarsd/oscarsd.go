@@ -98,6 +98,11 @@ type Request struct {
 	// Ver is the highest protocol version the sender speaks; only
 	// meaningful with OpHello (absent otherwise).
 	Ver int `json:"ver,omitempty"`
+	// Trace is the end-to-end trace ID of the transfer this request
+	// serves, if any; the daemon tags its flight-recorder events with
+	// it. Older daemons ignore the unknown field, so it is wire-
+	// compatible in both directions.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Response is the reply to a Request.
@@ -326,6 +331,21 @@ func (s *Server) handle(conn net.Conn) {
 
 func (s *Server) dispatch(req Request) Response {
 	s.countOp(req.Op)
+	resp := s.dispatchOp(req)
+	// Reservation-state changes land in the flight recorder, tagged with
+	// the transfer trace when the caller supplied one.
+	switch req.Op {
+	case OpReserve, OpCancel, OpModify:
+		detail := fmt.Sprintf("%s ok id=%d", req.Op, resp.ID)
+		if !resp.OK {
+			detail = fmt.Sprintf("%s %s: %s", req.Op, resp.Code, resp.Error)
+		}
+		s.hub.Event(req.Trace, req.Op, detail)
+	}
+	return resp
+}
+
+func (s *Server) dispatchOp(req Request) Response {
 	switch req.Op {
 	case OpReserve:
 		return s.reserve(req)

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one flight-recorder entry: a timestamped, optionally
+// trace-tagged structured occurrence on a process's hot path (session
+// accepted, TRID bound, pool hit/miss, reserve/fallback, block parked,
+// REST/resume, 4xx/5xx reply). TimeSec is seconds since the hub epoch,
+// the same clock spans and live counters use.
+type Event struct {
+	Seq     uint64    `json:"seq"`
+	Wall    time.Time `json:"wall"`
+	TimeSec float64   `json:"time_sec"`
+	Trace   string    `json:"trace_id,omitempty"`
+	Kind    string    `json:"kind"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// EventLog is the bounded flight-recorder ring. Recording is a mutex
+// and two slice ops — cheap enough to leave on unconditionally — and
+// the ring keeps only the most recent capacity events, so a long-lived
+// process's recorder is a window onto its recent past, not a log.
+type EventLog struct {
+	epoch time.Time
+	cap   int
+
+	mu   sync.Mutex
+	seq  uint64
+	ring []Event // oldest..newest, len <= cap
+}
+
+// NewEventLog creates a recorder retaining the last capacity events
+// (default 1024 when capacity <= 0).
+func NewEventLog(epoch time.Time, capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &EventLog{epoch: epoch, cap: capacity}
+}
+
+// Add records one event. A nil log is a no-op.
+func (l *EventLog) Add(trace, kind, detail string) {
+	if l == nil {
+		return
+	}
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	if len(l.ring) == l.cap {
+		copy(l.ring, l.ring[1:])
+		l.ring = l.ring[:l.cap-1]
+	}
+	l.ring = append(l.ring, Event{
+		Seq:     l.seq,
+		Wall:    now,
+		TimeSec: now.Sub(l.epoch).Seconds(),
+		Trace:   trace,
+		Kind:    kind,
+		Detail:  detail,
+	})
+}
+
+// Snapshot returns the recorded events, oldest first.
+func (l *EventLog) Snapshot() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.ring...)
+}
+
+// ByTrace returns the recorded events tagged with the given trace ID,
+// oldest first.
+func (l *EventLog) ByTrace(trace string) []Event {
+	if l == nil || trace == "" {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, e := range l.ring {
+		if e.Trace == trace {
+			out = append(out, e)
+		}
+	}
+	return out
+}

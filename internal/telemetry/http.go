@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"time"
 )
 
@@ -22,9 +23,12 @@ type CounterSnapshot struct {
 // Handler serves the hub's instrument streams:
 //
 //	/metrics      Prometheus text exposition (version 0.0.4)
-//	/healthz      liveness probe ("ok")
+//	/healthz      JSON per-component readiness; 503 when any check fails
 //	/spans        JSON {active, spans:[...]} — completed transfer spans
 //	/counters     JSON [{name, origin_sec, bin_sec, bytes}] — live 30-s bins
+//	/events       JSON {process, events:[...]} — flight-recorder ring
+//	/trace/<id>   JSON stitched cross-process span tree for one trace
+//	              (?local=1: this process's spans/events only)
 //	/debug/pprof  Go profiles (cpu, heap, goroutine, mutex, block, ...)
 //
 // Mutex and block profiling are sampled at fixed low rates (see
@@ -43,8 +47,19 @@ func (h *Hub) Handler() http.Handler {
 		h.Registry().WriteProm(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
+		ok, components := h.HealthSnapshot()
+		status := "ok"
+		if !ok {
+			status = "degraded"
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+		}
+		json.NewEncoder(w).Encode(struct {
+			Status     string            `json:"status"`
+			Components map[string]string `json:"components"`
+		}{status, components})
 	})
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -66,6 +81,35 @@ func (h *Hub) Handler() http.Handler {
 			out = append(out, CounterSnapshot{Name: c.Name(), OriginSec: origin, BinSec: bin, Bytes: bytes})
 		}
 		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var events []Event
+		if trace := r.URL.Query().Get("trace"); trace != "" {
+			events = h.Events().ByTrace(trace)
+		} else {
+			events = h.Events().Snapshot()
+		}
+		if events == nil {
+			events = []Event{}
+		}
+		json.NewEncoder(w).Encode(struct {
+			Process string  `json:"process"`
+			Events  []Event `json:"events"`
+		}{h.ProcessName(), events})
+	})
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/trace/")
+		if id == "" || strings.Contains(id, "/") {
+			http.Error(w, "want /trace/<trace-id>", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("local") != "" {
+			json.NewEncoder(w).Encode(h.localTrace(id))
+			return
+		}
+		json.NewEncoder(w).Encode(h.stitchedTrace(id))
 	})
 	return mux
 }

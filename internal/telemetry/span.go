@@ -33,18 +33,39 @@ type PhaseSnapshot struct {
 // SpanSnapshot is the JSON form of a completed span, served by /spans.
 // StartSec is seconds since the hub epoch, the clock the live byte
 // counters use, so spans convert directly into snmp.TransferObs.
+//
+// TraceID/SID/ParentSID link spans across processes: every span tagged
+// via SetTrace carries the end-to-end trace ID, its own span ID, and
+// the span ID of the remote span that caused it, which is how
+// /trace/<id> stitches a multi-process tree. TimelineBytes is the
+// per-transfer throughput timeline: wire bytes bucketed into
+// TimelineBinMS-wide bins from span start, filled by AddBytes on the
+// counting data connections.
 type SpanSnapshot struct {
-	ID          uint64          `json:"id"`
-	Op          string          `json:"op"`
-	Target      string          `json:"target,omitempty"`
-	Start       time.Time       `json:"start"`
-	StartSec    float64         `json:"start_sec"`
-	DurationSec float64         `json:"duration_sec"`
-	Bytes       int64           `json:"bytes"`
-	Streams     int             `json:"streams,omitempty"`
-	Err         string          `json:"error,omitempty"`
-	Phases      []PhaseSnapshot `json:"phases"`
+	ID            uint64          `json:"id"`
+	Op            string          `json:"op"`
+	Target        string          `json:"target,omitempty"`
+	TraceID       string          `json:"trace_id,omitempty"`
+	SID           string          `json:"sid,omitempty"`
+	ParentSID     string          `json:"parent_sid,omitempty"`
+	Start         time.Time       `json:"start"`
+	StartSec      float64         `json:"start_sec"`
+	DurationSec   float64         `json:"duration_sec"`
+	Bytes         int64           `json:"bytes"`
+	Streams       int             `json:"streams,omitempty"`
+	Err           string          `json:"error,omitempty"`
+	Phases        []PhaseSnapshot `json:"phases"`
+	TimelineBinMS int64           `json:"timeline_bin_ms,omitempty"`
+	TimelineBytes []int64         `json:"timeline_bytes,omitempty"`
 }
+
+// Timeline geometry: AddBytes buckets wire bytes into 100 ms bins from
+// span start; transfers longer than timelineMaxBins bins accumulate
+// their tail in the last bin rather than growing without bound.
+const (
+	timelineBin     = 100 * time.Millisecond
+	timelineMaxBins = 4096
+)
 
 // Span is one in-flight operation. Phases are contiguous by
 // construction — starting a phase closes the previous one at the same
@@ -87,14 +108,56 @@ func (s *Span) closePhaseLocked(t time.Time) {
 }
 
 // AddBytes accumulates the span's byte count (wire bytes moved on the
-// data channels).
+// data channels) and buckets it into the throughput timeline.
 func (s *Span) AddBytes(n int64) {
 	if s == nil || n <= 0 {
 		return
 	}
+	now := time.Now()
 	s.mu.Lock()
 	s.snap.Bytes += n
+	bin := int(now.Sub(s.snap.Start) / timelineBin)
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= timelineMaxBins {
+		bin = timelineMaxBins - 1
+	}
+	if bin >= len(s.snap.TimelineBytes) {
+		s.snap.TimelineBytes = append(s.snap.TimelineBytes,
+			make([]int64, bin+1-len(s.snap.TimelineBytes))...)
+	}
+	s.snap.TimelineBytes[bin] += n
 	s.mu.Unlock()
+}
+
+// SetTrace tags the span with an end-to-end trace ID and the span ID
+// of the remote parent that caused it (empty at the root), mints the
+// span's own 8-hex span ID, and returns it so callers can propagate
+// the parent link downstream. Repeated calls re-tag but keep the first
+// minted span ID.
+func (s *Span) SetTrace(traceID, parentSID string) (sid string) {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap.SID == "" {
+		s.snap.SID = NewSpanID()
+	}
+	s.snap.TraceID = traceID
+	s.snap.ParentSID = parentSID
+	return s.snap.SID
+}
+
+// Trace returns the span's trace ID and own span ID ("" when untagged).
+func (s *Span) Trace() (traceID, sid string) {
+	if s == nil {
+		return "", ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap.TraceID, s.snap.SID
 }
 
 // Bytes returns the bytes accumulated so far.
@@ -140,8 +203,12 @@ func (s *Span) End(err error) {
 		})
 	}
 	s.snap.DurationSec = now.Sub(s.snap.Start).Seconds()
+	if len(s.snap.TimelineBytes) > 0 {
+		s.snap.TimelineBinMS = timelineBin.Milliseconds()
+	}
 	snap := s.snap
 	snap.Phases = append([]PhaseSnapshot(nil), s.snap.Phases...)
+	snap.TimelineBytes = append([]int64(nil), s.snap.TimelineBytes...)
 	s.mu.Unlock()
 	s.log.complete(snap)
 }
@@ -231,4 +298,21 @@ func (l *SpanLog) Snapshot() []SpanSnapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]SpanSnapshot(nil), l.ring...)
+}
+
+// ByTrace returns the completed spans tagged with the given trace ID,
+// oldest first.
+func (l *SpanLog) ByTrace(trace string) []SpanSnapshot {
+	if l == nil || trace == "" {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []SpanSnapshot
+	for _, s := range l.ring {
+		if s.TraceID == trace {
+			out = append(out, s)
+		}
+	}
+	return out
 }

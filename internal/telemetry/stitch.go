@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// TraceLocal is one process's view of a trace: the completed spans and
+// flight-recorder events tagged with the trace ID. /trace/<id>?local=1
+// serves exactly this; the stitched view fans it out across peers.
+type TraceLocal struct {
+	Process string         `json:"process"`
+	TraceID string         `json:"trace_id"`
+	Spans   []SpanSnapshot `json:"spans"`
+	Events  []Event        `json:"events"`
+	Err     string         `json:"error,omitempty"` // peer fetch failure, if any
+}
+
+// TraceNode is one span in the stitched cross-process tree, with the
+// spans it caused (linked by SID -> ParentSID) as children.
+type TraceNode struct {
+	Process  string       `json:"process"`
+	Span     SpanSnapshot `json:"span"`
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// TraceReport is the stitched /trace/<id> response: every process's
+// local view plus the span tree linking them. Each span keeps its own
+// process's phase decomposition, so within every node the phase
+// durations still sum exactly to that span's wall time.
+type TraceReport struct {
+	TraceID   string       `json:"trace_id"`
+	Processes []TraceLocal `json:"processes"`
+	Tree      []*TraceNode `json:"tree"`
+}
+
+// localTrace assembles this process's view of the trace.
+func (h *Hub) localTrace(id string) TraceLocal {
+	spans := h.Spans().ByTrace(id)
+	if spans == nil {
+		spans = []SpanSnapshot{}
+	}
+	events := h.Events().ByTrace(id)
+	if events == nil {
+		events = []Event{}
+	}
+	return TraceLocal{
+		Process: h.ProcessName(),
+		TraceID: id,
+		Spans:   spans,
+		Events:  events,
+	}
+}
+
+// StitchTrace links per-process trace views into one span tree: every
+// span becomes a node, children attach to the node whose SID matches
+// their ParentSID, and spans whose parent is unknown (the minting root,
+// or an orphan whose parent rolled out of a ring) become roots.
+// Siblings and roots are ordered by start time.
+func StitchTrace(traceID string, locals []TraceLocal) *TraceReport {
+	rep := &TraceReport{TraceID: traceID, Processes: locals, Tree: []*TraceNode{}}
+	bySID := make(map[string]*TraceNode)
+	var nodes []*TraceNode
+	for _, loc := range locals {
+		for _, sp := range loc.Spans {
+			n := &TraceNode{Process: loc.Process, Span: sp}
+			nodes = append(nodes, n)
+			if sp.SID != "" {
+				// First writer wins on a (pathological) SID collision.
+				if _, dup := bySID[sp.SID]; !dup {
+					bySID[sp.SID] = n
+				}
+			}
+		}
+	}
+	for _, n := range nodes {
+		if p := bySID[n.Span.ParentSID]; n.Span.ParentSID != "" && p != nil && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			rep.Tree = append(rep.Tree, n)
+		}
+	}
+	byStart := func(ns []*TraceNode) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Span.Start.Before(ns[j].Span.Start) })
+	}
+	byStart(rep.Tree)
+	for _, n := range nodes {
+		byStart(n.Children)
+	}
+	return rep
+}
+
+// stitchedTrace assembles the cross-process view: this process's local
+// trace plus every registered peer's, fetched over HTTP with a bounded
+// timeout. A peer that cannot be reached contributes an error entry
+// instead of failing the whole report.
+func (h *Hub) stitchedTrace(id string) *TraceReport {
+	locals := []TraceLocal{h.localTrace(id)}
+	peers := h.TracePeers()
+	names := make([]string, 0, len(peers))
+	for name := range peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for _, name := range names {
+		loc, err := fetchLocalTrace(client, peers[name], id)
+		if err != nil {
+			locals = append(locals, TraceLocal{
+				Process: name, TraceID: id,
+				Spans: []SpanSnapshot{}, Events: []Event{},
+				Err: err.Error(),
+			})
+			continue
+		}
+		if loc.Process == "" {
+			loc.Process = name
+		}
+		locals = append(locals, loc)
+	}
+	return StitchTrace(id, locals)
+}
+
+func fetchLocalTrace(client *http.Client, base, id string) (TraceLocal, error) {
+	var loc TraceLocal
+	resp, err := client.Get(base + "/trace/" + id + "?local=1")
+	if err != nil {
+		return loc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return loc, fmt.Errorf("peer returned %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&loc); err != nil {
+		return loc, err
+	}
+	return loc, nil
+}

@@ -339,8 +339,9 @@ func TestHTTPEndpoints(t *testing.T) {
 	if !strings.Contains(body, "endpoint_hits_total 1") {
 		t.Errorf("/metrics body:\n%s", body)
 	}
-	if body, _ := get("/healthz"); body != "ok\n" {
-		t.Errorf("/healthz = %q", body)
+	if body, ct := get("/healthz"); !strings.HasPrefix(ct, "application/json") ||
+		!strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("/healthz = %q (content type %q)", body, ct)
 	}
 	body, ct = get("/spans")
 	if !strings.HasPrefix(ct, "application/json") {

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceContext identifies one end-to-end transfer across processes: a
+// 16-hex trace ID minted once per xferman job, plus the span ID of the
+// minting side's current span so remote spans can link back to their
+// parent. It travels over the control channel as SITE TRID <token> and
+// over the vc line protocol as the request's trace field; processes
+// that have never heard of it reply 500/502 and the sender degrades
+// silently.
+type TraceContext struct {
+	TraceID   string // 16 lowercase hex digits
+	ParentSID string // 8 lowercase hex digits, "" at the root
+}
+
+// NewTraceID mints a 16-hex trace ID from crypto/rand.
+func NewTraceID() string { return randHex(8) }
+
+// NewSpanID mints an 8-hex span ID from crypto/rand.
+func NewSpanID() string { return randHex(4) }
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on the supported platforms; a zero ID
+		// keeps the data path alive if it somehow does.
+		return strings.Repeat("0", 2*n)
+	}
+	return hex.EncodeToString(b)
+}
+
+// Valid reports whether the trace ID (and parent span ID, if any) are
+// well-formed.
+func (tc TraceContext) Valid() bool {
+	if !isHex(tc.TraceID, 16) {
+		return false
+	}
+	return tc.ParentSID == "" || isHex(tc.ParentSID, 8)
+}
+
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// WireToken renders the context in the SITE TRID argument form:
+// <trace16> or <trace16>-<parent8>.
+func (tc TraceContext) WireToken() string {
+	if tc.ParentSID == "" {
+		return tc.TraceID
+	}
+	return tc.TraceID + "-" + tc.ParentSID
+}
+
+// ParseTraceToken parses a SITE TRID argument back into a TraceContext.
+func ParseTraceToken(tok string) (TraceContext, error) {
+	var tc TraceContext
+	var dashed bool
+	tc.TraceID, tc.ParentSID, dashed = strings.Cut(tok, "-")
+	if !tc.Valid() || (dashed && tc.ParentSID == "") {
+		return TraceContext{}, fmt.Errorf("malformed trace token %q", tok)
+	}
+	return tc, nil
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches a trace context to ctx; it flows from the xferman
+// job through the broker, the vc client, and the connection pool.
+func WithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFrom extracts the trace context from ctx, if one was attached.
+func TraceFrom(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}
+
+// TraceIDFrom is TraceFrom reduced to the bare trace ID ("" when
+// untraced) — the form the flight-recorder events want.
+func TraceIDFrom(ctx context.Context) string {
+	tc, _ := TraceFrom(ctx)
+	return tc.TraceID
+}

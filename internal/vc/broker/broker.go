@@ -437,7 +437,32 @@ func (b *Broker) Begin(ctx context.Context, srcAddr, dstAddr string, sizeHint in
 		s.timer = nil
 	}
 	b.countJob(disp.Service)
+	b.recordDecision(ctx, disp, routed)
 	return &Lease{b: b, s: s, disp: disp}
+}
+
+// recordDecision lands the dispatch verdict in the flight recorder,
+// tagged with the transfer trace when the job context carries one.
+func (b *Broker) recordDecision(ctx context.Context, disp Disposition, routed bool) {
+	hub := b.cfg.Telemetry
+	if hub == nil {
+		return
+	}
+	trace := ""
+	if ctx != nil {
+		trace = telemetry.TraceIDFrom(ctx)
+	}
+	switch {
+	case disp.Service == ServiceVC:
+		hub.Event(trace, "broker_reserved",
+			fmt.Sprintf("circuit=%d setup_wait=%s", disp.CircuitID, disp.SetupWait))
+	case disp.Fallback != "":
+		hub.Event(trace, "broker_fallback", disp.Fallback)
+	case !routed:
+		hub.Event(trace, "broker_ip", "no topology route")
+	default:
+		hub.Event(trace, "broker_ip", "session below amortization threshold")
+	}
 }
 
 // decisionCtx derives the bounded control-plane context.

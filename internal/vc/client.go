@@ -264,8 +264,21 @@ func (c *Client) transportErr(ctx context.Context, ctxBound bool, err error) err
 // (typically a daemon restart having closed it) is retried once on a
 // fresh dial; failures on fresh connections are returned as-is.
 func (c *Client) call(ctx context.Context, req oscarsd.Request) (oscarsd.Response, error) {
+	// The transfer trace rides the line protocol to the daemon, so one
+	// trace ID joins the reservation decision to the data movement it
+	// governed. Old daemons ignore the extra field.
+	if req.Trace == "" {
+		req.Trace = telemetry.TraceIDFrom(ctx)
+	}
 	resp, err := c.callOnce(ctx, req)
 	c.count(req.Op, err)
+	if req.Trace != "" {
+		detail := req.Op
+		if err != nil {
+			detail += ": " + err.Error()
+		}
+		c.hub.Event(req.Trace, "vc_call", detail)
+	}
 	return resp, err
 }
 

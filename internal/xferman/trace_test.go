@@ -1,0 +1,224 @@
+package xferman
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"gftpvc/internal/gridftp"
+	"gftpvc/internal/oscarsd"
+	"gftpvc/internal/telemetry"
+	"gftpvc/internal/vc"
+	"gftpvc/internal/vc/broker"
+)
+
+// TestTracingEndToEnd is the acceptance drill for cross-process
+// tracing: four hubs play four processes (the transfer manager, both
+// GridFTP servers, and oscarsd), linked only by the trace ID carried
+// on the wire. One traced job must surface in every process's flight
+// recorder, and the stitched /trace/<id> tree must span the processes
+// with each span's phases summing exactly to its wall time.
+func TestTracingEndToEnd(t *testing.T) {
+	newHub := func(name string) (*telemetry.Hub, string) {
+		hub := telemetry.NewHub()
+		hub.SetProcessName(name)
+		ms, err := hub.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ms.Close() })
+		return hub, ms.Addr()
+	}
+	hubX, addrX := newHub("xferman")
+	hubSrc, addrSrc := newHub("gftpd-src")
+	hubDst, addrDst := newHub("gftpd-dst")
+	hubOsc, addrOsc := newHub("oscarsd")
+	hubX.AddTracePeer("gftpd-src", "http://"+addrSrc)
+	hubX.AddTracePeer("gftpd-dst", "http://"+addrDst)
+	hubX.AddTracePeer("oscarsd", "http://"+addrOsc)
+
+	srcStore := gridftp.NewMemStore()
+	srcStore.Put("a.nc", payload(512<<10))
+	serveOn := func(store gridftp.Store, hub *telemetry.Hub) *gridftp.Server {
+		s, err := gridftp.Serve(gridftp.Config{Addr: "127.0.0.1:0", Store: store, Telemetry: hub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	src := serveOn(srcStore, hubSrc)
+	dst := serveOn(gridftp.NewMemStore(), hubDst)
+
+	osrv, err := oscarsd.Start(oscarsd.Config{
+		Addr: "127.0.0.1:0", Scenario: "nersc-ornl",
+		ReservableFraction: 0.5, Telemetry: hubOsc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { osrv.Close() })
+	ctx := context.Background()
+	client, err := vc.Dial(ctx, osrv.Addr(), vc.WithTelemetry(hubX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	bk, err := broker.New(client, broker.Config{
+		Gap:        150 * time.Millisecond,
+		SetupDelay: 20 * time.Millisecond,
+		MinRateBps: 1e9, MaxRateBps: 1e9,
+		Route:     broker.StaticRoute("nersc-ornl-dtn-src", "nersc-ornl-dtn-dst"),
+		Telemetry: hubX,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bk.Close)
+
+	m, err := New(1, WithTelemetry(hubX), WithBroker(bk), WithTracing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	id, err := m.Submit(ctx, Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "a.nc", DstName: "copy-a.nc",
+		Verify: true, SizeHint: 256 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Succeeded {
+		t.Fatalf("job: %v (%s)", res.Status, res.Err)
+	}
+	if res.TraceID == "" {
+		t.Fatal("traced job reported no TraceID")
+	}
+
+	// The flight recorder: the trace ID must appear in every process's
+	// event ring, with the kinds each process is responsible for.
+	wantKind := func(hub *telemetry.Hub, process, kind string) {
+		t.Helper()
+		for _, ev := range hub.Events().ByTrace(res.TraceID) {
+			if ev.Kind == kind {
+				return
+			}
+		}
+		t.Errorf("%s ring has no %q event for trace %s", process, kind, res.TraceID)
+	}
+	wantKind(hubX, "xferman", "job_start")
+	wantKind(hubX, "xferman", "job_done")
+	wantKind(hubX, "xferman", "broker_reserved")
+	wantKind(hubX, "xferman", "vc_call")
+	wantKind(hubSrc, "gftpd-src", "trid_bound")
+	wantKind(hubDst, "gftpd-dst", "trid_bound")
+	wantKind(hubOsc, "oscarsd", "reserve")
+
+	// The stitched tree, over live HTTP between the hubs.
+	resp, err := http.Get("http://" + addrX + "/trace/" + res.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var report telemetry.TraceReport
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Processes) != 4 {
+		t.Fatalf("stitched report covers %d processes, want 4", len(report.Processes))
+	}
+	for _, loc := range report.Processes {
+		if loc.Err != "" {
+			t.Errorf("process %s: peer fetch failed: %s", loc.Process, loc.Err)
+		}
+	}
+	if len(report.Tree) != 1 {
+		t.Fatalf("stitched tree has %d roots, want 1 (the job span): %+v", len(report.Tree), report.Tree)
+	}
+	root := report.Tree[0]
+	if root.Process != "xferman" || root.Span.Op != "job" {
+		t.Fatalf("root is %s/%s, want xferman/job", root.Process, root.Span.Op)
+	}
+	procs := map[string]bool{}
+	var walk func(n *telemetry.TraceNode)
+	walk = func(n *telemetry.TraceNode) {
+		procs[n.Process] = true
+		var sum float64
+		for _, ph := range n.Span.Phases {
+			sum += ph.DurationSec
+		}
+		if math.Abs(sum-n.Span.DurationSec) > 1e-9 {
+			t.Errorf("%s/%s: phases sum to %.12f, wall time %.12f",
+				n.Process, n.Span.Op, sum, n.Span.DurationSec)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	for _, p := range []string{"xferman", "gftpd-src", "gftpd-dst"} {
+		if !procs[p] {
+			t.Errorf("stitched tree has no span from %s", p)
+		}
+	}
+}
+
+// TestTracingOffNoWireChange pins the degrade guarantee: a manager
+// without WithTracing sends no SITE command at all — the control
+// conversation is what it was before tracing existed — and no process
+// records a trace.
+func TestTracingOffNoWireChange(t *testing.T) {
+	hubSrv := telemetry.NewHub()
+	srcStore := gridftp.NewMemStore()
+	srcStore.Put("a.nc", payload(64<<10))
+	serveOn := func(store gridftp.Store) *gridftp.Server {
+		s, err := gridftp.Serve(gridftp.Config{Addr: "127.0.0.1:0", Store: store, Telemetry: hubSrv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	src := serveOn(srcStore)
+	dst := serveOn(gridftp.NewMemStore())
+
+	m, err := New(1, WithTelemetry(telemetry.NewHub()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx := context.Background()
+	id, err := m.Submit(ctx, Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "a.nc", DstName: "copy-a.nc", Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Wait(ctx, id)
+	if err != nil || res.Status != Succeeded {
+		t.Fatalf("job: %+v, %v", res, err)
+	}
+	if res.TraceID != "" {
+		t.Fatalf("untraced job reported TraceID %q", res.TraceID)
+	}
+	if n := hubSrv.Counter("gridftp_server_commands_total",
+		"Control-channel commands dispatched, by verb.",
+		telemetry.L("verb", "site")).Value(); n != 0 {
+		t.Fatalf("servers dispatched %d SITE commands with tracing off, want 0", n)
+	}
+	for _, ev := range hubSrv.Events().Snapshot() {
+		if ev.Kind == "trid_bound" {
+			t.Fatalf("server bound a trace with tracing off: %+v", ev)
+		}
+	}
+}

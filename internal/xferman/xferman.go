@@ -203,6 +203,10 @@ type Result struct {
 	// this job paid, and the fallback reason when a wanted circuit was
 	// not obtained. Jobs on a manager without a broker report plain IP.
 	Circuit broker.Disposition
+	// TraceID is the transfer's trace ID on a manager built
+	// WithTracing — the key for /trace/<id> on every instrumented
+	// process this job touched. Empty when tracing is off.
+	TraceID string
 }
 
 type tracked struct {
@@ -223,10 +227,11 @@ type Manager struct {
 	wg     sync.WaitGroup
 	closed bool
 
-	hub    *telemetry.Hub
-	broker *broker.Broker
-	pool   *connpool.Pool
-	met    xmMetrics
+	hub     *telemetry.Hub
+	broker  *broker.Broker
+	pool    *connpool.Pool
+	tracing bool
+	met     xmMetrics
 }
 
 // xmMetrics is the manager's instrument set. With a nil hub every
@@ -274,6 +279,18 @@ func WithPool(p *connpool.Pool) Option {
 // broker, then its client.
 func WithBroker(b *broker.Broker) Option {
 	return func(m *Manager) { m.broker = b }
+}
+
+// WithTracing mints an end-to-end TraceContext per job and propagates
+// it everywhere the job goes: both endpoints learn it over the control
+// channel via SITE TRID (old servers degrade silently), the broker and
+// the vc client carry it to the reservation daemon, and pool checkouts
+// tag their hit/miss events with it. Each traced job also gets a root
+// "job" span on the manager's hub, the anchor /trace/<id> stitches the
+// cross-process tree under. Off by default: an untraced manager sends
+// nothing trace-related on any wire, keeping output byte-identical.
+func WithTracing() Option {
+	return func(m *Manager) { m.tracing = true }
 }
 
 // New starts a manager with the given number of workers.
@@ -457,6 +474,7 @@ func (m *Manager) worker() {
 		tr.result.Bytes = out.bytes
 		tr.result.WireBytes = out.wire
 		tr.result.Circuit = out.circuit
+		tr.result.TraceID = out.trace
 		if out.err != nil {
 			tr.result.Status = Failed
 			tr.result.Err = out.err.Error()
@@ -488,6 +506,7 @@ type outcome struct {
 	delivered int64
 	circuit   broker.Disposition
 	attempts  int
+	trace     string
 	err       error
 }
 
@@ -632,15 +651,42 @@ func (m *Manager) probeWatermark(ctx context.Context, job Job) int64 {
 	return n
 }
 
-// execute runs one job with retries; every attempt uses control
+// execute traces the job when the manager was built WithTracing —
+// minting the trace ID, opening the root "job" span every downstream
+// span links under, and flight-recording the job boundaries — then
+// runs the retry loop.
+func (m *Manager) execute(ctx context.Context, job Job) outcome {
+	if !m.tracing {
+		return m.executeJob(ctx, job, nil)
+	}
+	tc := telemetry.TraceContext{TraceID: telemetry.NewTraceID()}
+	span := m.hub.Span("job", job.SrcName+" -> "+job.DstName, telemetry.PhaseSetup)
+	tc.ParentSID = span.SetTrace(tc.TraceID, "")
+	ctx = telemetry.WithTrace(ctx, tc)
+	m.hub.Event(tc.TraceID, "job_start", fmt.Sprintf("%s -> %s", job.SrcName, job.DstName))
+	out := m.executeJob(ctx, job, span)
+	out.trace = tc.TraceID
+	done := "ok"
+	if out.err != nil {
+		done = out.err.Error()
+	}
+	m.hub.Event(tc.TraceID, "job_done",
+		fmt.Sprintf("attempts=%d bytes=%d %s", out.attempts, out.bytes, done))
+	span.End(out.err)
+	return out
+}
+
+// executeJob runs one job with retries; every attempt uses control
 // channels the failed previous attempt never touched — its own are
 // discarded, not recycled, because a failed transfer may have poisoned
 // them (pooled checkouts enforce this via Discard-on-error). Between
 // attempts it sleeps a jittered exponential backoff, and — unless the
 // job opts out — probes the destination's delivered watermark so the
 // next attempt restarts there instead of re-sending bytes that already
-// landed. A done context stops further attempts.
-func (m *Manager) execute(ctx context.Context, job Job) outcome {
+// landed. A done context stops further attempts. jobSpan, when the job
+// is traced, tracks attempts as "stream" phases and inter-attempt
+// backoff as "idle".
+func (m *Manager) executeJob(ctx context.Context, job Job, jobSpan *telemetry.Span) outcome {
 	var out outcome
 	out.circuit = broker.Disposition{Service: broker.ServiceIP}
 	resumeFrom := int64(0)
@@ -655,7 +701,12 @@ func (m *Manager) execute(ctx context.Context, job Job) outcome {
 		out.attempts = attempt
 		if resumeFrom > 0 {
 			m.met.resumed.Inc()
+			if trace := telemetry.TraceIDFrom(ctx); trace != "" {
+				m.hub.Event(trace, "resume",
+					fmt.Sprintf("attempt=%d offset=%d", attempt, resumeFrom))
+			}
 		}
+		jobSpan.Phase(telemetry.PhaseStream)
 		at := m.attempt(ctx, job, resumeFrom)
 		out.checksum, out.circuit, out.err = at.checksum, at.circuit, at.err
 		if at.bytes > 0 {
@@ -698,6 +749,11 @@ func (m *Manager) execute(ctx context.Context, job Job) outcome {
 		}
 		out.delivered = resumeFrom
 		m.met.retries.Inc()
+		if trace := telemetry.TraceIDFrom(ctx); trace != "" {
+			m.hub.Event(trace, "retry",
+				fmt.Sprintf("attempt=%d failed: %v", attempt, at.err))
+		}
+		jobSpan.Phase(telemetry.PhaseIdle)
 		if err := sleepBackoff(ctx, backoffDelay(job.RetryBackoff, job.RetryBackoffMax, attempt)); err != nil {
 			return out
 		}
@@ -727,6 +783,12 @@ func (m *Manager) attempt(ctx context.Context, job Job, resumeFrom int64) attemp
 		return out
 	}
 	defer func() { dstFinish(out.err) }()
+	if tc, ok := telemetry.TraceFrom(ctx); ok {
+		// Best-effort: an old server that rejects SITE TRID still moves
+		// the bytes, it just doesn't show up in the stitched trace.
+		_ = src.SetTrace(tc)
+		_ = dst.SetTrace(tc)
+	}
 	out.bytes = job.SizeHint
 	if out.bytes <= 0 && (m.broker != nil || job.Stream || !job.NoResume) {
 		// The broker sizes circuits from bytes, the streaming relay
