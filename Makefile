@@ -8,14 +8,16 @@ GO ?= go
 # fault-injection harness, the telemetry layer (whose tests scrape the
 # registry while the data path mutates it), the hybrid control plane
 # (the pooled vc client, the session broker, and the xferman pool that
-# dispatches through them), the control-channel connection pool, and the
-# root package whose C10k rig hammers the sharded session registry and
-# shared passive demux.
+# dispatches through them), the control-channel connection pool, the
+# token-bucket pacing layer (whose buckets are shared across concurrent
+# data streams), and the root package whose C10k rig hammers the sharded
+# session registry and shared passive demux.
 RACE_PKGS = ./internal/netsim ./internal/experiments ./internal/sessions \
 	./internal/gridftp/... ./internal/faultnet/... ./internal/telemetry \
-	./internal/vc/... ./internal/xferman ./internal/connpool .
+	./internal/vc/... ./internal/xferman ./internal/connpool \
+	./internal/pacing .
 
-.PHONY: check vet vet-ctx race bench bench-c10k bench-store bench-trace fuzz-smoke all
+.PHONY: check vet vet-ctx race bench bench-c10k bench-store bench-trace bench-paced fuzz-smoke all
 
 all: check
 
@@ -30,7 +32,7 @@ check:
 	$(GO) test ./...
 	$(GO) test -race -count=1 ./internal/gridftp/... ./internal/faultnet/... \
 		./internal/telemetry ./internal/vc/... ./internal/xferman \
-		./internal/connpool .
+		./internal/connpool ./internal/pacing .
 	$(MAKE) fuzz-smoke
 
 # Fuzz smoke: run each data-plane fuzz target briefly on top of its
@@ -38,12 +40,15 @@ check:
 # invocation, hence the loop. Override FUZZ_TIME for longer campaigns
 # (e.g. make fuzz-smoke FUZZ_TIME=5m).
 FUZZ_TIME ?= 10s
-FUZZ_TARGETS = FuzzReadBlock FuzzReadBlockInto FuzzWindowAssembler \
-	FuzzAssembler FuzzDrainConn FuzzParseHostPort FuzzDirStorePutRegion
+FUZZ_TARGETS = gridftp:FuzzReadBlock gridftp:FuzzReadBlockInto \
+	gridftp:FuzzWindowAssembler gridftp:FuzzAssembler gridftp:FuzzDrainConn \
+	gridftp:FuzzParseHostPort gridftp:FuzzDirStorePutRegion \
+	pacing:FuzzBucketRefill
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzz-smoke: $$t ($(FUZZ_TIME))"; \
-		$(GO) test ./internal/gridftp/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZ_TIME) >/dev/null || exit 1; \
+		pkg=$${t%%:*}; fz=$${t##*:}; \
+		echo "fuzz-smoke: $$pkg/$$fz ($(FUZZ_TIME))"; \
+		$(GO) test ./internal/$$pkg/ -run '^$$' -fuzz "^$$fz$$" -fuzztime $(FUZZ_TIME) >/dev/null || exit 1; \
 	done
 
 vet:
@@ -51,13 +56,15 @@ vet:
 
 # Context-plumbing lint: every exported blocking method on the hybrid
 # control plane's core types (vc.Client, broker.Broker, xferman.Manager)
-# must take a context.Context first, so no caller can be left without a
-# cancellation path. Accessors and teardown that never touch the network
-# are exempt by name.
-CTX_EXEMPT = Addr|ProtocolVersion|Close|Disposition|End|Sessions|String|Result
+# and the pacing layer (pacing.Bucket, pacing.Limiter) must take a
+# context.Context first, so no caller can be left without a cancellation
+# path. Accessors, teardown, and non-blocking bucket arithmetic are
+# exempt by name.
+CTX_EXEMPT = Addr|ProtocolVersion|Close|Disposition|End|Sessions|String|Result|OnRateChange|SetRate|Rate|Burst|Waited|With
 vet-ctx:
-	@bad=$$(grep -nE '^func \([A-Za-z] \*(Client|Broker|Manager|Lease)\) [A-Z][A-Za-z]*\(' \
+	@bad=$$(grep -nE '^func \([A-Za-z] \*(Client|Broker|Manager|Lease|Bucket|Limiter)\) [A-Z][A-Za-z]*\(' \
 		internal/vc/*.go internal/vc/broker/*.go internal/xferman/*.go \
+		internal/pacing/*.go \
 		| grep -v '_test.go:' \
 		| grep -vE '\(ctx context\.Context' \
 		| grep -vE '\) ($(CTX_EXEMPT))\('); \
@@ -99,3 +106,11 @@ bench-c10k:
 TRACE_OUT ?= BENCH_8.json
 bench-trace:
 	TRACE_OUT=$(TRACE_OUT) $(GO) test -run '^TestTraceOverheadReport$$' -count=1 -v -timeout 10m .
+
+# Pacing A/B: staggered concurrent transfers unshaped vs token-bucket
+# shaped (completion-time spread must drop >= 3x), plus a VC-dispatched
+# xferman job that must run within 10% of the broker's reserved rate —
+# the live check that reservations are enforced, not advisory.
+PACED_OUT ?= BENCH_9.json
+bench-paced:
+	PACED_OUT=$(PACED_OUT) $(GO) test -run '^TestPacedReport$$' -count=1 -v -timeout 10m .

@@ -22,7 +22,9 @@ type spansDump struct {
 // decomposes end-to-end transfer time into setup and streaming terms
 // analytically, the span log records the terms directly — every span's
 // phases are contiguous and sum exactly to its wall time — so the p99
-// slowdown can be attributed phase by phase: for each operation, the
+// slowdown can be attributed phase by phase (with rate-limiter stalls
+// carved out of stream time as a virtual "throttle_wait" phase): for
+// each operation, the
 // report compares the phase profile of the p99-slowest span against
 // the per-phase medians and charges the extra time to the phases that
 // actually grew.
@@ -128,11 +130,26 @@ func reportOp(op string, spans []telemetry.SpanSnapshot) {
 }
 
 // phaseTotals sums a span's phase durations by name (a phase can recur,
-// e.g. stream/idle alternating across retries).
+// e.g. stream/idle alternating across retries). Time the span spent
+// stalled in a rate limiter is carved out of the stream phase into a
+// virtual "throttle_wait" phase, so attribution distinguishes
+// shaping-induced slowness from genuine data-path slowness. Throttle
+// waits overlap across parallel streams, so the carve is clamped to the
+// stream time actually recorded.
 func phaseTotals(sp telemetry.SpanSnapshot) map[telemetry.Phase]float64 {
 	out := make(map[telemetry.Phase]float64, len(sp.Phases))
 	for _, ph := range sp.Phases {
 		out[ph.Name] += ph.DurationSec
+	}
+	if sp.ThrottleWaitSec > 0 {
+		t := sp.ThrottleWaitSec
+		if s := out[telemetry.PhaseStream]; t > s {
+			t = s
+		}
+		if t > 0 {
+			out[telemetry.PhaseStream] -= t
+			out["throttle_wait"] += t
+		}
 	}
 	return out
 }

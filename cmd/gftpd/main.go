@@ -59,6 +59,7 @@ func main() {
 		maxObj    = flag.Int64("max-object", 0, "largest object accepted by STOR in bytes (0: default 4GiB)")
 		maxSess   = flag.Int("max-sessions", 0, "concurrent control-channel session cap; excess connections are shed with a 421 greeting (0: unlimited)")
 		pasv      = flag.String("pasv-range", "", "shared passive data port range \"lo-hi\": pre-open these listeners at startup and demultiplex data connections to transfers by token, instead of one listener per transfer (empty: per-transfer listeners)")
+		maxRate   = flag.Int64("max-rate", 0, "per-session data-plane rate cap in bits/sec, token-bucket shaped across all of a session's transfers and streams; clients may request lower via SITE RATE (0: unshaped)")
 	)
 	flag.Parse()
 	var hub *telemetry.Hub
@@ -106,6 +107,7 @@ func main() {
 		MaxObjectSize: *maxObj,
 		MaxSessions:   *maxSess,
 		PasvPortRange: *pasv,
+		MaxRateBps:    *maxRate,
 		Telemetry:     hub,
 	}
 	if *auth != "" {

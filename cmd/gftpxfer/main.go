@@ -53,6 +53,10 @@ func main() {
 		trace     = flag.Bool("trace", false, "mint a trace ID per job, propagate it to both servers (SITE TRID), the broker and the pool, and report it per result line; requires -metrics-addr")
 		tracePeer = flag.String("trace-peers", "", "comma-separated name=http://host:port telemetry bases of the servers/daemons this client talks to; /trace/<id> stitches their spans into one tree")
 
+		rate   = flag.Int64("rate", 0, "shape every job's data plane to this rate in bits/sec (0: defer to the circuit's reserved rate, then the class rate)")
+		class  = flag.String("class", "bulk", "QoS class for every job: interactive, bulk, or background")
+		bgRate = flag.Int64("background-rate", 0, "rate cap in bits/sec for background-class jobs without their own -rate (0: uncapped)")
+
 		oscars  = flag.String("oscars", "", "oscarsd reservation daemon address; enables hybrid VC/IP dispatch (optional)")
 		gap     = flag.Duration("gap", 60*time.Second, "session gap parameter g: back-to-back jobs closer than this share one session/circuit")
 		setup   = flag.Duration("vc-setup", time.Minute, "assumed VC setup delay a session must amortize")
@@ -147,6 +151,9 @@ func main() {
 		opts = append(opts, xferman.WithPool(pool))
 		fmt.Fprintf(os.Stderr, "gftpxfer: pooling control channels (idle %d/endpoint, keepalive %v)\n", *poolIdle, *keepal)
 	}
+	if *bgRate > 0 {
+		opts = append(opts, xferman.WithClassRate(xferman.ClassBackground, *bgRate))
+	}
 	m, err := xferman.New(*workers, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gftpxfer: %v\n", err)
@@ -158,6 +165,7 @@ func main() {
 	tmpl := xferman.Job{
 		MaxAttempts: *attempts, Verify: *verify, Timeout: *timeout,
 		Stream: *stream, WindowBytes: *window, NoResume: *noResume,
+		RateBps: *rate, Class: xferman.Class(*class),
 	}
 	var ids []xferman.JobID
 	if *all != "" {
@@ -199,9 +207,9 @@ func main() {
 			if sum == "" {
 				sum = "-"
 			}
-			fmt.Printf("ok   %-30s -> %-30s attempts=%d crc32=%s %v%s%s\n",
+			fmt.Printf("ok   %-30s -> %-30s attempts=%d crc32=%s %v%s%s%s\n",
 				res.Job.SrcName, res.Job.DstName, res.Attempts, sum,
-				res.Duration.Round(1e6), via(hybrid, res), traceSuffix(res))
+				res.Duration.Round(1e6), via(hybrid, res), rateSuffix(res), traceSuffix(res))
 		default:
 			failed++
 			fmt.Printf("FAIL %-30s -> %-30s attempts=%d: %s%s\n",
@@ -211,6 +219,16 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// rateSuffix renders the rate the job's data plane was shaped to; an
+// unshaped job prints nothing, keeping output byte-identical to the
+// pre-pacing tool.
+func rateSuffix(res xferman.Result) string {
+	if res.ShapedRateBps <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" rate=%dbps", res.ShapedRateBps)
 }
 
 // traceSuffix renders the job's trace ID when tracing is on; without

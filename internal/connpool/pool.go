@@ -261,10 +261,17 @@ func (c *Conn) Release() {
 	c.done = true
 	p := c.pool
 	p.lease(-1)
-	// Drop any trace binding before parking: the next checkout is a
-	// different job and must not inherit this one's trace ID. Clearing
-	// is client-side only — no bytes hit the wire.
-	_ = c.Client.SetTrace(telemetry.TraceContext{})
+	// Drop any trace binding and rate shaping before parking: the next
+	// checkout is a different job and must not inherit this one's trace
+	// ID, pacing bucket, or server-side rate. Clearing is client-side
+	// only — SITE RATE 0 goes on the wire only if this job actually
+	// engaged server-side shaping (gridftp tracks that), so unshaped
+	// channels stay byte-identical.
+	_ = c.Client.ApplyOptions(
+		gridftp.WithTransferTrace(telemetry.TraceContext{}),
+		gridftp.WithRate(0),
+		gridftp.WithLimiter(nil),
+	)
 	if c.Client.Desynced() || p.expired(c.born) {
 		p.evict(c.Client)
 		return

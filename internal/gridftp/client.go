@@ -2,6 +2,7 @@ package gridftp
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"gftpvc/internal/pacing"
 	"gftpvc/internal/telemetry"
 )
 
@@ -51,10 +53,20 @@ type Client struct {
 	met  *cliMetrics
 	sess *telemetry.Span // session-scoped span: control_dial, auth, idle, teardown
 
-	// trace is the end-to-end context bound by SetTrace; zero when
-	// tracing is off (the default), in which case nothing trace-related
-	// touches the wire.
+	// trace is the end-to-end context bound by WithTransferTrace; zero
+	// when tracing is off (the default), in which case nothing
+	// trace-related touches the wire.
 	trace telemetry.TraceContext
+
+	// Rate shaping (WithRate/WithLimiter): every transfer mints a fresh
+	// per-transfer bucket at rateBps composed with the shared aggregate
+	// limiter. rateWired tracks whether the server accepted a SITE RATE
+	// for this channel, so clearing only touches the wire when there is
+	// something to clear.
+	rateBps    int64
+	rateBurst  int64
+	aggLimiter *pacing.Limiter
+	rateWired  bool
 }
 
 // Option configures a Client at Dial time.
@@ -167,8 +179,12 @@ func (c *Client) dial(addr string) (net.Conn, error) {
 // counts wire bytes into the transfer span (a nil span counts nothing).
 // A nonzero token means the endpoint is a shared passive listener: the
 // demux routing preamble is sent first, on the raw connection so it
-// never lands in the wire-byte tally.
-func (c *Client) dataConn(addr string, token uint64, sp *telemetry.Span) (net.Conn, error) {
+// never lands in the wire-byte tally. A non-nil limiter slides a pacing
+// wrapper under the byte counter, so counted bytes are exactly the
+// rate-enforced bytes and throttle stalls land on the span; ctx bounds
+// in-flight throttle waits (buffered callers pass Background — their
+// waits are bounded by the bucket debt of one buffered write).
+func (c *Client) dataConn(ctx context.Context, addr string, token uint64, sp *telemetry.Span, lim *pacing.Limiter) (net.Conn, error) {
 	conn, err := c.dial(addr)
 	if err != nil {
 		return nil, err
@@ -179,7 +195,13 @@ func (c *Client) dataConn(addr string, token uint64, sp *telemetry.Span) (net.Co
 			return nil, err
 		}
 	}
-	return &countingConn{Conn: withIdleTimeout(conn, c.dataTimeout), span: sp}, nil
+	inner := withIdleTimeout(conn, c.dataTimeout)
+	var shaped *telemetry.Counter
+	if lim != nil {
+		inner = pacing.WrapConn(ctx, inner, lim, sp.AddThrottleWait)
+		shaped = c.met.shapedBytes()
+	}
+	return &countingConn{Conn: inner, span: sp, shaped: shaped}, nil
 }
 
 // Close terminates the session with QUIT.
@@ -305,16 +327,23 @@ func (c *Client) Noop() error {
 	return err
 }
 
-// SetTrace binds an end-to-end trace context to the session: the
+// SetTrace binds an end-to-end trace context to the session.
+//
+// Deprecated: use ApplyOptions(WithTransferTrace(tc)) — one checkout
+// call rebinds trace, deadlines, window, and rate together.
+func (c *Client) SetTrace(tc telemetry.TraceContext) error {
+	return c.setTrace(tc)
+}
+
+// setTrace binds an end-to-end trace context to the session: the
 // server is told via SITE TRID so its transfer spans and events link
 // back to the caller's span, and this client's own transfer spans are
 // tagged locally. A server that predates SITE TRID replies 500/502;
 // the client degrades silently — local spans stay tagged, the server
 // side simply contributes nothing to the trace. A zero TraceContext
 // clears the binding without touching the wire, so untraced sessions
-// remain byte-identical. Call again with a fresh context per job on
-// pooled connections.
-func (c *Client) SetTrace(tc telemetry.TraceContext) error {
+// remain byte-identical. Rebound per job on pooled connections.
+func (c *Client) setTrace(tc telemetry.TraceContext) error {
 	if tc.TraceID == "" {
 		c.trace = telemetry.TraceContext{}
 		return nil
@@ -350,6 +379,9 @@ func (c *Client) Desynced() bool { return c.desynced }
 // SetTimeouts rebinds the control and data deadlines (zero keeps the
 // current value; negative disables). A pooled connection outlives any
 // one job, so each checkout re-applies the job's own deadlines.
+//
+// Deprecated: use ApplyOptions(WithTimeouts(control, data)) — one
+// checkout call rebinds trace, deadlines, window, and rate together.
 func (c *Client) SetTimeouts(control, data time.Duration) {
 	if control != 0 {
 		c.controlTimeout = control
@@ -367,6 +399,9 @@ func (c *Client) SetTimeouts(control, data time.Duration) {
 
 // SetWindow rebinds the streaming reassembly window (see WithWindow)
 // for the jobs a pooled connection serves next.
+//
+// Deprecated: use ApplyOptions(WithTransferWindow(bytes)) — one
+// checkout call rebinds trace, deadlines, window, and rate together.
 func (c *Client) SetWindow(bytes int) error {
 	if bytes < 1 {
 		return errors.New("gridftp: window must be positive")
@@ -518,30 +553,42 @@ type TransferStats struct {
 
 // Retr fetches an object using the configured parallelism over a single
 // stripe (PASV + n connections to the same listener).
-func (c *Client) Retr(name string) ([]byte, TransferStats, error) {
+func (c *Client) Retr(name string, opts ...TransferOption) ([]byte, TransferStats, error) {
+	if err := c.applyCallOptions(opts); err != nil {
+		return nil, TransferStats{}, err
+	}
 	return c.retr(name, false, 0, -1, false)
 }
 
 // RetrStriped fetches an object in striped mode (SPAS; one connection per
 // server stripe).
-func (c *Client) RetrStriped(name string) ([]byte, TransferStats, error) {
+func (c *Client) RetrStriped(name string, opts ...TransferOption) ([]byte, TransferStats, error) {
+	if err := c.applyCallOptions(opts); err != nil {
+		return nil, TransferStats{}, err
+	}
 	return c.retr(name, true, 0, -1, false)
 }
 
 // RetrPartial fetches the byte region [offset, offset+length) of an
 // object with GridFTP's ERET extension.
-func (c *Client) RetrPartial(name string, offset, length int64) ([]byte, TransferStats, error) {
+func (c *Client) RetrPartial(name string, offset, length int64, opts ...TransferOption) ([]byte, TransferStats, error) {
 	if offset < 0 || length <= 0 {
 		return nil, TransferStats{}, errors.New("gridftp: invalid partial region")
+	}
+	if err := c.applyCallOptions(opts); err != nil {
+		return nil, TransferStats{}, err
 	}
 	return c.retr(name, false, offset, length, false)
 }
 
 // RetrFrom resumes a retrieval at offset using REST, the failure-recovery
 // path GridFTP sessions rely on.
-func (c *Client) RetrFrom(name string, offset int64) ([]byte, TransferStats, error) {
+func (c *Client) RetrFrom(name string, offset int64, opts ...TransferOption) ([]byte, TransferStats, error) {
 	if offset < 0 {
 		return nil, TransferStats{}, errors.New("gridftp: negative restart offset")
+	}
+	if err := c.applyCallOptions(opts); err != nil {
+		return nil, TransferStats{}, err
 	}
 	return c.retr(name, false, offset, -1, true)
 }
@@ -621,13 +668,14 @@ func (c *Client) retrInner(name string, striped bool, offset, length int64, rest
 	}
 	sp.SetStreams(len(addrs))
 	sp.Phase(telemetry.PhaseStream)
+	lim := c.xferLimiter()
 	var wg sync.WaitGroup
 	errs := make([]error, len(addrs))
 	for i, addr := range addrs {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			conn, err := c.dataConn(addr, token, sp)
+			conn, err := c.dataConn(context.Background(), addr, token, sp, lim)
 			if err != nil {
 				errs[i] = err
 				return
@@ -655,7 +703,10 @@ func (c *Client) retrInner(name string, striped bool, offset, length int64, rest
 }
 
 // Stor uploads an object using the configured parallelism.
-func (c *Client) Stor(name string, data []byte) (TransferStats, error) {
+func (c *Client) Stor(name string, data []byte, opts ...TransferOption) (TransferStats, error) {
+	if err := c.applyCallOptions(opts); err != nil {
+		return TransferStats{}, err
+	}
 	addr, token, err := c.passive()
 	if err != nil {
 		return TransferStats{}, err
@@ -669,7 +720,10 @@ func (c *Client) Stor(name string, data []byte) (TransferStats, error) {
 
 // StorStriped uploads an object in striped mode: one data connection per
 // server stripe (SPAS), blocks interleaved round-robin.
-func (c *Client) StorStriped(name string, data []byte) (TransferStats, error) {
+func (c *Client) StorStriped(name string, data []byte, opts ...TransferOption) (TransferStats, error) {
+	if err := c.applyCallOptions(opts); err != nil {
+		return TransferStats{}, err
+	}
 	addrs, token, err := c.stripedPassive()
 	if err != nil {
 		return TransferStats{}, err
@@ -701,6 +755,7 @@ func (c *Client) storInner(name string, data []byte, addrs []string, token uint6
 	n := len(addrs)
 	sp.SetStreams(n)
 	sp.Phase(telemetry.PhaseStream)
+	lim := c.xferLimiter()
 	const blockSize = 256 << 10
 	var wg sync.WaitGroup
 	errs := make([]error, n)
@@ -708,7 +763,7 @@ func (c *Client) storInner(name string, data []byte, addrs []string, token uint6
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			conn, err := c.dataConn(addr, token, sp)
+			conn, err := c.dataConn(context.Background(), addr, token, sp, lim)
 			if err != nil {
 				errs[i] = err
 				return

@@ -140,6 +140,19 @@ func (m *srvMetrics) transferDone(op string, code int, bytes int64, seconds floa
 	m.sizes.Observe(float64(bytes))
 }
 
+// shapedBytes resolves the counter of wire bytes that crossed a
+// pacing-shaped data connection — the enforcement layer's footprint on
+// the data plane. Nil hub (or shaping off) costs nothing: the caller
+// only asks for the counter when a session bucket exists.
+func (m *srvMetrics) shapedBytes(op string) *telemetry.Counter {
+	if m.hub == nil {
+		return nil
+	}
+	return m.hub.Counter("gridftp_shaped_bytes_total",
+		"Wire bytes moved through a rate-shaped data connection, by operation.",
+		telemetry.L("op", op))
+}
+
 // deliveredBytes records payload bytes that reached the destination
 // sink exactly once. The gap between this and the wire counter is the
 // redundant-retry traffic the paper's server-contention analysis
@@ -194,6 +207,16 @@ func (m *cliMetrics) transferDone(op string, err error, bytes int64, seconds flo
 	m.durations.Observe(seconds)
 }
 
+// shapedBytes resolves the client-side shaped-wire-bytes counter; nil
+// when telemetry is off.
+func (m *cliMetrics) shapedBytes() *telemetry.Counter {
+	if m.hub == nil {
+		return nil
+	}
+	return m.hub.Counter("gridftp_client_shaped_bytes_total",
+		"Wire bytes moved through a rate-shaped client data connection.")
+}
+
 // deliveredBytes records payload bytes the client's streaming sink
 // received exactly once (duplicates from a resumed sender excluded).
 func (m *cliMetrics) deliveredBytes(op string, n int64) {
@@ -245,6 +268,10 @@ type countingConn struct {
 	wire *atomic.Int64
 	live *telemetry.LiveCounter
 	span *telemetry.Span
+	// shaped, when non-nil, double-counts these bytes into the
+	// shaped-wire-bytes counter: the connection below is pacing-wrapped
+	// and its traffic is rate-enforced.
+	shaped *telemetry.Counter
 }
 
 func (c *countingConn) Read(p []byte) (int, error) {
@@ -268,4 +295,5 @@ func (c *countingConn) count(n int64) {
 	}
 	c.live.Add(n)
 	c.span.AddBytes(n)
+	c.shaped.Add(n)
 }

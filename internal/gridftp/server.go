@@ -2,6 +2,7 @@ package gridftp
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -13,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gftpvc/internal/pacing"
 	"gftpvc/internal/telemetry"
 	"gftpvc/internal/usagestats"
 )
@@ -73,6 +75,15 @@ type Config struct {
 	// beyond the cap are shed with a 421 greeting instead of growing the
 	// session table without bound (0 = unlimited).
 	MaxSessions int
+	// MaxRateBps caps each session's aggregate data-channel rate, in
+	// bits per second (0 = unshaped). The cap is enforced by a
+	// per-session token bucket shared across all of the session's
+	// transfers and parallel streams — including the shared passive
+	// data plane — so one session cannot exceed its allocation by
+	// opening more connections. SITE RATE lets a client request a
+	// lower session rate (e.g. the broker-reserved circuit rate); the
+	// effective rate is the request clamped by this cap.
+	MaxRateBps int64
 	// PasvPortRange, when set ("lo-hi"), switches the server from one
 	// passive listener per transfer to a pre-opened shared listener pool
 	// spanning the range; accepted data connections are demultiplexed to
@@ -183,6 +194,9 @@ func Serve(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxObjectSize < 0 {
 		return nil, errors.New("gridftp: max object size must be positive")
+	}
+	if cfg.MaxRateBps < 0 {
+		return nil, errors.New("gridftp: max rate must be >= 0")
 	}
 	switch {
 	case cfg.WindowSize == 0:
@@ -357,6 +371,39 @@ type session struct {
 	// trace is the end-to-end trace context bound by SITE TRID; transfer
 	// spans on this session link back to the sender's span through it.
 	trace telemetry.TraceContext
+	// rateBps is the session rate requested by SITE RATE (0 = none);
+	// bucket enforces the effective rate — the request clamped by
+	// Config.MaxRateBps — across every data connection the session
+	// opens. Only the session goroutine mutates these; data-path
+	// goroutines capture the bucket pointer at transfer setup.
+	rateBps int64
+	bucket  *pacing.Bucket
+}
+
+// effectiveRate resolves the session's shaping rate: the SITE RATE
+// request clamped by the server-wide cap; 0 means unshaped.
+func (sess *session) effectiveRate() int64 {
+	eff := sess.srv.cfg.MaxRateBps
+	if sess.rateBps > 0 && (eff == 0 || sess.rateBps < eff) {
+		eff = sess.rateBps
+	}
+	return eff
+}
+
+// applyRate rebinds the session bucket to the effective rate. An
+// existing bucket is re-rated in place — tokens and debt carry over, so
+// re-negotiating mid-session cannot mint a free burst — and shaping is
+// only ever dropped when no rate applies at all.
+func (sess *session) applyRate() {
+	eff := sess.effectiveRate()
+	switch {
+	case eff <= 0:
+		sess.bucket = nil
+	case sess.bucket != nil:
+		sess.bucket.SetRate(eff)
+	default:
+		sess.bucket = pacing.NewBucket(eff, 0)
+	}
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -367,6 +414,7 @@ func (s *Server) handle(conn net.Conn) {
 		w:           bufio.NewWriter(conn),
 		parallelism: 1,
 	}
+	sess.applyRate() // engage the server-wide cap before any transfer
 	s.met.sessionsTotal.Inc()
 	s.met.sessionsActive.Inc()
 	s.met.hub.Event("", "session_accepted", conn.RemoteAddr().String())
@@ -552,6 +600,19 @@ func (sess *session) cmdSite(arg string) {
 		sess.trace = tc
 		sess.srv.met.hub.Event(tc.TraceID, "trid_bound", "parent="+tc.ParentSID)
 		sess.reply(200, "trace "+tc.TraceID+" bound")
+	case "RATE":
+		bps, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		if err != nil || bps < 0 {
+			sess.reply(501, "bad rate")
+			return
+		}
+		sess.rateBps = bps
+		sess.applyRate()
+		if eff := sess.effectiveRate(); eff > 0 {
+			sess.reply(200, fmt.Sprintf("session shaped to %d bps", eff))
+		} else {
+			sess.reply(200, "session rate shaping cleared")
+		}
 	default:
 		sess.reply(500, "SITE "+sub+" not understood")
 	}
@@ -703,13 +764,29 @@ func parseHostPort(s string) (string, error) {
 func (sess *session) dataConns(tx *transferCtx) ([]net.Conn, error) {
 	met := sess.srv.met
 	dataTimeout := sess.srv.cfg.DataTimeout
+	// The session bucket (SITE RATE / Config.MaxRateBps) is shared by
+	// every connection wrapped here — the active, shared-passive, and
+	// per-transfer-listener paths all shape through this one choke
+	// point, so a session's aggregate rate holds no matter how many
+	// streams or stripes it opens.
+	var lim *pacing.Limiter
+	var shaped *telemetry.Counter
+	if b := sess.bucket; b != nil {
+		lim = pacing.NewLimiter(b)
+		shaped = met.shapedBytes(tx.op)
+	}
 	wrap := func(c net.Conn, stripe string) net.Conn {
 		met.dataConns.Inc()
+		inner := withIdleTimeout(c, dataTimeout)
+		if lim != nil {
+			inner = pacing.WrapConn(context.Background(), inner, lim, tx.span.AddThrottleWait)
+		}
 		return &countingConn{
-			Conn: withIdleTimeout(c, dataTimeout),
-			wire: &tx.wire,
-			live: met.hub.LiveCounter(stripe),
-			span: tx.span,
+			Conn:   inner,
+			wire:   &tx.wire,
+			live:   met.hub.LiveCounter(stripe),
+			span:   tx.span,
+			shaped: shaped,
 		}
 	}
 	if sess.activeAddr != "" {

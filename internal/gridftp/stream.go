@@ -93,13 +93,16 @@ func firstError(ctx context.Context, errs []error) error {
 // payload count in WireBytes even when the transfer fails — the
 // delivered watermark (offset + Bytes) is the REST offset a
 // resume-aware retry restarts from.
-func (c *Client) RetrTo(ctx context.Context, name string, w io.Writer) (TransferStats, error) {
-	return c.RetrToAt(ctx, name, w, 0)
+func (c *Client) RetrTo(ctx context.Context, name string, w io.Writer, opts ...TransferOption) (TransferStats, error) {
+	return c.RetrToAt(ctx, name, w, 0, opts...)
 }
 
 // RetrToAt is RetrTo resuming at a byte offset: REST is issued and w
 // receives the object's bytes from offset onward.
-func (c *Client) RetrToAt(ctx context.Context, name string, w io.Writer, offset int64) (TransferStats, error) {
+func (c *Client) RetrToAt(ctx context.Context, name string, w io.Writer, offset int64, opts ...TransferOption) (TransferStats, error) {
+	if err := c.applyCallOptions(opts); err != nil {
+		return TransferStats{}, err
+	}
 	const op = "retr_stream"
 	sp := c.hub.Span(op, name, telemetry.PhaseSetup)
 	c.tagTransferSpan(sp)
@@ -150,6 +153,7 @@ func (c *Client) retrToInner(ctx context.Context, name string, w io.Writer, offs
 	n := c.parallelism
 	sp.SetStreams(n)
 	sp.Phase(telemetry.PhaseStream)
+	lim := c.xferLimiter()
 	set := &connSet{}
 	stop := watchCtx(ctx, set, asm.Abort)
 	var wg sync.WaitGroup
@@ -158,7 +162,7 @@ func (c *Client) retrToInner(ctx context.Context, name string, w io.Writer, offs
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			conn, err := c.dataConn(addr, token, sp)
+			conn, err := c.dataConn(ctx, addr, token, sp, lim)
 			if err != nil {
 				errs[i] = err
 				asm.Abort(err)
@@ -196,14 +200,17 @@ func (c *Client) retrToInner(ctx context.Context, name string, w io.Writer, offs
 // StorFrom uploads size bytes read from r (size < 0 when unknown; it
 // is informational only). Memory stays bounded at a few MODE E blocks
 // per stream regardless of object size.
-func (c *Client) StorFrom(ctx context.Context, name string, r io.Reader, size int64) (TransferStats, error) {
-	return c.StorFromAt(ctx, name, r, 0, size)
+func (c *Client) StorFrom(ctx context.Context, name string, r io.Reader, size int64, opts ...TransferOption) (TransferStats, error) {
+	return c.StorFromAt(ctx, name, r, 0, size, opts...)
 }
 
 // StorFromAt is StorFrom resuming at a byte offset: REST is issued and
 // r must supply the object's bytes from offset onward — the windowed
 // receiver appends them to its partial object.
-func (c *Client) StorFromAt(ctx context.Context, name string, r io.Reader, offset, size int64) (TransferStats, error) {
+func (c *Client) StorFromAt(ctx context.Context, name string, r io.Reader, offset, size int64, opts ...TransferOption) (TransferStats, error) {
+	if err := c.applyCallOptions(opts); err != nil {
+		return TransferStats{}, err
+	}
 	const op = "stor_stream"
 	sp := c.hub.Span(op, name, telemetry.PhaseSetup)
 	c.tagTransferSpan(sp)
@@ -249,6 +256,7 @@ func (c *Client) storFromInner(ctx context.Context, name string, r io.Reader, of
 	n := c.parallelism
 	sp.SetStreams(n)
 	sp.Phase(telemetry.PhaseStream)
+	lim := c.xferLimiter()
 	// Upload blocks must fit inside the receiver's reassembly window
 	// (a block larger than the window is a protocol error there), so
 	// the chunk size follows the client's own window setting: a peer
@@ -316,7 +324,7 @@ func (c *Client) storFromInner(ctx context.Context, name string, r io.Reader, of
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			conn, err := c.dataConn(addr, token, sp)
+			conn, err := c.dataConn(ctx, addr, token, sp, lim)
 			if err != nil {
 				errs[i] = err
 				stopSend()

@@ -1,0 +1,80 @@
+package pacing
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzBucketRefill drives a bucket through an arbitrary schedule of
+// takes, refunds, and clock advances, checking it against an
+// independent conservation oracle: over any schedule, the bytes a
+// bucket grants without a wait can never exceed its burst plus what the
+// clock has earned at the configured rate; computed waits are never
+// negative; and tokens never exceed the burst.
+func FuzzBucketRefill(f *testing.F) {
+	f.Add([]byte{10, 200, 3, 50, 0, 255})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 1, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const (
+			rate  = 8e6     // 1 MB/s
+			burst = 8 << 10 // 8 KiB
+		)
+		clk := newFakeClock()
+		b := newBucketAt(rate, burst, clk.now)
+
+		var (
+			elapsed  time.Duration // total simulated time
+			granted  int64         // bytes taken
+			refunded int64         // bytes given back
+		)
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%4, int64(ops[i+1])
+			switch op {
+			case 0: // advance the clock up to ~25 ms
+				d := time.Duration(arg) * 100 * time.Microsecond
+				clk.advance(d)
+				elapsed += d
+			case 1: // take up to ~16 KiB (can exceed burst)
+				n := (arg + 1) * 64
+				d := b.take(n)
+				if d < 0 {
+					t.Fatalf("op %d: negative wait %v", i, d)
+				}
+				granted += n
+				// Sleeping is modeled by advancing the clock by the debt.
+				clk.advance(d)
+				elapsed += d
+			case 2: // refund up to ~16 KiB
+				n := (arg + 1) * 64
+				b.refund(n)
+				refunded += n
+			case 3: // re-rate; oracle below only bounds with the max rate,
+				// so keep the rate fixed for a tight invariant and use
+				// this op to exercise the settle path at the same rate.
+				b.SetRate(rate)
+			}
+
+			b.mu.Lock()
+			tokens := b.tokens
+			b.mu.Unlock()
+			if max := float64(burst); tokens > max+1e-6 {
+				t.Fatalf("op %d: tokens %.1f exceed burst %d", i, tokens, burst)
+			}
+			// Conservation: everything granted must be covered by the
+			// initial burst, the refill the elapsed time earned, refunds,
+			// and the debt still carried (negative tokens). The refill
+			// and refund terms over-credit (both cap at burst), so this
+			// is a one-sided bound: granted can never exceed it.
+			earned := float64(burst) + elapsed.Seconds()*rate/8 + float64(refunded)
+			debt := 0.0
+			if tokens < 0 {
+				debt = -tokens
+			}
+			if float64(granted) > earned+debt+1e-3 {
+				t.Fatalf("op %d: granted %d bytes > earned %.1f + debt %.1f (over-issue)",
+					i, granted, earned, debt)
+			}
+		}
+	})
+}

@@ -42,21 +42,29 @@ type PhaseSnapshot struct {
 // TimelineBinMS-wide bins from span start, filled by AddBytes on the
 // counting data connections.
 type SpanSnapshot struct {
-	ID            uint64          `json:"id"`
-	Op            string          `json:"op"`
-	Target        string          `json:"target,omitempty"`
-	TraceID       string          `json:"trace_id,omitempty"`
-	SID           string          `json:"sid,omitempty"`
-	ParentSID     string          `json:"parent_sid,omitempty"`
-	Start         time.Time       `json:"start"`
-	StartSec      float64         `json:"start_sec"`
-	DurationSec   float64         `json:"duration_sec"`
-	Bytes         int64           `json:"bytes"`
-	Streams       int             `json:"streams,omitempty"`
-	Err           string          `json:"error,omitempty"`
-	Phases        []PhaseSnapshot `json:"phases"`
-	TimelineBinMS int64           `json:"timeline_bin_ms,omitempty"`
-	TimelineBytes []int64         `json:"timeline_bytes,omitempty"`
+	ID          uint64    `json:"id"`
+	Op          string    `json:"op"`
+	Target      string    `json:"target,omitempty"`
+	TraceID     string    `json:"trace_id,omitempty"`
+	SID         string    `json:"sid,omitempty"`
+	ParentSID   string    `json:"parent_sid,omitempty"`
+	Start       time.Time `json:"start"`
+	StartSec    float64   `json:"start_sec"`
+	DurationSec float64   `json:"duration_sec"`
+	Bytes       int64     `json:"bytes"`
+	Streams     int       `json:"streams,omitempty"`
+	Err         string    `json:"error,omitempty"`
+	// ThrottleWaitSec is the cumulative time the span's data
+	// connections spent stalled in a pacing limiter. It is not a phase:
+	// throttle waits happen concurrently inside the stream phase across
+	// parallel connections (and can sum past wall time), while phases
+	// are contiguous and sum exactly to it. Variance attribution
+	// (gftpanalyze -spans) carves a virtual throttle_wait phase out of
+	// stream from this figure.
+	ThrottleWaitSec float64         `json:"throttle_wait_sec,omitempty"`
+	Phases          []PhaseSnapshot `json:"phases"`
+	TimelineBinMS   int64           `json:"timeline_bin_ms,omitempty"`
+	TimelineBytes   []int64         `json:"timeline_bytes,omitempty"`
 }
 
 // Timeline geometry: AddBytes buckets wire bytes into 100 ms bins from
@@ -128,6 +136,19 @@ func (s *Span) AddBytes(n int64) {
 			make([]int64, bin+1-len(s.snap.TimelineBytes))...)
 	}
 	s.snap.TimelineBytes[bin] += n
+	s.mu.Unlock()
+}
+
+// AddThrottleWait accumulates time a data connection spent stalled in
+// a pacing limiter on behalf of this span. Concurrent data-path
+// goroutines each report their own stalls; the sum may exceed wall
+// time.
+func (s *Span) AddThrottleWait(d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.snap.ThrottleWaitSec += d.Seconds()
 	s.mu.Unlock()
 }
 

@@ -51,6 +51,11 @@ type Disposition struct {
 	// SetupWait is the control-plane time this job spent waiting on
 	// reservation RPCs (zero when the session already held a circuit).
 	SetupWait time.Duration
+	// RateBps is the circuit's reserved rate in bits per second when
+	// Service is ServiceVC (zero otherwise). The enforcement layer
+	// (xferman's pacing) shapes the job's data plane to it, so the
+	// reservation is a wire-level fact rather than an advisory booking.
+	RateBps float64
 	// Fallback explains an IP verdict that wanted a circuit: an
 	// admission reject, a dead daemon, or a mid-session circuit loss.
 	// Empty when the session was simply too short to amortize setup.
@@ -159,6 +164,13 @@ type session struct {
 	circuit  *circuitState
 	fallback string // sticky IP reason after a failed circuit attempt
 	closed   bool
+
+	// watchers are the in-flight leases that asked to hear about
+	// circuit re-rates (Lease.OnRateChange): when a later job's
+	// extension re-books the circuit at a new rate, every watcher's
+	// live pacing bucket is re-filled instead of the new rate applying
+	// only to the next attempt.
+	watchers map[*Lease]func(rateBps float64)
 
 	timer *time.Timer
 }
@@ -360,6 +372,25 @@ func (l *Lease) Disposition() Disposition {
 	return l.disp
 }
 
+// OnRateChange registers fn to be called (each time on a fresh
+// goroutine) when a later extension re-books this lease's circuit at a
+// different rate — the live half of the Modify path, letting an
+// in-flight job re-fill its pacing bucket instead of finishing at the
+// stale rate. No-op on nil or IP-disposition leases; the registration
+// is dropped when the lease Ends.
+func (l *Lease) OnRateChange(fn func(rateBps float64)) {
+	if l == nil || fn == nil || l.disp.Service != ServiceVC {
+		return
+	}
+	s := l.s
+	s.mu.Lock()
+	if s.watchers == nil {
+		s.watchers = make(map[*Lease]func(float64))
+	}
+	s.watchers[l] = fn
+	s.mu.Unlock()
+}
+
 // End marks the job finished, feeding the observed byte count and
 // duration into the pair's throughput estimate and the session's gap
 // clock. Safe to call at most once; extra calls are ignored.
@@ -371,6 +402,7 @@ func (l *Lease) End(bytes int64, d time.Duration) {
 		l.b.observe(l.s.key, bytes, d)
 		s := l.s
 		s.mu.Lock()
+		delete(s.watchers, l)
 		s.active--
 		s.bytes += bytes
 		now := time.Now()
@@ -413,7 +445,11 @@ func (b *Broker) Begin(ctx context.Context, srcAddr, dstAddr string, sizeHint in
 	case s.circuit != nil:
 		b.extendLocked(ctx, s, sizeHint)
 		if s.circuit != nil {
-			disp = Disposition{Service: ServiceVC, CircuitID: s.circuit.id}
+			disp = Disposition{
+				Service:   ServiceVC,
+				CircuitID: s.circuit.id,
+				RateBps:   s.circuit.rateBps,
+			}
 		} else {
 			disp.Fallback = s.fallback
 		}
@@ -426,6 +462,7 @@ func (b *Broker) Begin(ctx context.Context, srcAddr, dstAddr string, sizeHint in
 				Service:   ServiceVC,
 				CircuitID: s.circuit.id,
 				SetupWait: s.circuit.setupWait,
+				RateBps:   s.circuit.rateBps,
 			}
 		} else {
 			disp.Fallback = s.fallback
@@ -560,9 +597,17 @@ func (b *Broker) extendLocked(ctx context.Context, s *session, sizeHint int64) {
 	})
 	switch {
 	case err == nil:
+		old := s.circuit.rateBps
 		s.circuit.endSvc = end
 		s.circuit.rateBps = rate
 		b.met.extended.Inc()
+		if rate != old {
+			// Re-rate in-flight jobs. Fired on fresh goroutines: s.mu is
+			// held here and a watcher may call back into the lease.
+			for _, fn := range s.watchers {
+				go fn(rate)
+			}
+		}
 	case errors.Is(err, vc.ErrRejected):
 		// Extension refused but the old booking survives server-side:
 		// ride the circuit until it expires.

@@ -392,3 +392,52 @@ func TestConcurrentJobsRaceClean(t *testing.T) {
 		t.Fatalf("bandwidth leaked after broker close: %v", err)
 	}
 }
+
+// TestLeaseRateChangeWatcher: an in-flight VC lease that registered
+// OnRateChange hears about a later extension re-booking the circuit at
+// a new rate, and the registration dies with the lease.
+func TestLeaseRateChangeWatcher(t *testing.T) {
+	srv := startDaemon(t, 0.8)
+	c := dialClient(t, srv.Addr())
+	cfg := testConfig(nil)
+	cfg.MaxRateBps = 1600e6 // leave EWMA headroom above the 800 Mbps floor
+	b := newBroker(t, c, cfg)
+	ctx := context.Background()
+
+	// First job reserves at the floor (no EWMA yet) and stays in flight.
+	l1 := b.Begin(ctx, "src:1", "dst:1", qualifying)
+	d1 := l1.Disposition()
+	if d1.Service != ServiceVC || d1.RateBps != 800e6 {
+		t.Fatalf("first lease: %+v, want VC at 800e6", d1)
+	}
+	rated := make(chan float64, 4)
+	l1.OnRateChange(func(bps float64) { rated <- bps })
+
+	// A fast sibling job moves the pair's EWMA far above the ceiling.
+	l2 := b.Begin(ctx, "src:1", "dst:1", qualifying)
+	l2.End(qualifying, 500*time.Millisecond) // ~17 Gbps observed
+
+	// The next job's hint forces a Modify, re-booking at the clamped
+	// EWMA rate — the in-flight l1 must hear about it.
+	l3 := b.Begin(ctx, "src:1", "dst:1", 20*qualifying)
+	if d3 := l3.Disposition(); d3.RateBps != 1600e6 {
+		t.Fatalf("extended lease rate = %v, want 1600e6", d3.RateBps)
+	}
+	select {
+	case bps := <-rated:
+		if bps != 1600e6 {
+			t.Fatalf("watcher fired with %v, want 1600e6", bps)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("rate-change watcher never fired")
+	}
+	l3.End(qualifying, time.Second)
+	l1.End(qualifying, 10*time.Second)
+
+	// OnRateChange is a no-op on nil and IP-disposition leases.
+	var nilLease *Lease
+	nilLease.OnRateChange(func(float64) { t.Error("nil lease fired") })
+	ip := b.Begin(ctx, "other:1", "elsewhere:1", 1<<20)
+	ip.OnRateChange(func(float64) { t.Error("ip lease fired") })
+	ip.End(1<<20, 10*time.Millisecond)
+}

@@ -1,0 +1,179 @@
+package xferman
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gftpvc/internal/gridftp"
+	"gftpvc/internal/oscarsd"
+	"gftpvc/internal/telemetry"
+	"gftpvc/internal/vc"
+	"gftpvc/internal/vc/broker"
+)
+
+// shapedEnough asserts a transfer of n bytes at rateBps took at least
+// half its ideal duration — loose enough to never flake, tight enough
+// that an unshaped loopback transfer cannot pass.
+func shapedEnough(t *testing.T, what string, n int64, rateBps int64, elapsed time.Duration) {
+	t.Helper()
+	ideal := time.Duration(float64(n) * 8 / float64(rateBps) * float64(time.Second))
+	if elapsed < ideal/2 {
+		t.Fatalf("%s: %d bytes at %d bps took %v, want >= %v (shaping not engaged?)",
+			what, n, rateBps, elapsed, ideal/2)
+	}
+}
+
+func runJob(t *testing.T, m *Manager, job Job) Result {
+	t.Helper()
+	id, err := m.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Succeeded {
+		t.Fatalf("job failed: %s", res.Err)
+	}
+	return res
+}
+
+// TestClassRateShapesJob: the class rate table shapes a background
+// streaming job, the default bulk class runs unshaped, and a job's own
+// RateBps pin wins over its class rate.
+func TestClassRateShapesJob(t *testing.T) {
+	const classRate = 160e6 // 20 MB/s
+	srcStore := gridftp.NewMemStore()
+	srcStore.Put("data.bin", payload(2<<20))
+	src := serve(t, srcStore)
+	dst := serve(t, gridftp.NewMemStore())
+	hub := telemetry.NewHub()
+	m, err := New(2, WithTelemetry(hub), WithClassRate(ClassBackground, classRate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	base := Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "data.bin", DstName: "copy.bin", Stream: true,
+	}
+
+	bg := base
+	bg.Class = ClassBackground
+	start := time.Now()
+	res := runJob(t, m, bg)
+	shapedEnough(t, "background job", 2<<20, classRate, time.Since(start))
+	if res.ShapedRateBps != classRate {
+		t.Fatalf("ShapedRateBps = %d, want %d", res.ShapedRateBps, int64(classRate))
+	}
+
+	// Default (bulk) class: no class rate configured, runs unshaped.
+	if res := runJob(t, m, base); res.ShapedRateBps != 0 {
+		t.Fatalf("bulk job ShapedRateBps = %d, want 0", res.ShapedRateBps)
+	}
+
+	// The job's own pin wins over its class.
+	pinned := bg
+	pinned.DstName = "copy2.bin"
+	pinned.RateBps = 2 * classRate
+	if res := runJob(t, m, pinned); res.ShapedRateBps != 2*classRate {
+		t.Fatalf("pinned ShapedRateBps = %d, want %d", res.ShapedRateBps, int64(2*classRate))
+	}
+
+	if n := hub.Counter("xferman_paced_jobs_total",
+		"Jobs whose data plane was rate-shaped, by QoS class.",
+		telemetry.L("class", "background")).Value(); n != 2 {
+		t.Fatalf("xferman_paced_jobs_total(background) = %d, want 2", n)
+	}
+}
+
+// TestThirdPartyRateShapesSource: a third-party job (the manager never
+// touches the data) is shaped by asking the source server to pace its
+// session via SITE RATE.
+func TestThirdPartyRateShapesSource(t *testing.T) {
+	const rate = 160e6
+	srcStore := gridftp.NewMemStore()
+	srcStore.Put("data.bin", payload(2<<20))
+	src := serve(t, srcStore)
+	dst := serve(t, gridftp.NewMemStore())
+	m, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	start := time.Now()
+	res := runJob(t, m, Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "data.bin", DstName: "copy.bin",
+		RateBps: rate, Verify: true,
+	})
+	shapedEnough(t, "third-party job", 2<<20, rate, time.Since(start))
+	if res.ShapedRateBps != rate {
+		t.Fatalf("ShapedRateBps = %d, want %d", res.ShapedRateBps, int64(rate))
+	}
+}
+
+// TestVCJobShapedToReservedRate: a job dispatched onto a reserved
+// circuit is automatically paced to the broker's reserved rate — the
+// reservation becomes a wire-level fact, not an advisory booking.
+func TestVCJobShapedToReservedRate(t *testing.T) {
+	const reserved = 80e6 // 10 MB/s; Min == Max pins the clamp
+	osc, err := oscarsd.Start(oscarsd.Config{
+		Addr: "127.0.0.1:0", Scenario: "nersc-ornl", ReservableFraction: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer osc.Close()
+	vcc, err := vc.Dial(context.Background(), osc.Addr(), vc.WithCallTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vcc.Close()
+	bk, err := broker.New(vcc, broker.Config{
+		Gap:             150 * time.Millisecond,
+		SetupDelay:      10 * time.Millisecond,
+		OverheadFactor:  2,
+		MinRateBps:      reserved,
+		MaxRateBps:      reserved,
+		HoldSlack:       time.Second,
+		DecisionTimeout: time.Second,
+		Route:           broker.StaticRoute("nersc-ornl-dtn-src", "nersc-ornl-dtn-dst"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bk.Close()
+
+	srcStore := gridftp.NewMemStore()
+	srcStore.Put("data.bin", payload(2<<20))
+	src := serve(t, srcStore)
+	dst := serve(t, gridftp.NewMemStore())
+	m, err := New(1, WithBroker(bk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	start := time.Now()
+	res := runJob(t, m, Job{
+		Src: ep(src), Dst: ep(dst),
+		SrcName: "data.bin", DstName: "copy.bin",
+		Stream:   true,
+		SizeHint: 256 << 20, // force a circuit; the actual object is 2 MiB
+	})
+	elapsed := time.Since(start)
+	if res.Circuit.Service != broker.ServiceVC {
+		t.Fatalf("job not dispatched onto a circuit: %+v", res.Circuit)
+	}
+	if res.Circuit.RateBps != reserved {
+		t.Fatalf("disposition RateBps = %v, want %v", res.Circuit.RateBps, float64(reserved))
+	}
+	if res.ShapedRateBps != reserved {
+		t.Fatalf("ShapedRateBps = %d, want %d", res.ShapedRateBps, int64(reserved))
+	}
+	shapedEnough(t, "VC job", 2<<20, reserved, elapsed)
+}

@@ -30,6 +30,7 @@ import (
 
 	"gftpvc/internal/connpool"
 	"gftpvc/internal/gridftp"
+	"gftpvc/internal/pacing"
 	"gftpvc/internal/telemetry"
 	"gftpvc/internal/vc/broker"
 )
@@ -47,6 +48,30 @@ type Endpoint struct {
 	Addr string
 	User string
 	Pass string
+}
+
+// Class is a job's QoS class: the key into the manager's class rate
+// table, consulted when neither the job's own RateBps nor a broker
+// circuit reservation pins a rate. Classes let operators deprioritize
+// background traffic (mirror syncs, prefetches) without touching each
+// job: one WithClassRate(ClassBackground, ...) caps the whole tier.
+type Class string
+
+const (
+	// ClassInteractive: latency-sensitive jobs a user is waiting on.
+	ClassInteractive Class = "interactive"
+	// ClassBulk: ordinary transfers; the default when Job.Class is empty.
+	ClassBulk Class = "bulk"
+	// ClassBackground: deprioritized jobs that should yield bandwidth.
+	ClassBackground Class = "background"
+)
+
+func (c Class) valid() bool {
+	switch c {
+	case ClassInteractive, ClassBulk, ClassBackground:
+		return true
+	}
+	return false
 }
 
 // Job is one requested transfer: move SrcName on Src to DstName on Dst.
@@ -86,6 +111,14 @@ type Job struct {
 	// RetryBackoffMax. Defaults: 200ms base, 5s cap.
 	RetryBackoff    time.Duration
 	RetryBackoffMax time.Duration
+	// RateBps caps this job's data plane at a fixed rate in bits per
+	// second. Zero defers to the broker's reserved circuit rate (the
+	// paper's Eq. 2 point: a reservation only predicts transfer time if
+	// the transfer actually runs at the reserved rate) and then to the
+	// manager's class rate table; see Class.
+	RateBps int64
+	// Class is the job's QoS class (default ClassBulk).
+	Class Class
 }
 
 func (j *Job) normalize() error {
@@ -118,6 +151,15 @@ func (j *Job) normalize() error {
 	}
 	if j.RetryBackoffMax == 0 {
 		j.RetryBackoffMax = 5 * time.Second
+	}
+	if j.RateBps < 0 {
+		return errors.New("xferman: RateBps must be >= 0")
+	}
+	if j.Class == "" {
+		j.Class = ClassBulk
+	}
+	if !j.Class.valid() {
+		return fmt.Errorf("xferman: unknown class %q", j.Class)
 	}
 	return nil
 }
@@ -207,6 +249,10 @@ type Result struct {
 	// WithTracing — the key for /trace/<id> on every instrumented
 	// process this job touched. Empty when tracing is off.
 	TraceID string
+	// ShapedRateBps is the rate the job's data plane was shaped to, in
+	// bits per second: Job.RateBps, else the broker's reserved circuit
+	// rate, else the class rate. Zero means the job ran unshaped.
+	ShapedRateBps int64
 }
 
 type tracked struct {
@@ -227,11 +273,12 @@ type Manager struct {
 	wg     sync.WaitGroup
 	closed bool
 
-	hub     *telemetry.Hub
-	broker  *broker.Broker
-	pool    *connpool.Pool
-	tracing bool
-	met     xmMetrics
+	hub        *telemetry.Hub
+	broker     *broker.Broker
+	pool       *connpool.Pool
+	tracing    bool
+	classRates map[Class]int64
+	met        xmMetrics
 }
 
 // xmMetrics is the manager's instrument set. With a nil hub every
@@ -291,6 +338,19 @@ func WithBroker(b *broker.Broker) Option {
 // nothing trace-related on any wire, keeping output byte-identical.
 func WithTracing() Option {
 	return func(m *Manager) { m.tracing = true }
+}
+
+// WithClassRate caps every job of the given class at rateBps bits per
+// second, unless the job pins its own RateBps or rides a circuit with a
+// reserved rate (both of which win). The usual deployment shapes only
+// ClassBackground, leaving interactive and bulk traffic free-running.
+func WithClassRate(class Class, rateBps int64) Option {
+	return func(m *Manager) {
+		if m.classRates == nil {
+			m.classRates = make(map[Class]int64)
+		}
+		m.classRates[class] = rateBps
+	}
 }
 
 // New starts a manager with the given number of workers.
@@ -475,6 +535,7 @@ func (m *Manager) worker() {
 		tr.result.WireBytes = out.wire
 		tr.result.Circuit = out.circuit
 		tr.result.TraceID = out.trace
+		tr.result.ShapedRateBps = out.shapedRate
 		if out.err != nil {
 			tr.result.Status = Failed
 			tr.result.Err = out.err.Error()
@@ -491,6 +552,11 @@ func (m *Manager) worker() {
 			m.hub.Counter("xferman_jobs_completed_total",
 				"Jobs finished, by final status.",
 				telemetry.L("status", status.String())).Inc()
+			if out.shapedRate > 0 {
+				m.hub.Counter("xferman_paced_jobs_total",
+					"Jobs whose data plane was rate-shaped, by QoS class.",
+					telemetry.L("class", string(job.Class))).Inc()
+			}
 		}
 		close(tr.done)
 	}
@@ -502,12 +568,13 @@ type outcome struct {
 	bytes    int64
 	// wire is payload pushed toward the destination across all
 	// attempts, duplicates included; delivered is what durably landed.
-	wire      int64
-	delivered int64
-	circuit   broker.Disposition
-	attempts  int
-	trace     string
-	err       error
+	wire       int64
+	delivered  int64
+	circuit    broker.Disposition
+	shapedRate int64
+	attempts   int
+	trace      string
+	err        error
 }
 
 // attemptOut is one attempt's report back to the retry loop.
@@ -516,6 +583,9 @@ type attemptOut struct {
 	bytes    int64 // object size, when learned
 	moved    int64 // payload this attempt pushed (exact for streaming, else -1)
 	circuit  broker.Disposition
+	// shapedRate is the rate this attempt's data plane was shaped to
+	// (bits per second; zero when unshaped).
+	shapedRate int64
 	// dstEngaged: the destination accepted this attempt's STOR, so the
 	// object under DstName now reflects this job's own transfer (the
 	// windowed server truncates it to the restart base on acceptance)
@@ -596,23 +666,30 @@ func (m *Manager) checkout(ctx context.Context, ep Endpoint, job Job, opts []gri
 		if err != nil {
 			return nil, nil, err
 		}
-		// A pooled channel keeps the deadlines of whoever used it last;
-		// rebind them to this job's (falling back to the client
-		// defaults, which a fresh Dial would have applied).
+		// A pooled channel keeps the transfer state of whoever used it
+		// last; one ApplyOptions call rebinds deadlines, window, and
+		// trace to this job's (falling back to the client defaults,
+		// which a fresh Dial would have applied). Rate shaping is NOT
+		// bound here — it depends on the broker's disposition, which the
+		// attempt only learns after checkout.
 		ctl, data := gridftp.DefaultControlTimeout, gridftp.DefaultDataTimeout
 		if job.Timeout > 0 {
 			ctl, data = job.Timeout, job.Timeout
 		}
-		pc.SetTimeouts(ctl, data)
+		topts := []gridftp.TransferOption{gridftp.WithTimeouts(ctl, data)}
 		if job.Stream {
 			w := job.WindowBytes
 			if w <= 0 {
 				w = gridftp.DefaultWindowSize
 			}
-			if err := pc.SetWindow(w); err != nil {
-				pc.Discard()
-				return nil, nil, err
-			}
+			topts = append(topts, gridftp.WithTransferWindow(w))
+		}
+		if tc, ok := telemetry.TraceFrom(ctx); ok {
+			topts = append(topts, gridftp.WithTransferTrace(tc))
+		}
+		if err := pc.ApplyOptions(topts...); err != nil {
+			pc.Discard()
+			return nil, nil, err
 		}
 		return pc.Client, func(err error) {
 			if err != nil {
@@ -629,6 +706,11 @@ func (m *Manager) checkout(ctx context.Context, ep Endpoint, job Job, opts []gri
 	if err := c.Login(ep.User, ep.Pass); err != nil {
 		c.Close()
 		return nil, nil, err
+	}
+	if tc, ok := telemetry.TraceFrom(ctx); ok {
+		// Best-effort: an old server that rejects SITE TRID still moves
+		// the bytes, it just doesn't show up in the stitched trace.
+		_ = c.ApplyOptions(gridftp.WithTransferTrace(tc))
 	}
 	return c, func(error) { c.Close() }, nil
 }
@@ -709,6 +791,7 @@ func (m *Manager) executeJob(ctx context.Context, job Job, jobSpan *telemetry.Sp
 		jobSpan.Phase(telemetry.PhaseStream)
 		at := m.attempt(ctx, job, resumeFrom)
 		out.checksum, out.circuit, out.err = at.checksum, at.circuit, at.err
+		out.shapedRate = at.shapedRate
 		if at.bytes > 0 {
 			out.bytes = at.bytes
 		}
@@ -783,12 +866,6 @@ func (m *Manager) attempt(ctx context.Context, job Job, resumeFrom int64) attemp
 		return out
 	}
 	defer func() { dstFinish(out.err) }()
-	if tc, ok := telemetry.TraceFrom(ctx); ok {
-		// Best-effort: an old server that rejects SITE TRID still moves
-		// the bytes, it just doesn't show up in the stitched trace.
-		_ = src.SetTrace(tc)
-		_ = dst.SetTrace(tc)
-	}
 	out.bytes = job.SizeHint
 	if out.bytes <= 0 && (m.broker != nil || job.Stream || !job.NoResume) {
 		// The broker sizes circuits from bytes, the streaming relay
@@ -801,9 +878,35 @@ func (m *Manager) attempt(ctx context.Context, job Job, resumeFrom int64) attemp
 	}
 	lease := m.broker.Begin(ctx, job.Src.Addr, job.Dst.Addr, out.bytes)
 	out.circuit = lease.Disposition()
+	// Resolve the rate this attempt's data plane is shaped to and wire
+	// the enforcement in. A VC job is shaped to the broker's reserved
+	// rate automatically — the reservation becomes a wire-level fact —
+	// unless the job pins its own RateBps; otherwise the class table
+	// applies. Streaming jobs pace locally (the STOR leg's bucket
+	// backpressures the RETR leg through the pipe) and re-fill the
+	// bucket live when a later extension re-books the circuit at a new
+	// rate. Third-party jobs never touch the data, so the source server
+	// is asked to shape its session instead (SITE RATE).
+	out.shapedRate = m.rateFor(job, out.circuit)
+	var lim *pacing.Limiter
+	if out.shapedRate > 0 {
+		if job.Stream {
+			b := pacing.NewBucket(out.shapedRate, 0)
+			lease.OnRateChange(func(bps float64) {
+				if bps > 0 {
+					b.SetRate(int64(bps))
+				}
+			})
+			lim = pacing.NewLimiter(b)
+		} else if aerr := src.ApplyOptions(gridftp.WithRate(out.shapedRate)); aerr != nil {
+			lease.End(0, 0)
+			out.err = fmt.Errorf("shape src: %w", aerr)
+			return out
+		}
+	}
 	xferStart := time.Now()
 	if job.Stream {
-		out.moved, out.dstEngaged, err = m.streamRelay(ctx, src, dst, job, resumeFrom, out.bytes)
+		out.moved, out.dstEngaged, err = m.streamRelay(ctx, src, dst, job, resumeFrom, out.bytes, lim)
 	} else {
 		out.dstEngaged, err = gridftp.ThirdPartyFrom(src, dst, job.SrcName, job.DstName, resumeFrom)
 	}
@@ -834,6 +937,19 @@ func (m *Manager) attempt(ctx context.Context, job Job, resumeFrom int64) attemp
 	return out
 }
 
+// rateFor resolves one attempt's shaping rate: the job's own pin, else
+// the broker's reserved circuit rate, else the class table (zero means
+// unshaped — the default for every class without a configured rate).
+func (m *Manager) rateFor(job Job, disp broker.Disposition) int64 {
+	if job.RateBps > 0 {
+		return job.RateBps
+	}
+	if disp.Service == broker.ServiceVC && disp.RateBps > 0 {
+		return int64(disp.RateBps)
+	}
+	return m.classRates[job.Class]
+}
+
 // streamRelay moves srcName through this process: a streaming RETR
 // feeds an io.Pipe that a streaming STOR drains, both restarting at
 // base. Memory is bounded by the client window on the read side and a
@@ -841,7 +957,7 @@ func (m *Manager) attempt(ctx context.Context, job Job, resumeFrom int64) attemp
 // (duplicates included), which is exact even on failure, plus whether
 // dst accepted the STOR — the precondition for trusting its SIZE as
 // this job's watermark on the next attempt.
-func (m *Manager) streamRelay(ctx context.Context, src, dst *gridftp.Client, job Job, base, size int64) (int64, bool, error) {
+func (m *Manager) streamRelay(ctx context.Context, src, dst *gridftp.Client, job Job, base, size int64, lim *pacing.Limiter) (int64, bool, error) {
 	pr, pw := io.Pipe()
 	region := int64(-1)
 	if size > 0 {
@@ -853,7 +969,9 @@ func (m *Manager) streamRelay(ctx context.Context, src, dst *gridftp.Client, job
 	}
 	done := make(chan storDone, 1)
 	go func() {
-		stats, err := dst.StorFromAt(ctx, job.DstName, pr, base, region)
+		// The limiter paces only the STOR leg; the pipe's backpressure
+		// throttles the RETR leg to the same rate transitively.
+		stats, err := dst.StorFromAt(ctx, job.DstName, pr, base, region, gridftp.WithLimiter(lim))
 		// Unblock the RETR side if the STOR leg died first.
 		pr.CloseWithError(err)
 		done <- storDone{stats, err}
