@@ -10,14 +10,16 @@ GO ?= go
 # (the pooled vc client, the session broker, and the xferman pool that
 # dispatches through them), the control-channel connection pool, the
 # token-bucket pacing layer (whose buckets are shared across concurrent
-# data streams), and the root package whose C10k rig hammers the sharded
-# session registry and shared passive demux.
+# data streams), the fleet registry/dispatcher (whose scrape loop and
+# placement path race against each other by design), and the root
+# package whose C10k rig hammers the sharded session registry and shared
+# passive demux.
 RACE_PKGS = ./internal/netsim ./internal/experiments ./internal/sessions \
 	./internal/gridftp/... ./internal/faultnet/... ./internal/telemetry \
 	./internal/vc/... ./internal/xferman ./internal/connpool \
-	./internal/pacing .
+	./internal/pacing ./internal/fleet .
 
-.PHONY: check vet vet-ctx race bench bench-c10k bench-store bench-trace bench-paced fuzz-smoke all
+.PHONY: check vet vet-ctx race bench bench-c10k bench-store bench-trace bench-paced bench-fleet fuzz-smoke all
 
 all: check
 
@@ -32,7 +34,7 @@ check:
 	$(GO) test ./...
 	$(GO) test -race -count=1 ./internal/gridftp/... ./internal/faultnet/... \
 		./internal/telemetry ./internal/vc/... ./internal/xferman \
-		./internal/connpool ./internal/pacing .
+		./internal/connpool ./internal/pacing ./internal/fleet .
 	$(MAKE) fuzz-smoke
 
 # Fuzz smoke: run each data-plane fuzz target briefly on top of its
@@ -55,16 +57,17 @@ vet:
 	$(GO) vet ./...
 
 # Context-plumbing lint: every exported blocking method on the hybrid
-# control plane's core types (vc.Client, broker.Broker, xferman.Manager)
-# and the pacing layer (pacing.Bucket, pacing.Limiter) must take a
-# context.Context first, so no caller can be left without a cancellation
-# path. Accessors, teardown, and non-blocking bucket arithmetic are
-# exempt by name.
-CTX_EXEMPT = Addr|ProtocolVersion|Close|Disposition|End|Sessions|String|Result|OnRateChange|SetRate|Rate|Burst|Waited|With
+# control plane's core types (vc.Client, broker.Broker, xferman.Manager),
+# the pacing layer (pacing.Bucket, pacing.Limiter), and the fleet
+# (fleet.Dispatcher, fleet.Registry — whose Place and ScrapeNow issue
+# network RPCs) must take a context.Context first, so no caller can be
+# left without a cancellation path. Accessors, teardown, and
+# non-blocking bucket arithmetic are exempt by name.
+CTX_EXEMPT = Addr|ProtocolVersion|Close|Disposition|End|Sessions|String|Result|OnRateChange|SetRate|Rate|Burst|Waited|With|Registry|Snapshot
 vet-ctx:
-	@bad=$$(grep -nE '^func \([A-Za-z] \*(Client|Broker|Manager|Lease|Bucket|Limiter)\) [A-Z][A-Za-z]*\(' \
+	@bad=$$(grep -nE '^func \([A-Za-z] \*(Client|Broker|Manager|Lease|Bucket|Limiter|Dispatcher|Registry)\) [A-Z][A-Za-z]*\(' \
 		internal/vc/*.go internal/vc/broker/*.go internal/xferman/*.go \
-		internal/pacing/*.go \
+		internal/pacing/*.go internal/fleet/*.go \
 		| grep -v '_test.go:' \
 		| grep -vE '\(ctx context\.Context' \
 		| grep -vE '\) ($(CTX_EXEMPT))\('); \
@@ -81,7 +84,7 @@ race:
 # before/after comparisons across PRs. Override BENCH_OUT to record a
 # new snapshot (e.g. make bench BENCH_OUT=BENCH_4.json).
 BENCH_OUT ?= BENCH_3.json
-bench:
+bench: bench-fleet
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x -json . | tee $(BENCH_OUT)
 
 # Storage-backend throughput: streaming RETR/STOR of an 8 MiB object
@@ -114,3 +117,11 @@ bench-trace:
 PACED_OUT ?= BENCH_9.json
 bench-paced:
 	PACED_OUT=$(PACED_OUT) $(GO) test -run '^TestPacedReport$$' -count=1 -v -timeout 10m .
+
+# Fleet placement A/B: M managed jobs across three rate-capped replicas
+# with one replica loaded, dispatched round-robin vs by the Eq. 2
+# contention model (completion-time spread or tail must drop >= 2x) —
+# the live check that load-aware placement beats blind distribution.
+FLEET_OUT ?= BENCH_10.json
+bench-fleet:
+	FLEET_OUT=$(FLEET_OUT) $(GO) test -run '^TestFleetReport$$' -count=1 -v -timeout 10m .

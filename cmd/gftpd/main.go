@@ -60,6 +60,7 @@ func main() {
 		maxSess   = flag.Int("max-sessions", 0, "concurrent control-channel session cap; excess connections are shed with a 421 greeting (0: unlimited)")
 		pasv      = flag.String("pasv-range", "", "shared passive data port range \"lo-hi\": pre-open these listeners at startup and demultiplex data connections to transfers by token, instead of one listener per transfer (empty: per-transfer listeners)")
 		maxRate   = flag.Int64("max-rate", 0, "per-session data-plane rate cap in bits/sec, token-bucket shaped across all of a session's transfers and streams; clients may request lower via SITE RATE (0: unshaped)")
+		aggRate   = flag.Int64("aggregate-rate", 0, "server-wide data-plane rate cap in bits/sec shared by ALL sessions (the contention model's aggregate capacity R); 0: uncapped")
 	)
 	flag.Parse()
 	var hub *telemetry.Hub
@@ -93,22 +94,23 @@ func main() {
 		})
 	}
 	cfg := gridftp.Config{
-		Addr:          *addr,
-		Store:         store,
-		Stripes:       *stripes,
-		BlockSize:     *block,
-		WindowSize:    *window,
-		ServerHost:    *host,
-		UsageAddr:     *usage,
-		LogWriter:     os.Stdout,
-		IdleTimeout:   *idle,
-		DataTimeout:   *dataTO,
-		AcceptTimeout: *acceptTO,
-		MaxObjectSize: *maxObj,
-		MaxSessions:   *maxSess,
-		PasvPortRange: *pasv,
-		MaxRateBps:    *maxRate,
-		Telemetry:     hub,
+		Addr:             *addr,
+		Store:            store,
+		Stripes:          *stripes,
+		BlockSize:        *block,
+		WindowSize:       *window,
+		ServerHost:       *host,
+		UsageAddr:        *usage,
+		LogWriter:        os.Stdout,
+		IdleTimeout:      *idle,
+		DataTimeout:      *dataTO,
+		AcceptTimeout:    *acceptTO,
+		MaxObjectSize:    *maxObj,
+		MaxSessions:      *maxSess,
+		PasvPortRange:    *pasv,
+		MaxRateBps:       *maxRate,
+		AggregateRateBps: *aggRate,
+		Telemetry:        hub,
 	}
 	if *auth != "" {
 		user, pass, ok := strings.Cut(*auth, ":")

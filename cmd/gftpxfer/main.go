@@ -8,11 +8,19 @@
 // long enough to amortize the VC setup delay and leaves everything else
 // on best-effort IP. Each result line then reports the dispatch verdict.
 //
+// With -fleet instead of -src, each job's source is chosen per attempt
+// from a replica set by the Eq. 2 contention model: the fleet registry
+// scrapes every replica's telemetry and the dispatcher places the job
+// where capacity minus live load is largest. Each result line then
+// reports the replica used.
+//
 // Usage:
 //
 //	gftpxfer -src 127.0.0.1:2811 -dst 127.0.0.1:2812 \
 //	         -files run1/a.nc,run1/b.nc -workers 3 -verify
 //	gftpxfer -src ... -dst ... -all / -oscars 127.0.0.1:5814 -gap 60s
+//	gftpxfer -fleet 'h1:2811=http://h1:9311,h2:2811=http://h2:9311' \
+//	         -dst ... -files ...
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"gftpvc/internal/connpool"
+	"gftpvc/internal/fleet"
 	"gftpvc/internal/gridftp"
 	"gftpvc/internal/telemetry"
 	"gftpvc/internal/vc"
@@ -57,6 +66,10 @@ func main() {
 		class  = flag.String("class", "bulk", "QoS class for every job: interactive, bulk, or background")
 		bgRate = flag.Int64("background-rate", 0, "rate cap in bits/sec for background-class jobs without their own -rate (0: uncapped)")
 
+		fleetSet = flag.String("fleet", "", "comma-separated source replicas, each addr or addr=telemetry-url; every job's source is picked per attempt by predicted effective rate (replaces -src; replicas without a telemetry URL only receive round-robin fallback)")
+		fleetCap = flag.Int64("fleet-capacity", 0, "per-replica aggregate capacity R in bits/sec for the placement model (0: 1e9); match the replicas' -aggregate-rate")
+		fleetAdm = flag.Bool("fleet-admission", false, "claim reserved capacity on the chosen replica for each job's predicted duration, so simultaneous placements see each other before the next telemetry scrape")
+
 		oscars  = flag.String("oscars", "", "oscarsd reservation daemon address; enables hybrid VC/IP dispatch (optional)")
 		gap     = flag.Duration("gap", 60*time.Second, "session gap parameter g: back-to-back jobs closer than this share one session/circuit")
 		setup   = flag.Duration("vc-setup", time.Minute, "assumed VC setup delay a session must amortize")
@@ -64,8 +77,16 @@ func main() {
 		dstNode = flag.String("vc-dst-node", "nersc-ornl-dtn-dst", "topology node the -dst endpoint maps to")
 	)
 	flag.Parse()
-	if *srcAddr == "" || *dstAddr == "" || (*files == "" && *all == "") {
-		fmt.Fprintln(os.Stderr, "gftpxfer: -src, -dst and one of -files/-all are required")
+	if (*srcAddr == "" && *fleetSet == "") || *dstAddr == "" || (*files == "" && *all == "") {
+		fmt.Fprintln(os.Stderr, "gftpxfer: -src (or -fleet), -dst and one of -files/-all are required")
+		os.Exit(2)
+	}
+	if *fleetSet != "" && *srcAddr != "" {
+		fmt.Fprintln(os.Stderr, "gftpxfer: -fleet and -src are mutually exclusive")
+		os.Exit(2)
+	}
+	if *fleetSet != "" && *all != "" {
+		fmt.Fprintln(os.Stderr, "gftpxfer: -all needs a fixed -src to list; use -files with -fleet")
 		os.Exit(2)
 	}
 	if *trace && *metrics == "" {
@@ -154,6 +175,37 @@ func main() {
 	if *bgRate > 0 {
 		opts = append(opts, xferman.WithClassRate(xferman.ClassBackground, *bgRate))
 	}
+	fleeting := *fleetSet != ""
+	if fleeting {
+		var reps []fleet.Replica
+		for _, item := range strings.Split(*fleetSet, ",") {
+			item = strings.TrimSpace(item)
+			if item == "" {
+				continue
+			}
+			addr, tel, _ := strings.Cut(item, "=")
+			reps = append(reps, fleet.Replica{Addr: addr, TelemetryURL: tel})
+		}
+		disp, err := fleet.New(fleet.Config{
+			Replicas:    reps,
+			CapacityBps: float64(*fleetCap),
+			Admission:   *fleetAdm,
+			Telemetry:   hub,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gftpxfer: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		defer disp.Close()
+		// Warm the registry synchronously so the first batch of
+		// placements is informed instead of racing the scrape loop into
+		// a sticky round-robin fallback.
+		wctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+		disp.Registry().ScrapeNow(wctx)
+		cancel()
+		opts = append(opts, xferman.WithFleet(disp))
+		fmt.Fprintf(os.Stderr, "gftpxfer: fleet dispatch across %d replicas\n", len(reps))
+	}
 	m, err := xferman.New(*workers, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gftpxfer: %v\n", err)
@@ -207,9 +259,10 @@ func main() {
 			if sum == "" {
 				sum = "-"
 			}
-			fmt.Printf("ok   %-30s -> %-30s attempts=%d crc32=%s %v%s%s%s\n",
+			fmt.Printf("ok   %-30s -> %-30s attempts=%d crc32=%s %v%s%s%s%s\n",
 				res.Job.SrcName, res.Job.DstName, res.Attempts, sum,
-				res.Duration.Round(1e6), via(hybrid, res), rateSuffix(res), traceSuffix(res))
+				res.Duration.Round(1e6), via(hybrid, res), rateSuffix(res),
+				replicaSuffix(res), traceSuffix(res))
 		default:
 			failed++
 			fmt.Printf("FAIL %-30s -> %-30s attempts=%d: %s%s\n",
@@ -229,6 +282,16 @@ func rateSuffix(res xferman.Result) string {
 		return ""
 	}
 	return fmt.Sprintf(" rate=%dbps", res.ShapedRateBps)
+}
+
+// replicaSuffix renders the replica a fleet-managed job ran on; a
+// pinned-source job prints nothing, keeping output byte-identical to
+// the pre-fleet tool.
+func replicaSuffix(res xferman.Result) string {
+	if res.Replica == "" {
+		return ""
+	}
+	return " replica=" + res.Replica
 }
 
 // traceSuffix renders the job's trace ID when tracing is on; without

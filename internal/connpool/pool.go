@@ -146,7 +146,10 @@ type Conn struct {
 	pool *Pool
 	key  key
 	born time.Time
-	done bool
+	// done flips exactly once, by CAS: Release and Discard may race on
+	// the same Conn (worker teardown vs. job completion) and only one of
+	// them may run the lifecycle, or the leased census double-decrements.
+	done atomic.Bool
 }
 
 // Get checks out an authenticated control channel to addr: a parked
@@ -255,10 +258,9 @@ func (p *Pool) evict(cli *gridftp.Client) {
 // failed mid-transfer should Discard, but Release still refuses to park
 // a channel the client itself marked unusable.
 func (c *Conn) Release() {
-	if c == nil || c.done {
+	if c == nil || !c.done.CompareAndSwap(false, true) {
 		return
 	}
-	c.done = true
 	p := c.pool
 	p.lease(-1)
 	// Drop any trace binding and rate shaping before parking: the next
@@ -266,12 +268,18 @@ func (c *Conn) Release() {
 	// ID, pacing bucket, or server-side rate. Clearing is client-side
 	// only — SITE RATE 0 goes on the wire only if this job actually
 	// engaged server-side shaping (gridftp tracks that), so unshaped
-	// channels stay byte-identical.
-	_ = c.Client.ApplyOptions(
+	// channels stay byte-identical. If the clear itself fails — the
+	// server rejects SITE RATE 0 without the channel tripping Desynced —
+	// the parked channel would keep the previous job's server-side cap
+	// and the next checkout would inherit it, so evict instead.
+	if err := c.Client.ApplyOptions(
 		gridftp.WithTransferTrace(telemetry.TraceContext{}),
 		gridftp.WithRate(0),
 		gridftp.WithLimiter(nil),
-	)
+	); err != nil {
+		p.evict(c.Client)
+		return
+	}
 	if c.Client.Desynced() || p.expired(c.born) {
 		p.evict(c.Client)
 		return
@@ -290,10 +298,9 @@ func (c *Conn) Release() {
 // Discard closes the channel instead of parking it: the job saw a
 // failure and the channel's state cannot be trusted.
 func (c *Conn) Discard() {
-	if c == nil || c.done {
+	if c == nil || !c.done.CompareAndSwap(false, true) {
 		return
 	}
-	c.done = true
 	c.pool.lease(-1)
 	c.pool.evict(c.Client)
 }
@@ -343,9 +350,22 @@ func (p *Pool) sweep() {
 			}
 			continue
 		}
-		p.idle[k] = append(p.idle[k], kept...)
+		// Releases that raced the probe window have refilled the bucket;
+		// reinsert only up to the idle bound and retire the surplus, or
+		// the bucket grows past MaxIdlePerEndpoint.
+		room := p.cfg.MaxIdlePerEndpoint - len(p.idle[k])
+		if room < 0 {
+			room = 0
+		}
+		if room > len(kept) {
+			room = len(kept)
+		}
+		p.idle[k] = append(p.idle[k], kept[:room]...)
 		p.mu.Unlock()
-		p.met.idle.Add(int64(len(kept)))
+		p.met.idle.Add(int64(room))
+		for _, pc := range kept[room:] {
+			p.evict(pc.cli)
+		}
 	}
 }
 

@@ -187,6 +187,25 @@ func (s *Scheduler) Reservations() int {
 	return len(s.bookings)
 }
 
+// Prune drops every booking that ended at or before cutoff, returning
+// how many were dropped. A calendar driven by wall-clock time accretes
+// expired bookings forever without it — they no longer constrain any
+// present or future interval, but every Available sweep still walks
+// them.
+func (s *Scheduler) Prune(cutoff simclock.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.bookings[:0]
+	for _, b := range s.bookings {
+		if b.end > cutoff {
+			kept = append(kept, b)
+		}
+	}
+	dropped := len(s.bookings) - len(kept)
+	s.bookings = kept
+	return dropped
+}
+
 // ScheduledOutcome describes one transfer run under scheduling.
 type ScheduledOutcome struct {
 	Reservation Reservation

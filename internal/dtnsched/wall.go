@@ -1,0 +1,84 @@
+// Wall adapts the reservation calendar from the simulated clock to the
+// wall clock, so a live dispatcher can use it as admission control: the
+// paper's "schedule server resources prior to data transfers"
+// recommendation, applied to transfers that start now rather than in a
+// simulated trace.
+package dtnsched
+
+import (
+	"time"
+
+	"gftpvc/internal/simclock"
+)
+
+// Wall is a wall-clock view of a Scheduler: reservations are claimed
+// "from now" for a duration, and expired bookings are pruned as time
+// advances. It is safe for concurrent use (the underlying Scheduler
+// serializes) and adds no state of its own beyond the epoch.
+type Wall struct {
+	s     *Scheduler
+	epoch time.Time
+	// now is injectable for tests; defaults to time.Now.
+	now func() time.Time
+}
+
+// NewWall wraps a fresh wall-clock calendar around capacityBps.
+func NewWall(capacityBps float64) (*Wall, error) {
+	s, err := New(capacityBps)
+	if err != nil {
+		return nil, err
+	}
+	return &Wall{s: s, epoch: time.Now(), now: time.Now}, nil
+}
+
+// NewWallAt is NewWall with an injected clock, for deterministic tests.
+func NewWallAt(capacityBps float64, now func() time.Time) (*Wall, error) {
+	w, err := NewWall(capacityBps)
+	if err != nil {
+		return nil, err
+	}
+	w.epoch = now()
+	w.now = now
+	return w, nil
+}
+
+// Capacity returns the calendar's aggregate capacity.
+func (w *Wall) Capacity() float64 { return w.s.Capacity() }
+
+// at maps a wall instant onto the calendar's simulated timeline.
+func (w *Wall) at(t time.Time) simclock.Time {
+	return simclock.Time(t.Sub(w.epoch).Seconds())
+}
+
+// AvailableNow returns the capacity guaranteed free for the next dur.
+func (w *Wall) AvailableNow(dur time.Duration) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	now := w.at(w.now())
+	w.s.Prune(now)
+	avail, err := w.s.Available(now, now.Add(simclock.Duration(dur.Seconds())))
+	if err != nil {
+		return 0
+	}
+	return avail
+}
+
+// ReserveNow claims rateBps for the next dur, starting immediately.
+// Unlike the simulated calendar there is no queueing into the future —
+// a live job starts now or places elsewhere — so the claim fails when
+// the next dur lacks headroom.
+func (w *Wall) ReserveNow(rateBps float64, dur time.Duration) (Reservation, error) {
+	now := w.at(w.now())
+	w.s.Prune(now)
+	return w.s.Reserve(rateBps, now, now.Add(simclock.Duration(dur.Seconds())))
+}
+
+// Release frees a claim. It is idempotent.
+func (w *Wall) Release(id ReservationID) { w.s.Release(id) }
+
+// Claims returns the number of live (unexpired, unreleased) claims.
+func (w *Wall) Claims() int {
+	w.s.Prune(w.at(w.now()))
+	return w.s.Reservations()
+}

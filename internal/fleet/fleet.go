@@ -1,0 +1,356 @@
+// Package fleet places managed transfers across N gftpd replicas by
+// predicted effective rate. It is the paper's Eq. 2 run forward: where
+// the offline analysis showed a transfer's throughput is what remains
+// of server capacity R after concurrent transfers take theirs
+// (ρ = 0.884, Fig 8), the dispatcher picks, for each job, the replica
+// whose R − Σₖ tₖ is largest right now — load Σₖ tₖ scraped live from
+// each replica's telemetry. Optional admission control adapts
+// internal/dtnsched's reservation calendar to the wall clock, claiming
+// capacity on the chosen replica for the job's predicted duration so
+// back-to-back placements see each other before the next scrape lands
+// (the paper's concluding "schedule server resources prior to data
+// transfers" recommendation). When every replica's registry data is
+// stale the dispatcher falls back to round-robin, stickily, until
+// scrapes recover.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gftpvc/internal/dtnsched"
+	"gftpvc/internal/hostmodel"
+	"gftpvc/internal/telemetry"
+)
+
+// Replica identifies one gftpd endpoint the dispatcher may place on.
+type Replica struct {
+	// Addr is the control-channel address jobs dial.
+	Addr string
+	// TelemetryURL is the base of the replica's telemetry endpoint
+	// (http://host:port); empty means the replica is never fresh and
+	// only ever receives round-robin fallback placements.
+	TelemetryURL string
+	// CapacityBps overrides Config.CapacityBps for this replica (its R).
+	CapacityBps float64
+}
+
+// Config configures a fleet.
+type Config struct {
+	// Replicas is the endpoint set; at least one is required.
+	Replicas []Replica
+	// CapacityBps is the default per-replica aggregate capacity R
+	// (default 1e9). Match the replicas' AggregateRateBps when the live
+	// cap is enforced.
+	CapacityBps float64
+	// ScrapeInterval is the registry's telemetry polling cadence
+	// (default 2s).
+	ScrapeInterval time.Duration
+	// Staleness bounds how old a sample may be and still drive placement
+	// (default 3×ScrapeInterval).
+	Staleness time.Duration
+	// LoadWindow is the trailing window over the replicas' live byte
+	// counters used as measured load (default 30s, the counters' own
+	// cadence).
+	LoadWindow time.Duration
+	// StickyFor is how long the dispatcher stays on round-robin after a
+	// fallback before trusting fresh samples again (default
+	// 2×ScrapeInterval) — flapping between modes on a flaky scrape
+	// would re-herd jobs every interval.
+	StickyFor time.Duration
+	// Admission turns on wall-clock reservation claims: each placement
+	// reserves its predicted rate on the chosen replica's calendar for
+	// its predicted duration, released on completion.
+	Admission bool
+	// HTTPTimeout bounds each scrape request (default 2s).
+	HTTPTimeout time.Duration
+	// Telemetry, when set, receives placement counters and per-replica
+	// load gauges.
+	Telemetry *telemetry.Hub
+}
+
+// withDefaults validates and fills the zero values.
+func (cfg Config) withDefaults() (Config, error) {
+	if len(cfg.Replicas) == 0 {
+		return cfg, errors.New("fleet: at least one replica required")
+	}
+	for _, rep := range cfg.Replicas {
+		if rep.Addr == "" {
+			return cfg, errors.New("fleet: replica with empty address")
+		}
+	}
+	if cfg.CapacityBps == 0 {
+		cfg.CapacityBps = 1e9
+	}
+	if cfg.CapacityBps < 0 {
+		return cfg, errors.New("fleet: capacity must be positive")
+	}
+	if cfg.ScrapeInterval <= 0 {
+		cfg.ScrapeInterval = 2 * time.Second
+	}
+	if cfg.Staleness <= 0 {
+		cfg.Staleness = 3 * cfg.ScrapeInterval
+	}
+	if cfg.LoadWindow <= 0 {
+		cfg.LoadWindow = 30 * time.Second
+	}
+	if cfg.StickyFor <= 0 {
+		cfg.StickyFor = 2 * cfg.ScrapeInterval
+	}
+	if cfg.HTTPTimeout <= 0 {
+		cfg.HTTPTimeout = 2 * time.Second
+	}
+	return cfg, nil
+}
+
+// Request describes one job to place.
+type Request struct {
+	// SizeBytes sizes the admission claim (0: unknown; the claim falls
+	// back to the EWMA job duration).
+	SizeBytes int64
+	// Previous is the replica a prior attempt of the same job ran on;
+	// a placement that moves off it counts as a rebalance.
+	Previous string
+}
+
+// Placement is one admitted placement: dial Addr, run the job, then
+// Complete exactly once (idempotent) so the claim releases and the
+// EWMAs learn.
+type Placement struct {
+	// Addr is the chosen replica's control-channel address.
+	Addr string
+	// PredictedBps is the Eq. 2 effective rate the model expected at
+	// placement time (0 on fallback placements).
+	PredictedBps float64
+	// Fallback marks a round-robin placement made without fresh
+	// registry data.
+	Fallback bool
+
+	d     *Dispatcher
+	rs    *replicaState
+	resID dtnsched.ReservationID
+	claim bool
+	done  atomic.Bool
+}
+
+// Dispatcher turns registry samples into placements. It is safe for
+// concurrent use.
+type Dispatcher struct {
+	cfg Config
+	reg *Registry
+
+	mu          sync.Mutex
+	rr          int
+	stickyUntil time.Time
+	ewmaRate    float64 // learned delivered per-job rate (bps)
+	ewmaDur     float64 // learned per-job duration (seconds)
+
+	met dispMetrics
+}
+
+type dispMetrics struct {
+	hub        *telemetry.Hub
+	fallbacks  *telemetry.Counter
+	rebalances *telemetry.Counter
+}
+
+// placements resolves the per-replica placement counter.
+func (m dispMetrics) placements(replica string) *telemetry.Counter {
+	if m.hub == nil {
+		return nil
+	}
+	return m.hub.Counter("fleet_placements_total",
+		"Jobs placed, by replica.", telemetry.L("replica", replica))
+}
+
+// New starts a fleet: a registry scraping cfg.Replicas and a dispatcher
+// placing on it. Callers must Close it.
+func New(cfg Config) (*Dispatcher, error) {
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dispatcher{cfg: reg.cfg, reg: reg, met: dispMetrics{hub: reg.cfg.Telemetry}}
+	if hub := reg.cfg.Telemetry; hub != nil {
+		d.met.fallbacks = hub.Counter("fleet_fallbacks_total",
+			"Round-robin placements made because no replica had fresh registry data.")
+		d.met.rebalances = hub.Counter("fleet_rebalances_total",
+			"Retry placements moved to a different replica than the failed attempt's.")
+	}
+	return d, nil
+}
+
+// Registry exposes the dispatcher's registry (snapshots, forced
+// scrapes).
+func (d *Dispatcher) Registry() *Registry { return d.reg }
+
+// Close stops the registry scrape loop.
+func (d *Dispatcher) Close() { d.reg.Close() }
+
+// Place chooses a replica for one job: the fresh, healthy replica with
+// the highest Eq. 2 effective rate (capacity minus scraped load,
+// clamped by the admission calendar's headroom when admission is on),
+// or sticky round-robin when no replica has fresh data. The returned
+// Placement must be Completed.
+func (d *Dispatcher) Place(ctx context.Context, req Request) (*Placement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	type scored struct {
+		rs       *replicaState
+		score    float64
+		load     float64
+		sessions int64
+	}
+	var fresh []scored
+	claimSec := d.claimDuration(req)
+	for _, rs := range d.reg.reps {
+		s := rs.sample()
+		if s.at.IsZero() || now.Sub(s.at) > d.cfg.Staleness || !s.healthy {
+			continue
+		}
+		load := s.loadBps()
+		score := hostmodel.EffectiveRate(rs.capacity, load)
+		if rs.cal != nil {
+			if avail := rs.cal.AvailableNow(time.Duration(claimSec * float64(time.Second))); avail < score {
+				score = avail
+			}
+		}
+		fresh = append(fresh, scored{rs: rs, score: score, load: load, sessions: s.sessions})
+	}
+	trace := telemetry.TraceIDFrom(ctx)
+	d.mu.Lock()
+	sticky := now.Before(d.stickyUntil)
+	if len(fresh) == 0 {
+		// Nothing trustworthy: fall back and stay fallen back for the
+		// sticky window even if the next scrape lands mid-burst.
+		d.stickyUntil = now.Add(d.cfg.StickyFor)
+		sticky = true
+	}
+	if sticky {
+		rs := d.reg.reps[d.rr%len(d.reg.reps)]
+		d.rr++
+		d.mu.Unlock()
+		d.met.fallbacks.Inc()
+		d.met.placements(rs.rep.Addr).Inc()
+		d.met.hub.Event(trace, "fleet_fallback", rs.rep.Addr)
+		d.countRebalance(req, rs.rep.Addr)
+		return &Placement{Addr: rs.rep.Addr, Fallback: true, d: d, rs: rs}, nil
+	}
+	rrSeed := d.rr
+	d.rr++
+	d.mu.Unlock()
+	// Highest score wins; among saturated (or tied) replicas prefer the
+	// one with fewer sessions, then less load — scraped sessions count
+	// persistent background competitors that transient claims do not.
+	best := fresh[rrSeed%len(fresh)]
+	for _, c := range fresh {
+		const eps = 1e3 // bps: scores this close are a tie
+		switch {
+		case c.score > best.score+eps:
+			best = c
+		case math.Abs(c.score-best.score) <= eps && c.sessions < best.sessions:
+			best = c
+		case math.Abs(c.score-best.score) <= eps && c.sessions == best.sessions && c.load < best.load:
+			best = c
+		}
+	}
+	p := &Placement{Addr: best.rs.rep.Addr, PredictedBps: best.score, d: d, rs: best.rs}
+	if best.rs.cal != nil {
+		if id, ok := d.claimCapacity(best.rs, best.score, claimSec); ok {
+			p.resID, p.claim = id, true
+		}
+	}
+	d.met.placements(p.Addr).Inc()
+	d.met.hub.Event(trace, "fleet_place", p.Addr)
+	d.countRebalance(req, p.Addr)
+	return p, nil
+}
+
+// countRebalance counts a retry that moved replicas.
+func (d *Dispatcher) countRebalance(req Request, chosen string) {
+	if req.Previous != "" && req.Previous != chosen {
+		d.met.rebalances.Inc()
+	}
+}
+
+// claimDuration predicts how long the job will hold its claim: the
+// size over the learned (EWMA) rate when both are known, else the
+// learned duration, else a conservative default — clamped so a wild
+// estimate cannot pin a replica for an hour or expire before the
+// transfer's first byte.
+func (d *Dispatcher) claimDuration(req Request) float64 {
+	d.mu.Lock()
+	rate, dur := d.ewmaRate, d.ewmaDur
+	d.mu.Unlock()
+	sec := 10.0
+	switch {
+	case req.SizeBytes > 0 && rate > 0:
+		sec = float64(req.SizeBytes) * 8 / rate
+	case dur > 0:
+		sec = dur
+	}
+	return math.Min(math.Max(sec, 1), 600)
+}
+
+// claimCapacity reserves the job's predicted rate on the replica's
+// wall-clock calendar. The claim rate is the learned per-job rate when
+// known (a job rarely gets the whole headroom to itself), clamped by
+// the placement score; claims are best-effort — a replica whose
+// calendar is full still accepts the job, it just stops looking idle
+// to the next placement.
+func (d *Dispatcher) claimCapacity(rs *replicaState, score, claimSec float64) (dtnsched.ReservationID, bool) {
+	d.mu.Lock()
+	rate := d.ewmaRate
+	d.mu.Unlock()
+	if rate <= 0 {
+		rate = rs.capacity / 4
+	}
+	if score > 0 && rate > score {
+		rate = score
+	}
+	if rate <= 0 {
+		return 0, false
+	}
+	res, err := rs.cal.ReserveNow(rate, time.Duration(claimSec*float64(time.Second)))
+	if err != nil {
+		return 0, false
+	}
+	return res.ID, true
+}
+
+// Complete settles a placement: the admission claim releases, and a
+// successful transfer's measured rate and duration feed the EWMAs that
+// size the next claims. Exactly one Complete takes effect per
+// Placement.
+func (p *Placement) Complete(bytes int64, dur time.Duration, err error) {
+	if p == nil || !p.done.CompareAndSwap(false, true) {
+		return
+	}
+	if p.claim {
+		p.rs.cal.Release(p.resID)
+	}
+	if err != nil || bytes <= 0 || dur <= 0 {
+		return
+	}
+	const alpha = 0.3
+	rate := float64(bytes) * 8 / dur.Seconds()
+	d := p.d
+	d.mu.Lock()
+	if d.ewmaRate <= 0 {
+		d.ewmaRate = rate
+	} else {
+		d.ewmaRate = alpha*rate + (1-alpha)*d.ewmaRate
+	}
+	if d.ewmaDur <= 0 {
+		d.ewmaDur = dur.Seconds()
+	} else {
+		d.ewmaDur = alpha*dur.Seconds() + (1-alpha)*d.ewmaDur
+	}
+	d.mu.Unlock()
+}

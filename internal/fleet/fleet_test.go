@@ -1,0 +1,331 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"gftpvc/internal/telemetry"
+)
+
+// fakeReplica serves the three telemetry endpoints the registry
+// scrapes, with mutable canned state.
+type fakeReplica struct {
+	mu        sync.Mutex
+	down      bool // healthz returns 500: scrape error path
+	degraded  bool // healthz returns 503: alive but unhealthy
+	sessions  int64
+	shapedBps float64
+	binSec    float64
+	bytes     []float64
+}
+
+func (f *fakeReplica) set(mut func(*fakeReplica)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mut(f)
+}
+
+func (f *fakeReplica) start(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		f.mu.Lock()
+		down, degraded := f.down, f.degraded
+		f.mu.Unlock()
+		switch {
+		case down:
+			w.WriteHeader(http.StatusInternalServerError)
+		case degraded:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		fmt.Fprintf(w, "# HELP gridftp_server_sessions_active open sessions\n")
+		fmt.Fprintf(w, "# TYPE gridftp_server_sessions_active gauge\n")
+		fmt.Fprintf(w, "gridftp_server_sessions_active %d\n", f.sessions)
+		// Split across labeled series: the parser must sum variants.
+		fmt.Fprintf(w, "gridftp_server_shaped_rate_bps{shard=\"0\"} %g\n", f.shapedBps/2)
+		fmt.Fprintf(w, "gridftp_server_shaped_rate_bps{shard=\"1\"} %g\n", f.shapedBps/2)
+		fmt.Fprintf(w, "unrelated_metric 42\n")
+	})
+	mux.HandleFunc("/counters", func(w http.ResponseWriter, _ *http.Request) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		out := []telemetry.CounterSnapshot{}
+		if len(f.bytes) > 0 {
+			out = append(out, telemetry.CounterSnapshot{
+				Name: "retr", BinSec: f.binSec, Bytes: append([]float64(nil), f.bytes...),
+			})
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// newFleet builds a dispatcher over the given fakes with test-friendly
+// timings, scrapes once so samples are fresh, and registers cleanup.
+func newFleet(t *testing.T, cfg Config, fakes ...*fakeReplica) *Dispatcher {
+	t.Helper()
+	for i, f := range fakes {
+		srv := f.start(t)
+		cfg.Replicas = append(cfg.Replicas, Replica{
+			Addr:         fmt.Sprintf("replica-%d:2811", i),
+			TelemetryURL: srv.URL,
+		})
+	}
+	if cfg.ScrapeInterval == 0 {
+		cfg.ScrapeInterval = time.Hour // tests drive ScrapeNow explicitly
+	}
+	if cfg.Staleness == 0 {
+		cfg.Staleness = time.Hour
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(d.Close)
+	d.Registry().ScrapeNow(context.Background())
+	return d
+}
+
+func TestRegistryScrapeAndSnapshot(t *testing.T) {
+	f := &fakeReplica{
+		sessions:  3,
+		shapedBps: 2e8,
+		binSec:    1,
+		bytes:     []float64{1e6, 12.5e6, 12.5e6, 12.5e6, 12.5e6},
+	}
+	d := newFleet(t, Config{CapacityBps: 1e9, LoadWindow: 4 * time.Second}, f)
+	snap := d.Registry().Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot rows = %d, want 1", len(snap))
+	}
+	rl := snap[0]
+	if !rl.Healthy || !rl.Fresh {
+		t.Fatalf("replica not healthy+fresh: %+v", rl)
+	}
+	if rl.Sessions != 3 {
+		t.Errorf("Sessions = %d, want 3 (unlabeled gauge)", rl.Sessions)
+	}
+	if rl.CommittedBps != 2e8 {
+		t.Errorf("CommittedBps = %g, want 2e8 (labeled variants summed)", rl.CommittedBps)
+	}
+	// 4 tail bins of 12.5 MB over a 4 s window = 1e8 bits/sec.
+	if math.Abs(rl.MeasuredBps-1e8) > 1 {
+		t.Errorf("MeasuredBps = %g, want 1e8 (tail-window throughput)", rl.MeasuredBps)
+	}
+	// Committed (2e8) exceeds measured (1e8): Eq. 2 subtracts the max.
+	if want := 1e9 - 2e8; math.Abs(rl.PredictedBps-want) > 1 {
+		t.Errorf("PredictedBps = %g, want %g", rl.PredictedBps, want)
+	}
+
+	// A degraded replica still scrapes but is not placeable.
+	f.set(func(f *fakeReplica) { f.degraded = true })
+	d.Registry().ScrapeNow(context.Background())
+	if rl := d.Registry().Snapshot()[0]; rl.Healthy || !rl.Fresh {
+		t.Fatalf("degraded replica: Healthy=%v Fresh=%v, want false/true", rl.Healthy, rl.Fresh)
+	}
+
+	// A failing scrape keeps the old sample, which ages out.
+	f.set(func(f *fakeReplica) { f.down = true })
+	d.Registry().ScrapeNow(context.Background())
+	if rl := d.Registry().Snapshot()[0]; !rl.Fresh {
+		t.Fatalf("sample should survive a failed scrape until staleness")
+	}
+}
+
+func TestPlacePrefersUnloadedReplica(t *testing.T) {
+	loaded := &fakeReplica{sessions: 8, shapedBps: 8e8}
+	idle := &fakeReplica{sessions: 0, shapedBps: 1e8}
+	hub := telemetry.NewHub()
+	d := newFleet(t, Config{CapacityBps: 1e9, Telemetry: hub}, loaded, idle)
+
+	for i := 0; i < 4; i++ {
+		p, err := d.Place(context.Background(), Request{SizeBytes: 1 << 20})
+		if err != nil {
+			t.Fatalf("Place: %v", err)
+		}
+		if p.Fallback {
+			t.Fatalf("placement %d fell back with fresh samples", i)
+		}
+		if p.Addr != "replica-1:2811" {
+			t.Fatalf("placement %d on %s, want the unloaded replica-1", i, p.Addr)
+		}
+		if want := 1e9 - 1e8; math.Abs(p.PredictedBps-want) > 1 {
+			t.Fatalf("PredictedBps = %g, want %g", p.PredictedBps, want)
+		}
+		p.Complete(1<<20, 100*time.Millisecond, nil)
+	}
+	if got := d.met.placements("replica-1:2811").Value(); got != 4 {
+		t.Errorf("fleet_placements_total{replica-1} = %d, want 4", got)
+	}
+	if got := d.met.fallbacks.Value(); got != 0 {
+		t.Errorf("fleet_fallbacks_total = %d, want 0", got)
+	}
+}
+
+func TestAdmissionClaimsSpreadBurst(t *testing.T) {
+	a, b := &fakeReplica{}, &fakeReplica{}
+	d := newFleet(t, Config{CapacityBps: 1e9, Admission: true}, a, b)
+
+	// Four simultaneous placements between scrapes: without claims all
+	// four would pile onto one tie-broken replica; each claim (cap/4
+	// with no learned rate) makes the chosen replica look busier, so the
+	// burst must split 2/2.
+	perReplica := map[string]int{}
+	var placements []*Placement
+	for i := 0; i < 4; i++ {
+		p, err := d.Place(context.Background(), Request{})
+		if err != nil {
+			t.Fatalf("Place: %v", err)
+		}
+		perReplica[p.Addr]++
+		placements = append(placements, p)
+	}
+	if perReplica["replica-0:2811"] != 2 || perReplica["replica-1:2811"] != 2 {
+		t.Fatalf("burst split %v, want 2 per replica", perReplica)
+	}
+	for _, rl := range d.Registry().Snapshot() {
+		if rl.ClaimedBps <= 0 {
+			t.Errorf("%s ClaimedBps = %g, want > 0 while jobs run", rl.Addr, rl.ClaimedBps)
+		}
+	}
+	for _, p := range placements {
+		p.Complete(64<<20, 2*time.Second, nil)
+		p.Complete(64<<20, 2*time.Second, nil) // idempotent
+	}
+	for _, rl := range d.Registry().Snapshot() {
+		if rl.ClaimedBps != 0 {
+			t.Errorf("%s ClaimedBps = %g after Complete, want 0", rl.Addr, rl.ClaimedBps)
+		}
+	}
+	// Successful completions taught the EWMAs.
+	d.mu.Lock()
+	rate, dur := d.ewmaRate, d.ewmaDur
+	d.mu.Unlock()
+	if want := float64(64<<20) * 8 / 2; math.Abs(rate-want) > 1 {
+		t.Errorf("ewmaRate = %g, want %g", rate, want)
+	}
+	if dur != 2 {
+		t.Errorf("ewmaDur = %g, want 2", dur)
+	}
+}
+
+func TestFallbackStickyRoundRobin(t *testing.T) {
+	a, b := &fakeReplica{down: true}, &fakeReplica{down: true}
+	hub := telemetry.NewHub()
+	d := newFleet(t, Config{CapacityBps: 1e9, StickyFor: 150 * time.Millisecond, Telemetry: hub}, a, b)
+
+	// No replica ever scraped: every placement is round-robin fallback.
+	var order []string
+	for i := 0; i < 4; i++ {
+		p, err := d.Place(context.Background(), Request{})
+		if err != nil {
+			t.Fatalf("Place: %v", err)
+		}
+		if !p.Fallback {
+			t.Fatalf("placement %d not marked Fallback with no fresh data", i)
+		}
+		order = append(order, p.Addr)
+		p.Complete(0, 0, nil)
+	}
+	if order[0] == order[1] || order[0] != order[2] || order[1] != order[3] {
+		t.Fatalf("fallback order %v, want alternating round-robin", order)
+	}
+	if got := d.met.fallbacks.Value(); got != 4 {
+		t.Errorf("fleet_fallbacks_total = %d, want 4", got)
+	}
+
+	// Replicas recover and a scrape lands — but inside the sticky
+	// window the dispatcher keeps round-robin rather than flapping.
+	a.set(func(f *fakeReplica) { f.down = false })
+	b.set(func(f *fakeReplica) { f.down = false })
+	d.Registry().ScrapeNow(context.Background())
+	p, err := d.Place(context.Background(), Request{})
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if !p.Fallback {
+		t.Fatalf("placement inside sticky window should stay round-robin")
+	}
+	p.Complete(0, 0, nil)
+
+	// Past the window, fresh samples drive placement again.
+	time.Sleep(200 * time.Millisecond)
+	p, err = d.Place(context.Background(), Request{})
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if p.Fallback {
+		t.Fatalf("placement after sticky window still falling back")
+	}
+	p.Complete(0, 0, nil)
+}
+
+func TestRebalanceCounter(t *testing.T) {
+	loaded := &fakeReplica{sessions: 8, shapedBps: 9e8}
+	idle := &fakeReplica{}
+	hub := telemetry.NewHub()
+	d := newFleet(t, Config{CapacityBps: 1e9, Telemetry: hub}, loaded, idle)
+
+	// Retry of a job that first ran on the loaded replica moves: one
+	// rebalance. A retry already on the chosen replica does not count.
+	p, err := d.Place(context.Background(), Request{Previous: "replica-0:2811"})
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if p.Addr != "replica-1:2811" {
+		t.Fatalf("retry placed on %s, want replica-1", p.Addr)
+	}
+	p.Complete(0, 0, nil)
+	p, err = d.Place(context.Background(), Request{Previous: "replica-1:2811"})
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	p.Complete(0, 0, nil)
+	if got := d.met.rebalances.Value(); got != 1 {
+		t.Errorf("fleet_rebalances_total = %d, want 1", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with no replicas should fail")
+	}
+	if _, err := New(Config{Replicas: []Replica{{}}}); err == nil {
+		t.Fatal("New with an empty replica address should fail")
+	}
+	if _, err := New(Config{Replicas: []Replica{{Addr: "a:1"}}, CapacityBps: -1}); err == nil {
+		t.Fatal("New with negative capacity should fail")
+	}
+}
+
+func TestClaimDurationBounds(t *testing.T) {
+	d := &Dispatcher{cfg: Config{}}
+	if got := d.claimDuration(Request{}); got != 10 {
+		t.Errorf("default claim = %gs, want 10", got)
+	}
+	d.ewmaRate = 1e8 // 100 Mbit/s learned
+	if got := d.claimDuration(Request{SizeBytes: 125e6}); got != 10 {
+		t.Errorf("sized claim = %gs, want 10 (1 Gbit over 100 Mbit/s)", got)
+	}
+	if got := d.claimDuration(Request{SizeBytes: 1}); got != 1 {
+		t.Errorf("tiny job claim = %gs, want clamp to 1", got)
+	}
+	if got := d.claimDuration(Request{SizeBytes: 1 << 40}); got != 600 {
+		t.Errorf("huge job claim = %gs, want clamp to 600", got)
+	}
+}

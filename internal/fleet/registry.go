@@ -1,0 +1,366 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gftpvc/internal/dtnsched"
+	"gftpvc/internal/hostmodel"
+	"gftpvc/internal/telemetry"
+)
+
+// sample is one scrape's view of a replica: when it was taken, how many
+// sessions the replica reported, the throughput measured over the live
+// byte counters' trailing window, and the summed per-session rate
+// commitments (SITE RATE / MaxRateBps) the replica has already promised.
+type sample struct {
+	at           time.Time
+	sessions     int64
+	measuredBps  float64
+	committedBps float64
+	healthy      bool
+}
+
+// loadBps is the Σₖ tₖ term Eq. 2 subtracts from R: the larger of what
+// the replica is measurably moving and what it has contractually
+// promised. Measured catches unshaped background load; committed
+// catches reservations that have not started moving bytes yet.
+func (s sample) loadBps() float64 {
+	if s.committedBps > s.measuredBps {
+		return s.committedBps
+	}
+	return s.measuredBps
+}
+
+// replicaState is the registry's record for one replica: its static
+// identity, its admission calendar (when admission control is on), and
+// the latest scrape sample.
+type replicaState struct {
+	rep      Replica
+	capacity float64
+	cal      *dtnsched.Wall // nil without admission
+
+	mu   sync.Mutex
+	last sample
+}
+
+// snapshotLocked copies the latest sample.
+func (rs *replicaState) sample() sample {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.last
+}
+
+// Registry tracks per-replica health and live load by scraping each
+// replica's telemetry endpoint — /healthz for readiness, /metrics for
+// active sessions and committed (shaped) rates, /counters for the
+// trailing-window measured throughput. It is the observation half of
+// the fleet: the Dispatcher turns its samples into placements.
+type Registry struct {
+	cfg    Config
+	client *http.Client
+	reps   []*replicaState
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	met regMetrics
+}
+
+type regMetrics struct {
+	hub *telemetry.Hub
+}
+
+// gauge resolves a per-replica gauge; nil hub costs nothing.
+func (m regMetrics) gauge(name, help, replica string) *telemetry.Gauge {
+	if m.hub == nil {
+		return nil
+	}
+	return m.hub.Gauge(name, help, telemetry.L("replica", replica))
+}
+
+// NewRegistry starts a registry scraping cfg.Replicas every
+// cfg.ScrapeInterval. Callers must Close it.
+func NewRegistry(cfg Config) (*Registry, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := &Registry{
+		cfg:    cfg,
+		client: &http.Client{Timeout: cfg.HTTPTimeout},
+		stop:   make(chan struct{}),
+		met:    regMetrics{hub: cfg.Telemetry},
+	}
+	for _, rep := range cfg.Replicas {
+		rs := &replicaState{rep: rep, capacity: rep.CapacityBps}
+		if rs.capacity <= 0 {
+			rs.capacity = cfg.CapacityBps
+		}
+		if cfg.Admission {
+			cal, err := dtnsched.NewWall(rs.capacity)
+			if err != nil {
+				return nil, err
+			}
+			rs.cal = cal
+		}
+		r.reps = append(r.reps, rs)
+	}
+	r.wg.Add(1)
+	go r.scrapeLoop()
+	return r, nil
+}
+
+// scrapeLoop refreshes every replica until Close, starting immediately
+// so the first placements are not blind for a full interval.
+func (r *Registry) scrapeLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.ScrapeInterval)
+	defer t.Stop()
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.HTTPTimeout)
+		r.ScrapeNow(ctx)
+		cancel()
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ScrapeNow refreshes every replica's sample synchronously — the loop
+// calls it on its cadence; tests and warm-up paths call it to observe a
+// known state instead of sleeping for a tick.
+func (r *Registry) ScrapeNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, rs := range r.reps {
+		wg.Add(1)
+		go func(rs *replicaState) {
+			defer wg.Done()
+			r.scrapeOne(ctx, rs)
+		}(rs)
+	}
+	wg.Wait()
+}
+
+// scrapeOne refreshes one replica. A replica with no telemetry URL, or
+// whose endpoint is unreachable, keeps its previous sample — it simply
+// goes stale, which is the signal the dispatcher's fallback keys on.
+func (r *Registry) scrapeOne(ctx context.Context, rs *replicaState) {
+	base := strings.TrimSuffix(rs.rep.TelemetryURL, "/")
+	if base == "" {
+		return
+	}
+	healthy, err := r.health(ctx, base)
+	if err != nil {
+		r.met.gauge("fleet_replica_up", replicaUpHelp, rs.rep.Addr).Set(0)
+		return
+	}
+	metrics, err := r.promGauges(ctx, base)
+	if err != nil {
+		r.met.gauge("fleet_replica_up", replicaUpHelp, rs.rep.Addr).Set(0)
+		return
+	}
+	measured, err := r.windowThroughput(ctx, base)
+	if err != nil {
+		r.met.gauge("fleet_replica_up", replicaUpHelp, rs.rep.Addr).Set(0)
+		return
+	}
+	s := sample{
+		at:           time.Now(),
+		sessions:     int64(metrics["gridftp_server_sessions_active"]),
+		measuredBps:  measured,
+		committedBps: metrics["gridftp_server_shaped_rate_bps"],
+		healthy:      healthy,
+	}
+	rs.mu.Lock()
+	rs.last = s
+	rs.mu.Unlock()
+	up := int64(0)
+	if healthy {
+		up = 1
+	}
+	addr := rs.rep.Addr
+	r.met.gauge("fleet_replica_up", replicaUpHelp, addr).Set(up)
+	r.met.gauge("fleet_replica_sessions",
+		"Active control-channel sessions last scraped from the replica.", addr).Set(s.sessions)
+	r.met.gauge("fleet_replica_load_bps",
+		"Replica load (max of measured window throughput and committed shaped rates), in bits/sec.", addr).Set(int64(s.loadBps()))
+	r.met.gauge("fleet_replica_predicted_bps",
+		"Eq. 2 effective rate a new transfer would get on the replica (capacity minus load), in bits/sec.", addr).Set(int64(hostmodel.EffectiveRate(rs.capacity, s.loadBps())))
+}
+
+const replicaUpHelp = "Replica scrape status: 1 when the last scrape succeeded and /healthz reported ok."
+
+// health probes /healthz: 200 is healthy, 503 is a live-but-degraded
+// replica (scrape succeeded, place elsewhere), anything else an error.
+func (r *Registry) health(ctx context.Context, base string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusServiceUnavailable:
+		return false, nil
+	default:
+		return false, fmt.Errorf("fleet: healthz status %d", resp.StatusCode)
+	}
+}
+
+// promGauges fetches /metrics and extracts the unlabeled series the
+// registry consumes (sessions, shaped rate). Labeled variants of a name
+// are summed, matching Prometheus aggregation semantics.
+func (r *Registry) promGauges(ctx context.Context, base string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 1 {
+			continue
+		}
+		series, valText := line[:sp], line[sp+1:]
+		name := series
+		if br := strings.IndexByte(series, '{'); br >= 0 {
+			name = series[:br]
+		}
+		v, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			continue
+		}
+		out[name] += v
+	}
+	return out, nil
+}
+
+// windowThroughput fetches /counters and computes the replica's summed
+// data-plane throughput over the trailing LoadWindow: total bytes in
+// the tail bins of every live counter, divided by the window those bins
+// cover. The current bin is partial, so this slightly underestimates a
+// just-started burst — conservative in the right direction for
+// placement (a busy replica looks at least this busy).
+func (r *Registry) windowThroughput(ctx context.Context, base string) (float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/counters", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("fleet: counters status %d", resp.StatusCode)
+	}
+	var counters []telemetry.CounterSnapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&counters); err != nil {
+		return 0, err
+	}
+	var total, window float64
+	for _, c := range counters {
+		if c.BinSec <= 0 || len(c.Bytes) == 0 {
+			continue
+		}
+		k := int(math.Ceil(r.cfg.LoadWindow.Seconds() / c.BinSec))
+		if k < 1 {
+			k = 1
+		}
+		if k > len(c.Bytes) {
+			k = len(c.Bytes)
+		}
+		for _, b := range c.Bytes[len(c.Bytes)-k:] {
+			total += b
+		}
+		if w := float64(k) * c.BinSec; w > window {
+			window = w
+		}
+	}
+	if window <= 0 {
+		return 0, nil
+	}
+	return total * 8 / window, nil
+}
+
+// ReplicaLoad is one replica's row in a registry snapshot.
+type ReplicaLoad struct {
+	Addr         string
+	CapacityBps  float64
+	Sessions     int64
+	MeasuredBps  float64
+	CommittedBps float64
+	// ClaimedBps is the admission calendar's live claims (0 without
+	// admission control).
+	ClaimedBps float64
+	// PredictedBps is the Eq. 2 effective rate a new transfer would get.
+	PredictedBps float64
+	Healthy      bool
+	// Fresh reports whether the sample is younger than the staleness
+	// bound; the dispatcher only trusts fresh samples.
+	Fresh bool
+}
+
+// Snapshot returns every replica's latest state, in configuration order.
+func (r *Registry) Snapshot() []ReplicaLoad {
+	now := time.Now()
+	out := make([]ReplicaLoad, 0, len(r.reps))
+	for _, rs := range r.reps {
+		s := rs.sample()
+		rl := ReplicaLoad{
+			Addr:         rs.rep.Addr,
+			CapacityBps:  rs.capacity,
+			Sessions:     s.sessions,
+			MeasuredBps:  s.measuredBps,
+			CommittedBps: s.committedBps,
+			PredictedBps: hostmodel.EffectiveRate(rs.capacity, s.loadBps()),
+			Healthy:      s.healthy,
+			Fresh:        !s.at.IsZero() && now.Sub(s.at) <= r.cfg.Staleness,
+		}
+		if rs.cal != nil {
+			rl.ClaimedBps = rs.capacity - rs.cal.AvailableNow(time.Second)
+		}
+		out = append(out, rl)
+	}
+	return out
+}
+
+// Close stops the scrape loop.
+func (r *Registry) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}

@@ -31,6 +31,7 @@ type srvMetrics struct {
 	durations        *telemetry.Histogram
 	sizes            *telemetry.Histogram
 	usageRecords     *telemetry.Counter
+	shapedRate       *telemetry.Gauge
 }
 
 func newSrvMetrics(hub *telemetry.Hub) *srvMetrics {
@@ -67,6 +68,8 @@ func newSrvMetrics(hub *telemetry.Hub) *srvMetrics {
 		"Bytes moved per transfer (partial count on failure).", telemetry.SizeBuckets)
 	m.usageRecords = hub.Counter("gridftp_server_usage_records_total",
 		"Usage records emitted, success and failure alike.")
+	m.shapedRate = hub.Gauge("gridftp_server_shaped_rate_bps",
+		"Summed effective session rates (SITE RATE clamped by MaxRateBps) across open sessions — the capacity already promised to clients, scraped by fleet registries as committed load.")
 	return m
 }
 

@@ -154,9 +154,12 @@ func (c *Client) applyRate(rateBps int64) error {
 	_, err := c.do("SITE", "SITE RATE "+strconv.FormatInt(rateBps, 10), 200)
 	if err != nil {
 		var pe *ProtocolError
-		if errors.As(err, &pe) {
+		if errors.As(err, &pe) && !c.rateWired {
 			// Old server: SITE unimplemented (502) or RATE unknown (500).
-			// Client-side pacing still enforces the rate locally.
+			// Client-side pacing still enforces the rate locally. Once the
+			// server has accepted a SITE RATE, though, a rejection is a
+			// real failure — swallowing it would leave the session shaped
+			// to the previous rate with the caller none the wiser.
 			return nil
 		}
 		return err

@@ -206,3 +206,78 @@ func TestApplyOptionsRebind(t *testing.T) {
 		t.Fatalf("cleared client still mints a limiter")
 	}
 }
+
+// TestServerAggregateRate: the server-wide bucket (the contention
+// model's R) divides the aggregate across sessions that asked for
+// nothing — two concurrent unshaped retrieves share R and each takes
+// about twice the solo paced duration — and the shaped-rate gauge
+// publishes per-session commitments while sessions are open.
+func TestServerAggregateRate(t *testing.T) {
+	const aggBps = 320e6 // 40 MB/s shared across the whole server
+	hub := telemetry.NewHub()
+	srv := startServer(t, Config{AggregateRateBps: aggBps, Telemetry: hub})
+	payload := randomPayload(4 << 20)
+	seed := login(t, srv.Addr())
+	if _, err := seed.Stor("obj", payload); err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		elapsed time.Duration
+		err     error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				results <- result{0, err}
+				return
+			}
+			defer c.Close()
+			if err := c.Login("u", "p"); err != nil {
+				results <- result{0, err}
+				return
+			}
+			start := time.Now()
+			got, _, err := c.Retr("obj")
+			if err == nil && !bytes.Equal(got, payload) {
+				err = context.DeadlineExceeded // placeholder: corrupt payload
+			}
+			results <- result{time.Since(start), err}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		// Two transfers share aggBps: each effectively runs at aggBps/2.
+		expectShaped(t, "aggregate-capped RETR", int64(len(payload)), aggBps/2, r.elapsed)
+	}
+
+	// The shaped-rate gauge: unshaped sessions against a per-session cap
+	// publish that cap while open, and retract it at teardown.
+	gauge := hub.Gauge("gridftp_server_shaped_rate_bps",
+		"Summed effective session rates (SITE RATE clamped by MaxRateBps) across open sessions — the capacity already promised to clients, scraped by fleet registries as committed load.")
+	capped := startServer(t, Config{MaxRateBps: 100e6, Telemetry: hub})
+	c1 := login(t, capped.Addr())
+	c2 := login(t, capped.Addr())
+	if v := gauge.Value(); v != 200e6 {
+		t.Fatalf("shaped-rate gauge with two capped sessions = %d, want 200e6", v)
+	}
+	if _, err := c1.do("SITE", "SITE RATE 40000000", 200); err != nil {
+		t.Fatal(err)
+	}
+	if v := gauge.Value(); v != 140e6 {
+		t.Fatalf("shaped-rate gauge after SITE RATE 40e6 = %d, want 140e6", v)
+	}
+	c1.Close()
+	c2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for gauge.Value() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v := gauge.Value(); v != 0 {
+		t.Fatalf("shaped-rate gauge after teardown = %d, want 0", v)
+	}
+}

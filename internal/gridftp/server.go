@@ -84,6 +84,15 @@ type Config struct {
 	// lower session rate (e.g. the broker-reserved circuit rate); the
 	// effective rate is the request clamped by this cap.
 	MaxRateBps int64
+	// AggregateRateBps caps the server's total data-plane rate across
+	// ALL sessions, in bits per second (0 = uncapped) — the live
+	// enforcement of the paper's R, the aggregate DTN capacity that
+	// concurrent transfers compete for (Eq. 2). One shared token bucket
+	// chokes every data connection the server opens, so N concurrent
+	// sessions genuinely divide R between them the way the host model
+	// assumes, and a fleet dispatcher can treat R − Σ measured rates as
+	// this replica's real headroom.
+	AggregateRateBps int64
 	// PasvPortRange, when set ("lo-hi"), switches the server from one
 	// passive listener per transfer to a pre-opened shared listener pool
 	// spanning the range; accepted data connections are demultiplexed to
@@ -115,6 +124,11 @@ type Server struct {
 	sender *usagestats.Sender
 	met    *srvMetrics
 	pasv   *pasvPool
+	// agg is the server-wide data-plane bucket (AggregateRateBps); nil
+	// when the server's aggregate is uncapped. Shared by every data
+	// connection of every session, composed with each session's own
+	// bucket in dataConns.
+	agg *pacing.Bucket
 
 	wg      sync.WaitGroup
 	connSeq atomic.Uint64
@@ -198,6 +212,9 @@ func Serve(cfg Config) (*Server, error) {
 	if cfg.MaxRateBps < 0 {
 		return nil, errors.New("gridftp: max rate must be >= 0")
 	}
+	if cfg.AggregateRateBps < 0 {
+		return nil, errors.New("gridftp: aggregate rate must be >= 0")
+	}
 	switch {
 	case cfg.WindowSize == 0:
 		cfg.WindowSize = 8 << 20
@@ -218,6 +235,7 @@ func Serve(cfg Config) (*Server, error) {
 		cfg.ServerHost = ln.Addr().String()
 	}
 	s := &Server{cfg: cfg, ln: ln, met: newSrvMetrics(cfg.Telemetry)}
+	s.agg = pacing.NewBucket(cfg.AggregateRateBps, 0)
 	if cfg.PasvPortRange != "" {
 		lo, hi, err := parsePasvPortRange(cfg.PasvPortRange)
 		if err != nil {
@@ -378,6 +396,10 @@ type session struct {
 	// goroutines capture the bucket pointer at transfer setup.
 	rateBps int64
 	bucket  *pacing.Bucket
+	// pubRate is this session's contribution to the server's shaped-rate
+	// gauge (the effective rate last published); only the session
+	// goroutine mutates it, and teardown retracts it.
+	pubRate int64
 }
 
 // effectiveRate resolves the session's shaping rate: the SITE RATE
@@ -404,6 +426,11 @@ func (sess *session) applyRate() {
 	default:
 		sess.bucket = pacing.NewBucket(eff, 0)
 	}
+	// Publish the delta into the server's shaped-rate gauge: the summed
+	// per-session commitments a fleet registry reads as this replica's
+	// already-promised capacity.
+	sess.srv.met.shapedRate.Add(eff - sess.pubRate)
+	sess.pubRate = eff
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -419,6 +446,7 @@ func (s *Server) handle(conn net.Conn) {
 	s.met.sessionsActive.Inc()
 	s.met.hub.Event("", "session_accepted", conn.RemoteAddr().String())
 	defer s.met.sessionsActive.Dec()
+	defer func() { s.met.shapedRate.Add(-sess.pubRate) }()
 	defer sess.closePassive()
 	defer conn.Close()
 	sess.reply(220, "gftpvc GridFTP server ready")
@@ -768,11 +796,13 @@ func (sess *session) dataConns(tx *transferCtx) ([]net.Conn, error) {
 	// every connection wrapped here — the active, shared-passive, and
 	// per-transfer-listener paths all shape through this one choke
 	// point, so a session's aggregate rate holds no matter how many
-	// streams or stripes it opens.
+	// streams or stripes it opens. The server-wide bucket
+	// (AggregateRateBps, the paper's R) composes on top: every byte
+	// must clear both, so concurrent sessions divide R between them.
 	var lim *pacing.Limiter
 	var shaped *telemetry.Counter
-	if b := sess.bucket; b != nil {
-		lim = pacing.NewLimiter(b)
+	if b, agg := sess.bucket, sess.srv.agg; b != nil || agg != nil {
+		lim = pacing.NewLimiter(agg, b)
 		shaped = met.shapedBytes(tx.op)
 	}
 	wrap := func(c net.Conn, stripe string) net.Conn {

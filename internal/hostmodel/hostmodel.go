@@ -278,6 +278,21 @@ func PredictThroughput(tr *Transfer, R float64) (float64, error) {
 	return pred, nil
 }
 
+// EffectiveRate is the instantaneous Eq. 2 predictor: the rate a new
+// transfer can expect on a server of aggregate capacity R whose
+// concurrent transfers currently move othersBps in total — one interval
+// of PredictThroughput, evaluated now instead of over a recorded trace.
+// It is what a placement decision needs: of N replicas, the one with
+// the highest R − Σₖ tₖ gives the new transfer the highest rate.
+// Negative headroom clamps to zero (an oversubscribed server gives a
+// newcomer effectively nothing, not a negative rate).
+func EffectiveRate(R, othersBps float64) float64 {
+	if r := R - othersBps; r > 0 {
+		return r
+	}
+	return 0
+}
+
 // NoisyCap applies a multiplicative log-normal factor with geometric
 // standard deviation gsd to a base rate, clamped to [base/5, base*5]. It
 // models the run-to-run disk and CPU variability responsible for the

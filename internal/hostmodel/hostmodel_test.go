@@ -283,3 +283,29 @@ func TestNoisyCap(t *testing.T) {
 		}
 	}
 }
+
+// TestEffectiveRate: the instantaneous Eq. 2 headroom, clamped at zero
+// for oversubscribed servers, and consistent with PredictThroughput on
+// a single constant-concurrency interval.
+func TestEffectiveRate(t *testing.T) {
+	if got := EffectiveRate(1000, 600); got != 400 {
+		t.Errorf("EffectiveRate(1000, 600) = %v, want 400", got)
+	}
+	if got := EffectiveRate(1000, 0); got != 1000 {
+		t.Errorf("idle server: got %v, want full capacity", got)
+	}
+	if got := EffectiveRate(1000, 1500); got != 0 {
+		t.Errorf("oversubscribed server: got %v, want 0", got)
+	}
+	tr := &Transfer{
+		EndSec:    10,
+		Intervals: []Interval{{DurationSec: 10, OthersBps: 600}},
+	}
+	pred, err := PredictThroughput(tr, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != EffectiveRate(1000, 600) {
+		t.Errorf("single-interval PredictThroughput %v != EffectiveRate %v", pred, EffectiveRate(1000, 600))
+	}
+}

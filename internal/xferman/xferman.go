@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"gftpvc/internal/connpool"
+	"gftpvc/internal/fleet"
 	"gftpvc/internal/gridftp"
 	"gftpvc/internal/pacing"
 	"gftpvc/internal/telemetry"
@@ -121,8 +122,11 @@ type Job struct {
 	Class Class
 }
 
-func (j *Job) normalize() error {
-	if j.Src.Addr == "" || j.Dst.Addr == "" {
+func (j *Job) normalize(fleetManaged bool) error {
+	if j.Src.Addr == "" && !fleetManaged {
+		return errors.New("xferman: endpoints required")
+	}
+	if j.Dst.Addr == "" {
 		return errors.New("xferman: endpoints required")
 	}
 	if j.SrcName == "" || j.DstName == "" {
@@ -253,6 +257,10 @@ type Result struct {
 	// bits per second: Job.RateBps, else the broker's reserved circuit
 	// rate, else the class rate. Zero means the job ran unshaped.
 	ShapedRateBps int64
+	// Replica is the source replica the fleet dispatcher placed the
+	// final attempt on, when the manager was built WithFleet and the job
+	// left Src.Addr empty. Empty otherwise.
+	Replica string
 }
 
 type tracked struct {
@@ -275,6 +283,7 @@ type Manager struct {
 
 	hub        *telemetry.Hub
 	broker     *broker.Broker
+	fleet      *fleet.Dispatcher
 	pool       *connpool.Pool
 	tracing    bool
 	classRates map[Class]int64
@@ -326,6 +335,17 @@ func WithPool(p *connpool.Pool) Option {
 // broker, then its client.
 func WithBroker(b *broker.Broker) Option {
 	return func(m *Manager) { m.broker = b }
+}
+
+// WithFleet places jobs that leave Src.Addr empty across the
+// dispatcher's replica set: each attempt asks the fleet for the replica
+// the Eq. 2 contention model predicts gives the highest effective rate
+// right now, and a retry is free to move to a different replica than
+// the failed attempt's (counted as a rebalance). Jobs that pin Src.Addr
+// bypass the fleet entirely. The manager does not own the dispatcher —
+// close the manager first, then the fleet.
+func WithFleet(d *fleet.Dispatcher) Option {
+	return func(m *Manager) { m.fleet = d }
 }
 
 // WithTracing mints an end-to-end TraceContext per job and propagates
@@ -396,7 +416,7 @@ func New(workers int, opts ...Option) (*Manager, error) {
 // whole life: a cancelled context stops retries and aborts the job's
 // network dials. Submit after Close returns ErrClosed.
 func (m *Manager) Submit(ctx context.Context, job Job) (JobID, error) {
-	if err := job.normalize(); err != nil {
+	if err := job.normalize(m.fleet != nil); err != nil {
 		return 0, err
 	}
 	if ctx == nil {
@@ -536,6 +556,7 @@ func (m *Manager) worker() {
 		tr.result.Circuit = out.circuit
 		tr.result.TraceID = out.trace
 		tr.result.ShapedRateBps = out.shapedRate
+		tr.result.Replica = out.replica
 		if out.err != nil {
 			tr.result.Status = Failed
 			tr.result.Err = out.err.Error()
@@ -574,6 +595,7 @@ type outcome struct {
 	shapedRate int64
 	attempts   int
 	trace      string
+	replica    string
 	err        error
 }
 
@@ -789,7 +811,41 @@ func (m *Manager) executeJob(ctx context.Context, job Job, jobSpan *telemetry.Sp
 			}
 		}
 		jobSpan.Phase(telemetry.PhaseStream)
-		at := m.attempt(ctx, job, resumeFrom)
+		// A fleet-managed job resolves its source replica per attempt:
+		// the dispatcher sees the loads as they are NOW, so a retry after
+		// a multi-second failed attempt may land somewhere better than
+		// the first placement did (a rebalance).
+		ajob := job
+		var placement *fleet.Placement
+		if m.fleet != nil && job.Src.Addr == "" {
+			size := job.SizeHint
+			if out.bytes > 0 {
+				size = out.bytes
+			}
+			p, err := m.fleet.Place(ctx, fleet.Request{SizeBytes: size, Previous: out.replica})
+			if err != nil {
+				if out.err == nil {
+					out.err = fmt.Errorf("fleet place: %w", err)
+				}
+				return out
+			}
+			placement = p
+			ajob.Src.Addr = p.Addr
+			out.replica = p.Addr
+			if trace := telemetry.TraceIDFrom(ctx); trace != "" {
+				m.hub.Event(trace, "fleet_placed",
+					fmt.Sprintf("attempt=%d replica=%s fallback=%v", attempt, p.Addr, p.Fallback))
+			}
+		}
+		attemptStart := time.Now()
+		at := m.attempt(ctx, ajob, resumeFrom)
+		if placement != nil {
+			moved := at.moved
+			if moved < 0 && at.err == nil && at.bytes > resumeFrom {
+				moved = at.bytes - resumeFrom
+			}
+			placement.Complete(moved, time.Since(attemptStart), at.err)
+		}
 		out.checksum, out.circuit, out.err = at.checksum, at.circuit, at.err
 		out.shapedRate = at.shapedRate
 		if at.bytes > 0 {
